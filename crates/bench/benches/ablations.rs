@@ -1,0 +1,18 @@
+//! Ablation studies: SARP power throttle, DARP component split, drain
+//! watermarks (see `dsarp_sim::experiments::ablations`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsarp_bench::bench_scale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("design_choices", |b| {
+        b.iter(|| black_box(dsarp_sim::experiments::ablations::run(&bench_scale())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 5: analytic tRFCab projections (also validates the anchor points
+//! every timed experiment relies on).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig05_trfc_trend", |b| {
+        b.iter(|| {
+            let rows = dsarp_sim::experiments::fig05::run();
+            assert_eq!(rows.iter().find(|r| r.gigabits == 32).unwrap().projection2_ns, 890.0);
+            black_box(rows)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

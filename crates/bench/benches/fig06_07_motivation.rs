@@ -1,0 +1,17 @@
+//! Figures 6 and 7: REFab/REFpb performance loss vs the no-refresh ideal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsarp_bench::bench_scale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_07");
+    g.sample_size(10);
+    g.bench_function("motivation_loss", |b| {
+        b.iter(|| black_box(dsarp_sim::experiments::fig06_07::run(&bench_scale())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

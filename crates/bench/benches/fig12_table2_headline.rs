@@ -1,0 +1,18 @@
+//! Figure 12 + Table 2: per-workload WS improvements of REFpb/DARP/SARPpb/
+//! DSARP over REFab, and the max/gmean summary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsarp_bench::bench_scale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_table2");
+    g.sample_size(10);
+    g.bench_function("headline_grid", |b| {
+        b.iter(|| black_box(dsarp_sim::experiments::fig12_table2::run(&bench_scale())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 13: average WS improvement of every mechanism over REFab,
+//! including the DARP component breakdown (§6.1.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsarp_bench::bench_scale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("all_mechanisms", |b| {
+        b.iter(|| black_box(dsarp_sim::experiments::fig13::run(&bench_scale())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Figure 14: DRAM energy per memory access under each mechanism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsarp_bench::bench_scale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("energy_per_access", |b| {
+        b.iter(|| black_box(dsarp_sim::experiments::fig14::run(&bench_scale())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

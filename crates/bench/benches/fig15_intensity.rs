@@ -1,0 +1,17 @@
+//! Figure 15: DSARP improvement vs memory intensity and density.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsarp_bench::bench_scale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("intensity_sweep", |b| {
+        b.iter(|| black_box(dsarp_sim::experiments::fig15::run(&bench_scale())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

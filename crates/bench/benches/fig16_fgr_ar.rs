@@ -1,0 +1,17 @@
+//! Figure 16: DDR4 FGR 2x/4x and Adaptive Refresh vs DSARP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsarp_bench::bench_scale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    g.bench_function("fgr_ar", |b| {
+        b.iter(|| black_box(dsarp_sim::experiments::fig16::run(&bench_scale())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Extension study: the paper's footnote-5 overlapped per-bank refresh.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsarp_bench::bench_scale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlap");
+    g.sample_size(10);
+    g.bench_function("footnote5", |b| {
+        b.iter(|| black_box(dsarp_sim::experiments::overlap::run(&bench_scale())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Raw simulator throughput: DRAM cycles per second of wall time for one
+//! 8-core memory-intensive system, per mechanism. Not a paper artifact —
+//! this tracks the engine itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use dsarp_sim::{SimConfig, System};
+use dsarp_workloads::mixes;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let workload = mixes::intensive_mixes(8, 1)[0].clone();
+    let cycles = 10_000u64;
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cycles));
+    for mech in [Mechanism::NoRefresh, Mechanism::RefAb, Mechanism::RefPb, Mechanism::Dsarp] {
+        g.bench_with_input(BenchmarkId::from_parameter(mech.label()), &mech, |b, &mech| {
+            b.iter(|| {
+                let cfg = SimConfig::paper(mech, Density::G32);
+                black_box(System::new(&cfg, &workload).run(cycles))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Table 3: DSARP's multi-core metrics at 2/4/8 cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsarp_bench::bench_scale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("core_count_sweep", |b| {
+        b.iter(|| black_box(dsarp_sim::experiments::table3::run(&bench_scale())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Table 4: SARPpb over REFpb as tFAW/tRRD vary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsarp_bench::bench_scale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("tfaw_sweep", |b| {
+        b.iter(|| black_box(dsarp_sim::experiments::table4::run(&bench_scale())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Table 5: SARPpb over REFpb as subarrays per bank vary (1-64).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsarp_bench::bench_scale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.bench_function("subarray_sweep", |b| {
+        b.iter(|| black_box(dsarp_sim::experiments::table5::run(&bench_scale())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

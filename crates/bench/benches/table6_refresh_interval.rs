@@ -1,0 +1,17 @@
+//! Table 6: DSARP at the relaxed 64 ms retention time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsarp_bench::bench_scale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    g.bench_function("refresh_interval", |b| {
+        b.iter(|| black_box(dsarp_sim::experiments::table6::run(&bench_scale())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

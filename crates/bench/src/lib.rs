@@ -1,0 +1,13 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Each bench target regenerates one of the paper's tables/figures at a
+//! reduced scale (the `experiments` binary is the full-fidelity path); the
+//! benchmarks both exercise the full stack and track the simulator's own
+//! performance over time.
+
+use dsarp_sim::experiments::Scale;
+
+/// The reduced scale used by all bench targets.
+pub fn bench_scale() -> Scale {
+    Scale { dram_cycles: 5_000, alone_cycles: 3_000, per_category: 1, threads: 0, warmup_ops: 8_000 }
+}

@@ -1,0 +1,277 @@
+//! Read/write request queues with batched write draining.
+//!
+//! The paper's controller (Table 1, §4.2.2): 64-entry read and 64-entry
+//! write queues; writes are buffered and drained in batches — *writeback
+//! mode* — entered when the write queue fills past a high watermark and left
+//! at the low watermark (32 in the paper). While a channel drains, it serves
+//! no reads. Write-refresh parallelization (DARP's second component) rides
+//! on exactly this mode.
+
+use crate::request::Request;
+use dsarp_dram::Location;
+
+/// Default read-queue capacity (paper Table 1).
+pub const READ_QUEUE_CAP: usize = 64;
+/// Default write-queue capacity (paper Table 1).
+pub const WRITE_QUEUE_CAP: usize = 64;
+/// Default drain-entry (high) watermark. The paper fixes only the low
+/// watermark; 48 (75% full) follows the cited write-batching works.
+pub const DRAIN_HIGH_WATERMARK: usize = 48;
+/// Default drain-exit (low) watermark (paper Table 1: 32).
+pub const DRAIN_LOW_WATERMARK: usize = 32;
+
+/// The controller's demand-request queues.
+#[derive(Debug, Clone)]
+pub struct RequestQueues {
+    reads: Vec<Request>,
+    writes: Vec<Request>,
+    read_cap: usize,
+    write_cap: usize,
+    high: usize,
+    low: usize,
+    draining: bool,
+    drain_cycles: u64,
+    drain_entries: u64,
+}
+
+impl RequestQueues {
+    /// Queues with the paper's capacities and watermarks.
+    pub fn paper_default() -> Self {
+        Self::new(READ_QUEUE_CAP, WRITE_QUEUE_CAP, DRAIN_HIGH_WATERMARK, DRAIN_LOW_WATERMARK)
+    }
+
+    /// Queues with explicit capacities and watermarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `low < high <= write_cap`.
+    pub fn new(read_cap: usize, write_cap: usize, high: usize, low: usize) -> Self {
+        assert!(low < high && high <= write_cap, "watermarks must satisfy low < high <= cap");
+        Self {
+            reads: Vec::with_capacity(read_cap),
+            writes: Vec::with_capacity(write_cap),
+            read_cap,
+            write_cap,
+            high,
+            low,
+            draining: false,
+            drain_cycles: 0,
+            drain_entries: 0,
+        }
+    }
+
+    /// Appends a read; `false` when the queue is full.
+    pub fn try_push_read(&mut self, req: Request) -> bool {
+        if self.reads.len() >= self.read_cap {
+            return false;
+        }
+        debug_assert!(!req.is_write);
+        self.reads.push(req);
+        true
+    }
+
+    /// Appends a writeback; `false` when the queue is full.
+    pub fn try_push_write(&mut self, req: Request) -> bool {
+        if self.writes.len() >= self.write_cap {
+            return false;
+        }
+        debug_assert!(req.is_write);
+        self.writes.push(req);
+        true
+    }
+
+    /// Updates writeback mode from the current occupancy. Call once per
+    /// DRAM cycle before scheduling.
+    pub fn update_drain_mode(&mut self) {
+        if self.draining {
+            self.drain_cycles += 1;
+            if self.writes.len() <= self.low {
+                self.draining = false;
+            }
+        } else if self.writes.len() >= self.high {
+            self.draining = true;
+            self.drain_entries += 1;
+            self.drain_cycles += 1;
+        }
+    }
+
+    /// Whether the channel is in writeback (drain) mode.
+    pub fn in_drain_mode(&self) -> bool {
+        self.draining
+    }
+
+    /// Pending reads, oldest first.
+    pub fn reads(&self) -> &[Request] {
+        &self.reads
+    }
+
+    /// Pending writes, oldest first.
+    pub fn writes(&self) -> &[Request] {
+        &self.writes
+    }
+
+    /// Removes and returns the read at `idx` (after its column command
+    /// issued).
+    pub fn take_read(&mut self, idx: usize) -> Request {
+        self.reads.remove(idx)
+    }
+
+    /// Removes and returns the write at `idx`.
+    pub fn take_write(&mut self, idx: usize) -> Request {
+        self.writes.remove(idx)
+    }
+
+    /// Pending demand requests (reads + writes) for one bank — the occupancy
+    /// DARP's bank-selection logic monitors.
+    pub fn demand_count(&self, rank: usize, bank: usize) -> usize {
+        self.reads.iter().filter(|r| r.targets_bank(rank, bank)).count()
+            + self.writes.iter().filter(|r| r.targets_bank(rank, bank)).count()
+    }
+
+    /// Whether any demand request targets the bank.
+    pub fn bank_has_demand(&self, rank: usize, bank: usize) -> bool {
+        self.reads.iter().any(|r| r.targets_bank(rank, bank))
+            || self.writes.iter().any(|r| r.targets_bank(rank, bank))
+    }
+
+    /// Whether any demand request targets the rank.
+    pub fn rank_has_demand(&self, rank: usize) -> bool {
+        self.reads.iter().any(|r| r.loc.rank == rank)
+            || self.writes.iter().any(|r| r.loc.rank == rank)
+    }
+
+    /// Whether any *other* queued request in the currently *servable* queue
+    /// targets the same open row — the closed-row policy's auto-precharge
+    /// test. Only the servable queue counts: outside writeback mode a
+    /// queued write cannot be serviced, so letting it hold a row open would
+    /// starve conflicting reads until the next drain. The request being
+    /// scheduled excludes itself via `skip_idx`.
+    pub fn another_row_hit_queued(
+        &self,
+        loc: &Location,
+        in_drain: bool,
+        skip_idx: Option<usize>,
+    ) -> bool {
+        let same_row = |r: &Request| {
+            r.loc.rank == loc.rank && r.loc.bank == loc.bank && r.loc.row == loc.row
+        };
+        let q = if in_drain { &self.writes } else { &self.reads };
+        q.iter().enumerate().any(|(i, r)| Some(i) != skip_idx && same_row(r))
+    }
+
+    /// Searches the write queue for a pending write to the same line
+    /// (read-after-write forwarding).
+    pub fn forwards_read(&self, loc: &Location) -> bool {
+        self.writes.iter().any(|w| w.loc == *loc)
+    }
+
+    /// Read-queue occupancy.
+    pub fn read_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Write-queue occupancy.
+    pub fn write_len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Cycles spent in writeback mode (stat).
+    pub fn drain_cycles(&self) -> u64 {
+        self.drain_cycles
+    }
+
+    /// Number of writeback-mode episodes (stat).
+    pub fn drain_entries(&self) -> u64 {
+        self.drain_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(rank: usize, bank: usize, row: u32) -> Location {
+        Location { channel: 0, rank, bank, row, col: 0 }
+    }
+
+    fn wreq(id: u64, rank: usize, bank: usize) -> Request {
+        Request::write(id, loc(rank, bank, 0), 0, 0)
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut q = RequestQueues::new(2, 2, 2, 1);
+        assert!(q.try_push_read(Request::read(1, loc(0, 0, 0), 0, 0)));
+        assert!(q.try_push_read(Request::read(2, loc(0, 0, 0), 0, 0)));
+        assert!(!q.try_push_read(Request::read(3, loc(0, 0, 0), 0, 0)));
+        assert_eq!(q.read_len(), 2);
+    }
+
+    #[test]
+    fn drain_mode_hysteresis() {
+        let mut q = RequestQueues::new(64, 64, 4, 2);
+        for i in 0..3 {
+            q.try_push_write(wreq(i, 0, 0));
+        }
+        q.update_drain_mode();
+        assert!(!q.in_drain_mode(), "below high watermark");
+        q.try_push_write(wreq(9, 0, 0));
+        q.update_drain_mode();
+        assert!(q.in_drain_mode(), "reached high watermark");
+        // Drain down to low watermark.
+        q.take_write(0);
+        q.update_drain_mode();
+        assert!(q.in_drain_mode(), "still above low");
+        q.take_write(0);
+        q.update_drain_mode();
+        assert!(!q.in_drain_mode(), "reached low watermark");
+        assert_eq!(q.drain_entries(), 1);
+        assert!(q.drain_cycles() >= 2);
+    }
+
+    #[test]
+    fn demand_count_spans_both_queues() {
+        let mut q = RequestQueues::paper_default();
+        q.try_push_read(Request::read(1, loc(0, 3, 5), 0, 0));
+        q.try_push_read(Request::read(2, loc(0, 3, 6), 0, 0));
+        q.try_push_write(wreq(3, 0, 3));
+        q.try_push_write(wreq(4, 1, 3));
+        assert_eq!(q.demand_count(0, 3), 3);
+        assert_eq!(q.demand_count(1, 3), 1);
+        assert!(q.bank_has_demand(0, 3));
+        assert!(!q.bank_has_demand(0, 4));
+        assert!(q.rank_has_demand(1));
+        assert!(!q.rank_has_demand(2).then_some(true).unwrap_or(false));
+    }
+
+    #[test]
+    fn row_hit_detection_for_auto_precharge() {
+        let mut q = RequestQueues::paper_default();
+        let l = loc(0, 1, 42);
+        q.try_push_read(Request::read(1, l, 0, 0));
+        q.try_push_write(Request::write(2, loc(0, 1, 42), 0, 0));
+        // Outside drain mode only reads count; the read at index 0 matches.
+        assert!(q.another_row_hit_queued(&l, false, None));
+        // A write to the same row is invisible outside drain mode...
+        q.take_read(0);
+        assert!(!q.another_row_hit_queued(&l, false, None));
+        // ...but visible inside drain mode, where it must not match itself.
+        assert!(q.another_row_hit_queued(&l, true, None));
+        assert!(!q.another_row_hit_queued(&l, true, Some(0)));
+    }
+
+    #[test]
+    fn read_after_write_forwarding_detects_same_line() {
+        let mut q = RequestQueues::paper_default();
+        let l = loc(1, 2, 3);
+        q.try_push_write(Request::write(1, l, 0, 0));
+        assert!(q.forwards_read(&l));
+        assert!(!q.forwards_read(&loc(1, 2, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "watermarks")]
+    fn invalid_watermarks_panic() {
+        let _ = RequestQueues::new(64, 64, 2, 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Baseline all-bank refresh (`REFab`, §2.2.1): one rank-level refresh every
+//! `tREFIab`, issued on schedule with no postponement.
+
+use super::{PolicyContext, RefreshDirective, RefreshKind, RefreshPolicy, RefreshTarget};
+use dsarp_dram::{Cycle, FgrMode, TimingParams};
+
+/// The commodity DDR refresh scheme: every `tREFIab` each rank owes one
+/// `REFab`, which the controller issues as soon as it can precharge the
+/// rank. Pending refreshes accumulate while a refresh is already in flight.
+#[derive(Debug, Clone)]
+pub struct AllBankRefresh {
+    next_due: Vec<Cycle>,
+    pending: Vec<u32>,
+    refi: u64,
+}
+
+impl AllBankRefresh {
+    /// Creates the policy for `ranks` ranks.
+    pub fn new(ranks: usize, timing: &TimingParams) -> Self {
+        let refi = timing.refi_ab;
+        Self { next_due: vec![refi; ranks], pending: vec![0; ranks], refi }
+    }
+
+    /// Outstanding (accrued, unissued) refreshes for `rank` (for tests).
+    pub fn pending(&self, rank: usize) -> u32 {
+        self.pending[rank]
+    }
+
+    fn accrue(&mut self, now: Cycle) {
+        for r in 0..self.next_due.len() {
+            while now >= self.next_due[r] {
+                self.pending[r] += 1;
+                self.next_due[r] += self.refi;
+            }
+        }
+    }
+}
+
+impl RefreshPolicy for AllBankRefresh {
+    fn name(&self) -> &'static str {
+        "refab"
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> RefreshDirective {
+        self.accrue(ctx.now);
+        for r in 0..self.pending.len() {
+            if self.pending[r] > 0 && !ctx.chan.rank(r).is_refab_busy(ctx.now) {
+                // SARP-ab refreshes do not set the blocking flag; avoid
+                // requesting a second refresh while one is in flight.
+                if ctx
+                    .chan
+                    .rank(r)
+                    .banks()
+                    .any(|b| b.sarp_refresh(ctx.now).is_some())
+                {
+                    continue;
+                }
+                return RefreshDirective::Urgent(RefreshTarget {
+                    rank: r,
+                    kind: RefreshKind::AllBank(FgrMode::X1),
+                });
+            }
+        }
+        RefreshDirective::None
+    }
+
+    fn refresh_issued(&mut self, target: &RefreshTarget, _now: Cycle) {
+        debug_assert!(matches!(target.kind, RefreshKind::AllBank(_)));
+        self.pending[target.rank] = self.pending[target.rank].saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queues::RequestQueues;
+    use dsarp_dram::{Density, DramChannel, Geometry, Retention, SarpSupport};
+
+    fn setup() -> (DramChannel, RequestQueues, AllBankRefresh, TimingParams) {
+        let t = TimingParams::ddr3_1333(Density::G8, Retention::Ms32);
+        let chan =
+            DramChannel::new(Geometry::paper_default(), t, SarpSupport::Disabled);
+        let q = RequestQueues::paper_default();
+        let p = AllBankRefresh::new(2, &t);
+        (chan, q, p, t)
+    }
+
+    #[test]
+    fn quiet_before_first_interval() {
+        let (chan, q, mut p, t) = setup();
+        let ctx = PolicyContext { now: t.refi_ab - 1, queues: &q, chan: &chan };
+        assert_eq!(p.decide(&ctx), RefreshDirective::None);
+    }
+
+    #[test]
+    fn urgent_at_interval_and_cleared_on_issue() {
+        let (chan, q, mut p, t) = setup();
+        let ctx = PolicyContext { now: t.refi_ab, queues: &q, chan: &chan };
+        let d = p.decide(&ctx);
+        let target = match d {
+            RefreshDirective::Urgent(t) => t,
+            other => panic!("expected urgent, got {other:?}"),
+        };
+        assert_eq!(target.rank, 0);
+        p.refresh_issued(&target, t.refi_ab);
+        assert_eq!(p.pending(0), 0);
+        // Rank 1 still owes one.
+        match p.decide(&ctx) {
+            RefreshDirective::Urgent(t2) => assert_eq!(t2.rank, 1),
+            other => panic!("expected urgent for rank 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn obligations_accumulate_if_unserved() {
+        let (chan, q, mut p, t) = setup();
+        let ctx = PolicyContext { now: 3 * t.refi_ab + 1, queues: &q, chan: &chan };
+        let _ = p.decide(&ctx);
+        assert_eq!(p.pending(0), 3);
+        assert_eq!(p.pending(1), 3);
+    }
+
+    #[test]
+    fn not_rerequested_while_in_flight() {
+        let (mut chan, q, mut p, t) = setup();
+        chan.issue(dsarp_dram::Command::RefreshAllBank { rank: 0, fgr: FgrMode::X1 }, 0)
+            .unwrap();
+        let ctx = PolicyContext { now: t.refi_ab, queues: &q, chan: &chan };
+        // refi_ab (2600) > rfc_ab (234), so the refresh finished: rank 0 ok.
+        match p.decide(&ctx) {
+            RefreshDirective::Urgent(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // But while one is mid-flight, the rank is skipped.
+        let mut chan2 = DramChannel::new(
+            Geometry::paper_default(),
+            TimingParams::ddr3_1333(Density::G8, Retention::Ms32),
+            SarpSupport::Disabled,
+        );
+        chan2
+            .issue(
+                dsarp_dram::Command::RefreshAllBank { rank: 0, fgr: FgrMode::X1 },
+                t.refi_ab - 1,
+            )
+            .unwrap();
+        let ctx2 = PolicyContext { now: t.refi_ab, queues: &q, chan: &chan2 };
+        match p.decide(&ctx2) {
+            RefreshDirective::Urgent(t2) => {
+                assert_eq!(t2.rank, 1, "rank 0 is busy; rank 1 serves its debt")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! DDR4 Fine Granularity Refresh (paper §6.5): all-bank refresh at 2× or 4×
+//! the command rate with sub-linearly shorter `tRFCab`.
+
+use super::{PolicyContext, RefreshDirective, RefreshKind, RefreshPolicy, RefreshTarget};
+use dsarp_dram::{Cycle, FgrMode, TimingParams};
+
+/// Fixed-mode FGR. Identical scheduling to the `REFab` baseline, but every
+/// command is issued in the configured mode, with `tREFIab` divided by the
+/// rate. Because `tRFCab` shrinks by only 1.35×/1.63× while the rate grows
+/// 2×/4×, the total refresh-busy time *increases* — the paper's Figure 16
+/// shows FGR losing to plain `REFab`, and this implementation reproduces
+/// that.
+#[derive(Debug, Clone)]
+pub struct FgrRefresh {
+    mode: FgrMode,
+    next_due: Vec<Cycle>,
+    pending: Vec<u32>,
+    refi: u64,
+}
+
+impl FgrRefresh {
+    /// Creates the policy for `ranks` ranks in `mode`.
+    pub fn new(ranks: usize, timing: &TimingParams, mode: FgrMode) -> Self {
+        let refi = timing.refi_ab_for(mode);
+        Self { mode, next_due: vec![refi; ranks], pending: vec![0; ranks], refi }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> FgrMode {
+        self.mode
+    }
+}
+
+impl RefreshPolicy for FgrRefresh {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            FgrMode::X1 => "fgr1x",
+            FgrMode::X2 => "fgr2x",
+            FgrMode::X4 => "fgr4x",
+        }
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> RefreshDirective {
+        for r in 0..self.next_due.len() {
+            while ctx.now >= self.next_due[r] {
+                self.pending[r] += 1;
+                self.next_due[r] += self.refi;
+            }
+            if self.pending[r] > 0 && !ctx.chan.rank(r).is_refab_busy(ctx.now) {
+                return RefreshDirective::Urgent(RefreshTarget {
+                    rank: r,
+                    kind: RefreshKind::AllBank(self.mode),
+                });
+            }
+        }
+        RefreshDirective::None
+    }
+
+    fn refresh_issued(&mut self, target: &RefreshTarget, _now: Cycle) {
+        self.pending[target.rank] = self.pending[target.rank].saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queues::RequestQueues;
+    use dsarp_dram::{Density, DramChannel, Geometry, Retention, SarpSupport};
+
+    #[test]
+    fn four_x_mode_refreshes_four_times_as_often() {
+        let t = TimingParams::ddr3_1333(Density::G32, Retention::Ms32);
+        let chan = DramChannel::new(Geometry::paper_default(), t, SarpSupport::Disabled);
+        let q = RequestQueues::paper_default();
+        let mut p = FgrRefresh::new(1, &t, FgrMode::X4);
+        let ctx = PolicyContext { now: t.refi_ab, queues: &q, chan: &chan };
+        let _ = p.decide(&ctx);
+        assert_eq!(p.pending[0], 4);
+        assert_eq!(p.mode(), FgrMode::X4);
+    }
+
+    #[test]
+    fn worst_case_busy_time_exceeds_refab() {
+        // rate * tRFC(mode) > tRFC(1x): the §6.5 pathology.
+        let t = TimingParams::ddr3_1333(Density::G32, Retention::Ms32);
+        for (mode, min_ratio) in [(FgrMode::X2, 1.4), (FgrMode::X4, 2.4)] {
+            let busy = (mode.rate() * t.rfc_ab_for(mode)) as f64;
+            let base = t.rfc_ab_for(FgrMode::X1) as f64;
+            assert!(busy / base > min_ratio, "{mode}: {}", busy / base);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Refresh-scheduling policies.
+//!
+//! Every mechanism the paper evaluates (§6) is a [`RefreshPolicy`]
+//! implementation. Each DRAM cycle the controller asks the policy for a
+//! [`RefreshDirective`]; *urgent* directives outrank demand requests
+//! (the controller precharges the target and issues the refresh as soon as
+//! the timing allows), *relaxed* directives are served only on cycles when
+//! no demand command could issue (DARP's idle-bank pull-in, Fig. 8 ③).
+
+use crate::queues::RequestQueues;
+use dsarp_dram::{Cycle, DramChannel, FgrMode, SarpSupport, TimingParams};
+use serde::{Deserialize, Serialize};
+
+mod adaptive;
+mod allbank;
+mod darp;
+mod elastic;
+mod fgr;
+mod norefresh;
+mod perbank;
+
+pub use adaptive::AdaptiveRefresh;
+pub use allbank::AllBankRefresh;
+pub use darp::Darp;
+pub use elastic::ElasticRefresh;
+pub use fgr::FgrRefresh;
+pub use norefresh::NoRefresh;
+pub use perbank::PerBankRefresh;
+
+/// What to refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshKind {
+    /// `REFab` in the given fine-granularity mode.
+    AllBank(FgrMode),
+    /// `REFpb` to one bank.
+    PerBank {
+        /// Bank to refresh.
+        bank: usize,
+    },
+}
+
+/// A refresh the policy wants issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshTarget {
+    /// Target rank.
+    pub rank: usize,
+    /// Granularity and (for per-bank) the bank.
+    pub kind: RefreshKind,
+}
+
+/// The policy's decision for this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshDirective {
+    /// Nothing to do.
+    None,
+    /// Issue as soon as legal; outranks demand scheduling to the target.
+    Urgent(RefreshTarget),
+    /// Issue only if no demand command could be issued this cycle.
+    Relaxed(RefreshTarget),
+}
+
+/// Read-only controller state handed to the policy each cycle.
+pub struct PolicyContext<'a> {
+    /// Current DRAM cycle.
+    pub now: Cycle,
+    /// The demand queues (occupancies drive DARP and Elastic decisions).
+    pub queues: &'a RequestQueues,
+    /// The DRAM channel (refresh-in-flight state, timing).
+    pub chan: &'a DramChannel,
+}
+
+/// A refresh-scheduling policy (one instance per channel).
+pub trait RefreshPolicy: std::fmt::Debug + Send {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Called every DRAM cycle before demand scheduling.
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> RefreshDirective;
+
+    /// Notification that the controller issued `target` at `now`.
+    fn refresh_issued(&mut self, target: &RefreshTarget, now: Cycle);
+}
+
+/// The named mechanisms evaluated in the paper, as configuration values.
+///
+/// A mechanism bundles a refresh policy with whether the DRAM device has the
+/// SARP modification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Ideal: no refreshes at all ("No REF").
+    NoRefresh,
+    /// Baseline all-bank refresh (`REFab`).
+    RefAb,
+    /// Baseline round-robin per-bank refresh (`REFpb`).
+    RefPb,
+    /// Elastic refresh \[Stuecheli+ MICRO'10\] on all-bank refresh.
+    Elastic,
+    /// DARP: out-of-order per-bank refresh + write-refresh parallelization.
+    Darp,
+    /// DARP with only the out-of-order component (§6.1.2 breakdown).
+    DarpOooOnly,
+    /// SARP applied to all-bank refresh.
+    SarpAb,
+    /// SARP applied to per-bank refresh.
+    SarpPb,
+    /// DARP + SARPpb (the paper's headline mechanism).
+    Dsarp,
+    /// DDR4 fine-granularity refresh, 2x mode.
+    Fgr2x,
+    /// DDR4 fine-granularity refresh, 4x mode.
+    Fgr4x,
+    /// Adaptive refresh \[Mukundan+ ISCA'13\]: dynamic 1x/4x switching.
+    AdaptiveRefresh,
+    /// Extension (paper footnote 5): baseline per-bank refresh on a
+    /// modified standard allowing up to 4 overlapped `REFpb` per rank.
+    RefPbOverlapped,
+    /// Extension: DSARP on the footnote-5 overlapped-refresh standard.
+    DsarpOverlapped,
+}
+
+impl Mechanism {
+    /// All mechanisms in the order of the paper's Figure 13 (plus extras).
+    pub fn all() -> Vec<Mechanism> {
+        vec![
+            Mechanism::RefAb,
+            Mechanism::RefPb,
+            Mechanism::Elastic,
+            Mechanism::Darp,
+            Mechanism::SarpAb,
+            Mechanism::SarpPb,
+            Mechanism::Dsarp,
+            Mechanism::NoRefresh,
+        ]
+    }
+
+    /// Whether the DRAM device must be built with SARP support.
+    pub fn sarp_support(self) -> SarpSupport {
+        match self {
+            Mechanism::SarpAb
+            | Mechanism::SarpPb
+            | Mechanism::Dsarp
+            | Mechanism::DsarpOverlapped => SarpSupport::Enabled,
+            _ => SarpSupport::Disabled,
+        }
+    }
+
+    /// Concurrent `REFpb` limit the device must be configured with
+    /// (1 = JEDEC; 4 = the footnote-5 overlapped-refresh extension).
+    pub fn refpb_overlap_ways(self) -> usize {
+        match self {
+            Mechanism::RefPbOverlapped | Mechanism::DsarpOverlapped => 4,
+            _ => 1,
+        }
+    }
+
+    /// Builds the policy instance for one channel.
+    ///
+    /// `banks_per_rank`/`ranks` describe the channel; `seed` feeds DARP's
+    /// random idle-bank selection.
+    pub fn build_policy(
+        self,
+        ranks: usize,
+        banks_per_rank: usize,
+        timing: &TimingParams,
+        seed: u64,
+    ) -> Box<dyn RefreshPolicy> {
+        match self {
+            Mechanism::NoRefresh => Box::new(NoRefresh),
+            Mechanism::RefAb | Mechanism::SarpAb => Box::new(AllBankRefresh::new(ranks, timing)),
+            Mechanism::RefPb | Mechanism::SarpPb | Mechanism::RefPbOverlapped => {
+                Box::new(PerBankRefresh::new(ranks, banks_per_rank, timing))
+            }
+            Mechanism::Elastic => Box::new(ElasticRefresh::new(ranks, timing)),
+            Mechanism::Darp | Mechanism::Dsarp | Mechanism::DsarpOverlapped => {
+                Box::new(Darp::new(ranks, banks_per_rank, timing, seed, true))
+            }
+            Mechanism::DarpOooOnly => {
+                Box::new(Darp::new(ranks, banks_per_rank, timing, seed, false))
+            }
+            Mechanism::Fgr2x => Box::new(FgrRefresh::new(ranks, timing, FgrMode::X2)),
+            Mechanism::Fgr4x => Box::new(FgrRefresh::new(ranks, timing, FgrMode::X4)),
+            Mechanism::AdaptiveRefresh => Box::new(AdaptiveRefresh::new(ranks, timing)),
+        }
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::NoRefresh => "No REF",
+            Mechanism::RefAb => "REFab",
+            Mechanism::RefPb => "REFpb",
+            Mechanism::Elastic => "Elastic",
+            Mechanism::Darp => "DARP",
+            Mechanism::DarpOooOnly => "DARP (OoO only)",
+            Mechanism::SarpAb => "SARPab",
+            Mechanism::SarpPb => "SARPpb",
+            Mechanism::Dsarp => "DSARP",
+            Mechanism::Fgr2x => "FGR 2x",
+            Mechanism::Fgr4x => "FGR 4x",
+            Mechanism::AdaptiveRefresh => "AR",
+            Mechanism::RefPbOverlapped => "REFpb-ovl",
+            Mechanism::DsarpOverlapped => "DSARP-ovl",
+        }
+    }
+}
+
+impl std::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsarp_dram::{Density, Retention};
+
+    #[test]
+    fn sarp_mapping_matches_paper_table() {
+        assert_eq!(Mechanism::RefAb.sarp_support(), SarpSupport::Disabled);
+        assert_eq!(Mechanism::SarpAb.sarp_support(), SarpSupport::Enabled);
+        assert_eq!(Mechanism::SarpPb.sarp_support(), SarpSupport::Enabled);
+        assert_eq!(Mechanism::Dsarp.sarp_support(), SarpSupport::Enabled);
+        assert_eq!(Mechanism::Darp.sarp_support(), SarpSupport::Disabled);
+        assert_eq!(Mechanism::DsarpOverlapped.sarp_support(), SarpSupport::Enabled);
+    }
+
+    #[test]
+    fn overlap_ways() {
+        assert_eq!(Mechanism::RefPb.refpb_overlap_ways(), 1);
+        assert_eq!(Mechanism::RefPbOverlapped.refpb_overlap_ways(), 4);
+        assert_eq!(Mechanism::DsarpOverlapped.refpb_overlap_ways(), 4);
+    }
+
+    #[test]
+    fn build_all_policies() {
+        let t = TimingParams::ddr3_1333(Density::G8, Retention::Ms32);
+        for m in [
+            Mechanism::NoRefresh,
+            Mechanism::RefAb,
+            Mechanism::RefPb,
+            Mechanism::Elastic,
+            Mechanism::Darp,
+            Mechanism::DarpOooOnly,
+            Mechanism::SarpAb,
+            Mechanism::SarpPb,
+            Mechanism::Dsarp,
+            Mechanism::Fgr2x,
+            Mechanism::Fgr4x,
+            Mechanism::AdaptiveRefresh,
+            Mechanism::RefPbOverlapped,
+            Mechanism::DsarpOverlapped,
+        ] {
+            let p = m.build_policy(2, 8, &t, 1);
+            assert!(!p.name().is_empty());
+            assert!(!m.label().is_empty());
+        }
+    }
+}

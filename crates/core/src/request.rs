@@ -1,0 +1,55 @@
+//! Demand requests as seen by the memory controller.
+
+use dsarp_dram::{Cycle, Location};
+use serde::{Deserialize, Serialize};
+
+/// One memory request (a cache-line read fill or an LLC writeback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique request id (reads: matched against [`crate::Completion`];
+    /// writes: informational).
+    pub id: u64,
+    /// Decoded DRAM location.
+    pub loc: Location,
+    /// `true` for writebacks.
+    pub is_write: bool,
+    /// Originating core (writebacks carry the evicting core for stats).
+    pub core: usize,
+    /// DRAM cycle the request entered the controller.
+    pub arrival: Cycle,
+}
+
+impl Request {
+    /// Creates a read (line-fill) request.
+    pub fn read(id: u64, loc: Location, core: usize, arrival: Cycle) -> Self {
+        Self { id, loc, is_write: false, core, arrival }
+    }
+
+    /// Creates a writeback request.
+    pub fn write(id: u64, loc: Location, core: usize, arrival: Cycle) -> Self {
+        Self { id, loc, is_write: true, core, arrival }
+    }
+
+    /// Whether this request targets the given (rank, bank).
+    pub fn targets_bank(&self, rank: usize, bank: usize) -> bool {
+        self.loc.rank == rank && self.loc.bank == bank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsarp_dram::Geometry;
+
+    #[test]
+    fn constructors_set_direction() {
+        let loc = Geometry::paper_default().decode(0x1234_0000);
+        let r = Request::read(1, loc, 3, 10);
+        let w = Request::write(2, loc, 3, 11);
+        assert!(!r.is_write);
+        assert!(w.is_write);
+        assert_eq!(r.core, 3);
+        assert!(r.targets_bank(loc.rank, loc.bank));
+        assert!(!r.targets_bank(loc.rank, loc.bank + 1));
+    }
+}

@@ -1,0 +1,455 @@
+//! The trace-driven core model: an in-order-retire instruction window with
+//! out-of-order completion of memory operations.
+//!
+//! Each CPU cycle the core retires up to `issue_width` finished instructions
+//! from the window head and inserts up to `issue_width` new ones from the
+//! trace. Loads occupy their slot until the memory hierarchy answers; when
+//! the window fills behind a stalled load — exactly what happens when a
+//! request sits behind a refreshing bank — the core stops retiring and IPC
+//! drops. This is the mechanism by which refresh latency becomes a system
+//! slowdown in the paper.
+
+use crate::mshr::{MshrTable, ReqToken};
+use crate::trace::{MemKind, TraceOp, TraceSource};
+use crate::{AccessResult, MemoryInterface};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Core shape parameters (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreParams {
+    /// Instructions issued and retired per cycle (3 in the paper).
+    pub issue_width: usize,
+    /// Instruction-window (ROB) capacity (128 in the paper).
+    pub window_size: usize,
+    /// MSHRs per core (8 in the paper).
+    pub mshrs: usize,
+    /// LLC hit latency in CPU cycles.
+    pub llc_hit_latency: u64,
+}
+
+impl CoreParams {
+    /// The paper's configuration: 3-wide, 128-entry window, 8 MSHRs.
+    pub fn paper_default() -> Self {
+        Self { issue_width: 3, window_size: 128, mshrs: 8, llc_hit_latency: 24 }
+    }
+}
+
+impl Default for CoreParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Aggregate per-core statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Instructions retired (bubbles + memory ops).
+    pub retired: u64,
+    /// CPU cycles elapsed.
+    pub cycles: u64,
+    /// Memory operations issued to the hierarchy.
+    pub mem_ops: u64,
+    /// Loads among them.
+    pub loads: u64,
+    /// Stores among them.
+    pub stores: u64,
+    /// Cycles in which issue stalled because all MSHRs were busy.
+    pub mshr_stall_cycles: u64,
+    /// Cycles in which issue stalled because the window was full.
+    pub window_stall_cycles: u64,
+    /// Cycles stalled because the memory system refused the request.
+    pub mem_busy_stall_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    DoneAt(u64),
+    WaitMem,
+}
+
+/// One simulated core. See the crate-level example.
+pub struct Core {
+    id: usize,
+    params: CoreParams,
+    trace: Box<dyn TraceSource>,
+    window: VecDeque<Slot>,
+    head_seq: u64,
+    next_seq: u64,
+    bubbles_left: u32,
+    staged: Option<TraceOp>,
+    mshrs: MshrTable,
+    last_load_seq: Option<u64>,
+    stats: CoreStats,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("id", &self.id)
+            .field("window_occupancy", &self.window.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Core {
+    /// Creates a core with the given id, parameters and instruction trace.
+    pub fn new(id: usize, params: CoreParams, trace: Box<dyn TraceSource>) -> Self {
+        Self {
+            id,
+            params,
+            trace,
+            window: VecDeque::with_capacity(params.window_size),
+            head_seq: 0,
+            next_seq: 0,
+            bubbles_left: 0,
+            staged: None,
+            mshrs: MshrTable::new(params.mshrs),
+            last_load_seq: None,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// This core's id (used when talking to the memory hierarchy).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Retired instructions.
+    pub fn retired(&self) -> u64 {
+        self.stats.retired
+    }
+
+    /// Elapsed CPU cycles.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Instructions per cycle so far.
+    pub fn ipc(&self) -> f64 {
+        if self.stats.cycles == 0 {
+            0.0
+        } else {
+            self.stats.retired as f64 / self.stats.cycles as f64
+        }
+    }
+
+    /// Current window occupancy (for tests and debugging).
+    pub fn window_occupancy(&self) -> usize {
+        self.window.len()
+    }
+
+    fn slot_done(&self, seq: u64, now: u64) -> bool {
+        if seq < self.head_seq {
+            return true; // already retired
+        }
+        match self.window[(seq - self.head_seq) as usize] {
+            Slot::DoneAt(t) => t <= now,
+            Slot::WaitMem => false,
+        }
+    }
+
+    /// Advances the core by one CPU cycle.
+    pub fn step(&mut self, mem: &mut dyn MemoryInterface) {
+        self.stats.cycles += 1;
+        let now = self.stats.cycles;
+
+        // Retire in order.
+        let mut retired = 0;
+        while retired < self.params.issue_width {
+            match self.window.front() {
+                Some(Slot::DoneAt(t)) if *t <= now => {
+                    self.window.pop_front();
+                    self.head_seq += 1;
+                    self.stats.retired += 1;
+                    retired += 1;
+                }
+                _ => break,
+            }
+        }
+
+        // Issue in order.
+        let mut issued = 0;
+        while issued < self.params.issue_width {
+            if self.window.len() >= self.params.window_size {
+                self.stats.window_stall_cycles += 1;
+                break;
+            }
+            if self.staged.is_none() && self.bubbles_left == 0 {
+                let op = self.trace.next_op();
+                self.bubbles_left = op.bubbles;
+                self.staged = Some(op);
+            }
+            if self.bubbles_left > 0 {
+                self.window.push_back(Slot::DoneAt(now));
+                self.next_seq += 1;
+                self.bubbles_left -= 1;
+                issued += 1;
+                continue;
+            }
+            let op = self.staged.expect("staged op present when bubbles are drained");
+
+            // Load-to-load dependence: wait for the previous load's data.
+            if op.dependent {
+                if let Some(seq) = self.last_load_seq {
+                    if !self.slot_done(seq, now) {
+                        break;
+                    }
+                }
+            }
+
+            let is_store = op.kind == MemKind::Store;
+            let line = op.addr & !63u64;
+            if self.mshrs.merge(line, (!is_store).then_some(self.next_seq)) {
+                self.commit_mem_op(op, if is_store { Slot::DoneAt(now) } else { Slot::WaitMem });
+                issued += 1;
+                continue;
+            }
+            if self.mshrs.is_full() {
+                self.stats.mshr_stall_cycles += 1;
+                break;
+            }
+            match mem.access(self.id, op.addr, is_store) {
+                AccessResult::Hit => {
+                    let slot = if is_store {
+                        Slot::DoneAt(now)
+                    } else {
+                        Slot::DoneAt(now + self.params.llc_hit_latency)
+                    };
+                    self.commit_mem_op(op, slot);
+                    issued += 1;
+                }
+                AccessResult::Miss(token) => {
+                    let ok =
+                        self.mshrs.allocate(line, token, (!is_store).then_some(self.next_seq));
+                    debug_assert!(ok, "allocate after is_full check cannot fail");
+                    self.commit_mem_op(op, if is_store { Slot::DoneAt(now) } else { Slot::WaitMem });
+                    issued += 1;
+                }
+                AccessResult::Busy => {
+                    self.stats.mem_busy_stall_cycles += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn commit_mem_op(&mut self, op: TraceOp, slot: Slot) {
+        if op.kind == MemKind::Load {
+            self.stats.loads += 1;
+            self.last_load_seq = Some(self.next_seq);
+        } else {
+            self.stats.stores += 1;
+        }
+        self.stats.mem_ops += 1;
+        self.window.push_back(slot);
+        self.next_seq += 1;
+        self.staged = None;
+    }
+
+    /// Delivers the data for request `token` (called by the system glue when
+    /// the memory controller completes a read).
+    pub fn complete(&mut self, token: ReqToken) {
+        let now = self.stats.cycles;
+        if let Some(waiters) = self.mshrs.complete(token) {
+            for seq in waiters {
+                debug_assert!(seq >= self.head_seq, "waiting slot cannot have retired");
+                let idx = (seq - self.head_seq) as usize;
+                self.window[idx] = Slot::DoneAt(now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CyclicTrace;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Memory that always misses and records tokens for manual completion.
+    struct Recorder {
+        next_token: ReqToken,
+        tokens: Rc<RefCell<Vec<ReqToken>>>,
+        busy: bool,
+    }
+
+    impl Recorder {
+        fn new() -> (Self, Rc<RefCell<Vec<ReqToken>>>) {
+            let tokens = Rc::new(RefCell::new(Vec::new()));
+            (Self { next_token: 1, tokens: Rc::clone(&tokens), busy: false }, tokens)
+        }
+    }
+
+    impl MemoryInterface for Recorder {
+        fn access(&mut self, _core: usize, _addr: u64, _store: bool) -> AccessResult {
+            if self.busy {
+                return AccessResult::Busy;
+            }
+            let t = self.next_token;
+            self.next_token += 1;
+            self.tokens.borrow_mut().push(t);
+            AccessResult::Miss(t)
+        }
+    }
+
+    struct AlwaysHit;
+    impl MemoryInterface for AlwaysHit {
+        fn access(&mut self, _c: usize, _a: u64, _s: bool) -> AccessResult {
+            AccessResult::Hit
+        }
+    }
+
+    fn load(addr: u64) -> TraceOp {
+        TraceOp { bubbles: 0, kind: MemKind::Load, addr, dependent: false }
+    }
+
+    #[test]
+    fn pure_compute_reaches_issue_width() {
+        let trace =
+            CyclicTrace::new(vec![TraceOp { bubbles: 1_000_000, ..load(0) }]);
+        let mut core = Core::new(0, CoreParams::paper_default(), Box::new(trace));
+        let mut mem = AlwaysHit;
+        for _ in 0..1_000 {
+            core.step(&mut mem);
+        }
+        assert!(core.ipc() > 2.9, "ipc = {}", core.ipc());
+    }
+
+    #[test]
+    fn llc_hits_pipeline_to_full_width() {
+        // Window 128 >> width * hit latency, so hits fully overlap.
+        let trace = CyclicTrace::new(vec![load(0)]);
+        let mut core = Core::new(0, CoreParams::paper_default(), Box::new(trace));
+        let mut mem = AlwaysHit;
+        for _ in 0..2_000 {
+            core.step(&mut mem);
+        }
+        assert!(core.ipc() > 2.8, "ipc = {}", core.ipc());
+    }
+
+    #[test]
+    fn mshr_exhaustion_stalls_issue() {
+        // Distinct lines so nothing merges; 8 MSHRs fill, then issue stops.
+        let ops: Vec<TraceOp> = (0..64).map(|i| load(i * 64)).collect();
+        let trace = CyclicTrace::new(ops);
+        let mut core = Core::new(0, CoreParams::paper_default(), Box::new(trace));
+        let (mut mem, tokens) = Recorder::new();
+        for _ in 0..100 {
+            core.step(&mut mem);
+        }
+        assert_eq!(tokens.borrow().len(), 8, "only 8 outstanding misses");
+        assert!(core.stats().mshr_stall_cycles > 0);
+        assert_eq!(core.retired(), 0, "loads never completed");
+    }
+
+    #[test]
+    fn completion_unblocks_and_retires_in_order() {
+        let ops: Vec<TraceOp> = (0..4).map(|i| load(i * 64)).collect();
+        let trace = CyclicTrace::new(ops);
+        let mut core = Core::new(0, CoreParams::paper_default(), Box::new(trace));
+        let (mut mem, tokens) = Recorder::new();
+        for _ in 0..10 {
+            core.step(&mut mem);
+        }
+        let toks = tokens.borrow().clone();
+        assert!(toks.len() >= 4);
+        // Complete the SECOND load only: nothing can retire (in-order head).
+        core.complete(toks[1]);
+        let before = core.retired();
+        core.step(&mut mem);
+        assert_eq!(core.retired(), before, "head still waiting");
+        // Complete the first: now both retire.
+        core.complete(toks[0]);
+        core.step(&mut mem);
+        assert!(core.retired() >= 2);
+    }
+
+    #[test]
+    fn same_line_misses_merge_into_one_request() {
+        let ops = vec![load(0x1000), load(0x1008), load(0x1010)];
+        let trace = CyclicTrace::new(ops);
+        let mut core = Core::new(0, CoreParams::paper_default(), Box::new(trace));
+        let (mut mem, tokens) = Recorder::new();
+        core.step(&mut mem);
+        assert_eq!(tokens.borrow().len(), 1, "same-line loads merged");
+        core.complete(tokens.borrow()[0]);
+        core.step(&mut mem);
+        core.step(&mut mem);
+        assert!(core.retired() >= 3);
+    }
+
+    #[test]
+    fn stores_do_not_block_retirement() {
+        let ops = vec![TraceOp { bubbles: 0, kind: MemKind::Store, addr: 0, dependent: false }];
+        let trace = CyclicTrace::new(ops);
+        // Small MSHR count: stores allocate MSHRs on miss, but retire anyway.
+        let params = CoreParams { mshrs: 2, ..CoreParams::paper_default() };
+        let mut core = Core::new(0, params, Box::new(trace));
+        let (mut mem, _tokens) = Recorder::new();
+        for _ in 0..10 {
+            core.step(&mut mem);
+        }
+        // First store misses and retires; later stores merge on the same
+        // line and retire too.
+        assert!(core.retired() >= 9, "retired = {}", core.retired());
+    }
+
+    #[test]
+    fn dependent_loads_serialize() {
+        let ops: Vec<TraceOp> = (0..8)
+            .map(|i| TraceOp { bubbles: 0, kind: MemKind::Load, addr: i * 64, dependent: true })
+            .collect();
+        let trace = CyclicTrace::new(ops);
+        let mut core = Core::new(0, CoreParams::paper_default(), Box::new(trace));
+        let (mut mem, tokens) = Recorder::new();
+        for _ in 0..50 {
+            core.step(&mut mem);
+        }
+        // Only the first dependent load can be outstanding.
+        assert_eq!(tokens.borrow().len(), 1);
+        core.complete(tokens.borrow()[0]);
+        for _ in 0..50 {
+            core.step(&mut mem);
+        }
+        assert_eq!(tokens.borrow().len(), 2, "one more after the first returns");
+    }
+
+    #[test]
+    fn busy_memory_stalls_and_retries() {
+        let trace = CyclicTrace::new(vec![load(0)]);
+        let mut core = Core::new(0, CoreParams::paper_default(), Box::new(trace));
+        let (mut mem, tokens) = Recorder::new();
+        mem.busy = true;
+        for _ in 0..5 {
+            core.step(&mut mem);
+        }
+        assert!(tokens.borrow().is_empty());
+        assert!(core.stats().mem_busy_stall_cycles >= 5);
+        mem.busy = false;
+        core.step(&mut mem);
+        assert_eq!(tokens.borrow().len(), 1, "request issued after backpressure clears");
+    }
+
+    #[test]
+    fn window_fills_behind_stalled_head() {
+        let ops = vec![load(0), TraceOp { bubbles: 1_000, ..load(64) }];
+        let trace = CyclicTrace::new(ops);
+        let mut core = Core::new(0, CoreParams::paper_default(), Box::new(trace));
+        let (mut mem, _tokens) = Recorder::new();
+        for _ in 0..200 {
+            core.step(&mut mem);
+        }
+        // Head load never completes; window fills with bubbles behind it.
+        assert_eq!(core.window_occupancy(), 128);
+        assert!(core.stats().window_stall_cycles > 0);
+        assert_eq!(core.retired(), 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Trace file I/O in the Ramulator CPU-trace text format.
+//!
+//! Each line is `<bubbles> <read-addr> [<write-addr>]`:
+//! `bubbles` non-memory instructions, then a load of `read-addr`; if a
+//! third column is present, a store to `write-addr` follows the load.
+//! Comment lines start with `#`. This lets the simulator consume traces
+//! captured elsewhere (or exchange its synthetic streams with Ramulator-
+//! based setups), instead of only statistical generators.
+
+use crate::trace::{MemKind, TraceOp, TraceSource};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and content).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Offending text.
+        text: String,
+    },
+    /// The file contained no trace entries.
+    Empty,
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceFileError::Parse { line, text } => {
+                write!(f, "malformed trace line {line}: `{text}`")
+            }
+            TraceFileError::Empty => write!(f, "trace file has no entries"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceFileError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+/// A trace loaded from a file, replayed cyclically (the standard convention
+/// for fixed-length trace files driving longer simulations).
+#[derive(Debug, Clone)]
+pub struct FileTrace {
+    ops: Vec<TraceOp>,
+    pos: usize,
+}
+
+fn parse_addr(tok: &str) -> Option<u64> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        tok.parse().ok()
+    }
+}
+
+impl FileTrace {
+    /// Parses a Ramulator-format trace from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError`] on I/O failures, malformed lines, or an
+    /// empty trace.
+    pub fn parse(reader: impl BufRead) -> Result<Self, TraceFileError> {
+        let mut ops = Vec::new();
+        for (i, line) in reader.lines().enumerate() {
+            let line = line?;
+            let text = line.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            let mut toks = text.split_whitespace();
+            let err = || TraceFileError::Parse { line: i + 1, text: text.to_string() };
+            let bubbles: u32 = toks.next().and_then(|t| t.parse().ok()).ok_or_else(err)?;
+            let rd = toks.next().and_then(parse_addr).ok_or_else(err)?;
+            ops.push(TraceOp { bubbles, kind: MemKind::Load, addr: rd, dependent: false });
+            if let Some(tok) = toks.next() {
+                let wr = parse_addr(tok).ok_or_else(err)?;
+                ops.push(TraceOp { bubbles: 0, kind: MemKind::Store, addr: wr, dependent: false });
+            }
+            if toks.next().is_some() {
+                return Err(err());
+            }
+        }
+        if ops.is_empty() {
+            return Err(TraceFileError::Empty);
+        }
+        Ok(Self { ops, pos: 0 })
+    }
+
+    /// Loads a trace file from disk.
+    ///
+    /// # Errors
+    ///
+    /// See [`FileTrace::parse`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
+        let f = std::fs::File::open(path)?;
+        Self::parse(std::io::BufReader::new(f))
+    }
+
+    /// Number of trace entries (stores count separately).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty (never true for a parsed trace).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl TraceSource for FileTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+}
+
+/// Writes `n` entries of any [`TraceSource`] in the Ramulator text format
+/// (stores are attached to the preceding load line when adjacent, matching
+/// the format's two-address convention; standalone stores get a zero-bubble
+/// load line of their own address first).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn export(
+    source: &mut dyn TraceSource,
+    n: usize,
+    mut out: impl Write,
+) -> std::io::Result<()> {
+    writeln!(out, "# dsarp trace export, Ramulator CPU format: bubbles rd_addr [wr_addr]")?;
+    let mut i = 0;
+    while i < n {
+        let op = source.next_op();
+        i += 1;
+        match op.kind {
+            MemKind::Load => writeln!(out, "{} 0x{:x}", op.bubbles, op.addr)?,
+            MemKind::Store => writeln!(out, "{} 0x{:x} 0x{:x}", op.bubbles, op.addr, op.addr)?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_loads_and_stores() {
+        let text = "# comment\n3 0x1000\n0 4096 0x2000\n\n7 0x40\n";
+        let t = FileTrace::parse(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(t.len(), 4); // 3 loads + 1 store
+        let mut t = t;
+        let a = t.next_op();
+        assert_eq!((a.bubbles, a.addr, a.kind), (3, 0x1000, MemKind::Load));
+        let b = t.next_op();
+        assert_eq!((b.bubbles, b.addr, b.kind), (0, 4096, MemKind::Load));
+        let c = t.next_op();
+        assert_eq!((c.bubbles, c.addr, c.kind), (0, 0x2000, MemKind::Store));
+        let d = t.next_op();
+        assert_eq!(d.addr, 0x40);
+        // Wraps around.
+        assert_eq!(t.next_op().addr, 0x1000);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["xyz 0x10", "3", "1 0x10 0x20 0x30", "1 zz"] {
+            let e = FileTrace::parse(std::io::Cursor::new(bad)).unwrap_err();
+            assert!(matches!(e, TraceFileError::Parse { line: 1, .. }), "{bad}: {e}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let e = FileTrace::parse(std::io::Cursor::new("# only comments\n")).unwrap_err();
+        assert!(matches!(e, TraceFileError::Empty));
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let ops = vec![
+            TraceOp { bubbles: 5, kind: MemKind::Load, addr: 0x100, dependent: false },
+            TraceOp { bubbles: 2, kind: MemKind::Store, addr: 0x200, dependent: false },
+        ];
+        let mut src = crate::trace::CyclicTrace::new(ops);
+        let mut buf = Vec::new();
+        export(&mut src, 2, &mut buf).unwrap();
+        let mut t = FileTrace::parse(std::io::Cursor::new(buf)).unwrap();
+        let a = t.next_op();
+        assert_eq!((a.bubbles, a.addr, a.kind), (5, 0x100, MemKind::Load));
+        // The standalone store became a load+store pair at the same line.
+        let b = t.next_op();
+        assert_eq!((b.addr, b.kind), (0x200, MemKind::Load));
+        let c = t.next_op();
+        assert_eq!((c.addr, c.kind), (0x200, MemKind::Store));
+    }
+
+    #[test]
+    fn load_from_disk() {
+        let dir = std::env::temp_dir().join("dsarp_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        std::fs::write(&path, "1 0x40\n2 0x80 0xc0\n").unwrap();
+        let t = FileTrace::load(&path).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(FileTrace::load(dir.join("missing.trace")).is_err());
+    }
+}

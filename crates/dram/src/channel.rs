@@ -1,0 +1,700 @@
+//! The DRAM channel: command validation, timing enforcement, and state
+//! updates for one channel's ranks, banks and subarrays.
+//!
+//! This is the device-side contract: the memory controller may call
+//! [`DramChannel::can_issue`] freely and must only call
+//! [`DramChannel::issue`] with commands that are legal *this cycle*; `issue`
+//! re-validates everything and returns an [`IssueError`] otherwise, so any
+//! scheduler bug surfaces immediately instead of corrupting timing state.
+
+use crate::command::Command;
+use crate::geometry::Geometry;
+use crate::power::EnergyCounters;
+use crate::rank::Rank;
+use crate::refresh::RefreshUnit;
+use crate::retention::RetentionTracker;
+use crate::sarp::{sarp_inflation, RefreshScope, SarpSupport};
+use crate::timing::{FgrMode, TimingParams};
+use crate::{Cycle, IddValues};
+
+/// Why a command cannot issue right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueError {
+    /// Rank or bank index out of range, or column out of range.
+    BadAddress,
+    /// A second command was issued in the same cycle (command bus conflict).
+    CommandBusBusy,
+    /// The command needs a precharged bank but a row is open.
+    BankNotClosed,
+    /// The command needs an open row but the bank is precharged.
+    NoOpenRow,
+    /// A whole-bank or whole-rank refresh is occupying the target.
+    RefreshBusy,
+    /// A `REFpb` is already in flight in the rank (JEDEC no-overlap rule).
+    RefpbOverlap,
+    /// SARP: the target row lives in the subarray currently being refreshed.
+    SubarrayConflict,
+    /// A timing constraint is unsatisfied at this cycle.
+    TooEarly,
+}
+
+impl std::fmt::Display for IssueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            IssueError::BadAddress => "address out of range",
+            IssueError::CommandBusBusy => "command bus already used this cycle",
+            IssueError::BankNotClosed => "bank has an open row",
+            IssueError::NoOpenRow => "bank has no open row",
+            IssueError::RefreshBusy => "target is refreshing",
+            IssueError::RefpbOverlap => "a REFpb is already in flight in this rank",
+            IssueError::SubarrayConflict => "row is in the refreshing subarray",
+            IssueError::TooEarly => "timing constraint unsatisfied",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for IssueError {}
+
+/// Result of a successfully issued command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Receipt {
+    /// For reads: the cycle the full cache line has been returned.
+    pub data_ready: Option<Cycle>,
+    /// For refreshes: the cycle the refresh completes.
+    pub refresh_done: Option<Cycle>,
+}
+
+/// One DRAM channel with its ranks, banks, refresh unit, and energy/retention
+/// bookkeeping. See the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct DramChannel {
+    geom: Geometry,
+    timing: TimingParams,
+    sarp: SarpSupport,
+    ranks: Vec<Rank>,
+    /// Channel-level earliest next read / write column command (data bus +
+    /// turnaround constraints).
+    next_rd: Cycle,
+    next_wr: Cycle,
+    refresh_unit: RefreshUnit,
+    energy: EnergyCounters,
+    retention: Option<RetentionTracker>,
+    last_issue: Option<Cycle>,
+    log: Option<Vec<(Cycle, Command)>>,
+    idd: IddValues,
+    /// When `false`, SARP's tFAW/tRRD inflation (Eq. 1-3) is disabled —
+    /// an *ablation* switch quantifying the power-integrity throttle's cost
+    /// (a real device must keep it on).
+    power_throttle: bool,
+}
+
+impl DramChannel {
+    /// Creates a channel in the reset state (all banks precharged).
+    pub fn new(geom: Geometry, timing: TimingParams, sarp: SarpSupport) -> Self {
+        let ranks = (0..geom.ranks_per_channel())
+            .map(|_| Rank::new(geom.banks_per_rank()))
+            .collect();
+        Self {
+            ranks,
+            next_rd: 0,
+            next_wr: 0,
+            refresh_unit: RefreshUnit::new(&geom),
+            energy: EnergyCounters::new(geom.ranks_per_channel()),
+            retention: None,
+            last_issue: None,
+            log: None,
+            idd: IddValues::micron_8gb_ddr3_1333(),
+            power_throttle: true,
+            geom,
+            timing,
+            sarp,
+        }
+    }
+
+    /// Disables SARP's tFAW/tRRD power-integrity inflation (ablation only;
+    /// see the field docs).
+    pub fn disable_power_throttle(&mut self) {
+        self.power_throttle = false;
+    }
+
+    /// Enables the paper's footnote-5 extension: up to `ways` per-bank
+    /// refreshes may overlap within a rank (the JEDEC standard fixes this
+    /// at 1). A real device would also need new current-budget timing
+    /// constraints; the model keeps tRRD/tFAW accounting per refresh, which
+    /// rate-limits the overlap the same way back-to-back ACTs are limited.
+    pub fn set_refpb_overlap_ways(&mut self, ways: usize) {
+        for r in &mut self.ranks {
+            r.set_max_refpb(ways);
+        }
+    }
+
+    /// Enables retention-integrity tracking (used by tests; off by default
+    /// because it allocates one slot per refresh group).
+    pub fn enable_retention_tracking(&mut self) {
+        self.retention = Some(RetentionTracker::new(&self.geom));
+    }
+
+    /// Enables the command log (used by the timeline examples).
+    pub fn enable_command_log(&mut self) {
+        self.log = Some(Vec::new());
+    }
+
+    /// Drains and returns the command log (empty if logging is disabled).
+    pub fn take_command_log(&mut self) -> Vec<(Cycle, Command)> {
+        self.log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// The channel's geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// The channel's timing parameters.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Whether the device supports SARP.
+    pub fn sarp_support(&self) -> SarpSupport {
+        self.sarp
+    }
+
+    /// Immutable access to a rank.
+    pub fn rank(&self, idx: usize) -> &Rank {
+        &self.ranks[idx]
+    }
+
+    /// The in-DRAM round-robin refresh counter for `rank` (what a baseline
+    /// LPDDR device would refresh next).
+    pub fn next_rr_bank(&self, rank: usize) -> usize {
+        self.refresh_unit.next_rr_bank(rank)
+    }
+
+    /// The subarray currently being refreshed in (rank, bank) under SARP, or
+    /// `None` when no SARP refresh is in flight there.
+    pub fn refreshing_subarray(&self, rank: usize, bank: usize, now: Cycle) -> Option<usize> {
+        self.ranks[rank].bank(bank).sarp_refresh(now).map(|r| r.subarray)
+    }
+
+    /// Whether (rank, bank) is unavailable due to a blocking refresh.
+    pub fn bank_refresh_busy(&self, rank: usize, bank: usize, now: Cycle) -> bool {
+        self.ranks[rank].bank(bank).is_refresh_busy(now) || self.ranks[rank].is_refab_busy(now)
+    }
+
+    /// Energy counters accumulated so far.
+    pub fn energy_counters(&self) -> &EnergyCounters {
+        &self.energy
+    }
+
+    /// Retention tracker, if enabled.
+    pub fn retention_tracker(&self) -> Option<&RetentionTracker> {
+        self.retention.as_ref()
+    }
+
+    /// Finalizes background-energy accounting at the end of a run.
+    pub fn finalize_energy(&mut self, now: Cycle) {
+        self.energy.finalize(now);
+    }
+
+    /// Whether `cmd` may issue at `now`.
+    pub fn can_issue(&self, cmd: &Command, now: Cycle) -> bool {
+        self.check(cmd, now).is_ok()
+    }
+
+    /// Validates `cmd` at `now` without issuing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule; see [`IssueError`].
+    pub fn check(&self, cmd: &Command, now: Cycle) -> Result<(), IssueError> {
+        if self.last_issue == Some(now) {
+            return Err(IssueError::CommandBusBusy);
+        }
+        let rank_idx = cmd.rank();
+        if rank_idx >= self.ranks.len() {
+            return Err(IssueError::BadAddress);
+        }
+        let rank = &self.ranks[rank_idx];
+        if let Some(b) = cmd.bank() {
+            if b >= rank.num_banks() {
+                return Err(IssueError::BadAddress);
+            }
+        }
+        match *cmd {
+            Command::Activate { bank, row, .. } => {
+                if row as usize >= self.geom.rows_per_bank() {
+                    return Err(IssueError::BadAddress);
+                }
+                let b = rank.bank(bank);
+                if rank.is_refab_busy(now) || b.is_refresh_busy(now) {
+                    return Err(IssueError::RefreshBusy);
+                }
+                if !b.is_closed() {
+                    return Err(IssueError::BankNotClosed);
+                }
+                if let Some(r) = b.sarp_refresh(now) {
+                    debug_assert!(self.sarp.is_enabled());
+                    if self.geom.subarray_of_row(row) == r.subarray {
+                        return Err(IssueError::SubarrayConflict);
+                    }
+                }
+                if now < b.next_act() || now < rank.next_act_allowed(now, &self.timing) {
+                    return Err(IssueError::TooEarly);
+                }
+                Ok(())
+            }
+            Command::Precharge { bank, .. } => {
+                let b = rank.bank(bank);
+                if rank.is_refab_busy(now) || b.is_refresh_busy(now) {
+                    return Err(IssueError::RefreshBusy);
+                }
+                if b.is_closed() {
+                    return Err(IssueError::NoOpenRow);
+                }
+                if now < b.next_pre() {
+                    return Err(IssueError::TooEarly);
+                }
+                Ok(())
+            }
+            Command::PrechargeAll { .. } => {
+                if rank.is_refab_busy(now) {
+                    return Err(IssueError::RefreshBusy);
+                }
+                for b in rank.banks() {
+                    if !b.is_closed() && now < b.next_pre() {
+                        return Err(IssueError::TooEarly);
+                    }
+                }
+                Ok(())
+            }
+            Command::Read { bank, col, .. } | Command::Write { bank, col, .. } => {
+                if col as usize >= self.geom.cols_per_row() {
+                    return Err(IssueError::BadAddress);
+                }
+                let b = rank.bank(bank);
+                if rank.is_refab_busy(now) || b.is_refresh_busy(now) {
+                    return Err(IssueError::RefreshBusy);
+                }
+                if b.is_closed() {
+                    return Err(IssueError::NoOpenRow);
+                }
+                if now < b.next_col() {
+                    return Err(IssueError::TooEarly);
+                }
+                let bus = if matches!(cmd, Command::Read { .. }) {
+                    self.next_rd
+                } else {
+                    self.next_wr
+                };
+                if now < bus {
+                    return Err(IssueError::TooEarly);
+                }
+                Ok(())
+            }
+            Command::RefreshAllBank { .. } => {
+                if rank.is_refab_busy(now) || rank.is_refpb_busy(now) {
+                    return Err(IssueError::RefpbOverlap);
+                }
+                if !rank.all_banks_closed() {
+                    return Err(IssueError::BankNotClosed);
+                }
+                for b in rank.banks() {
+                    if b.is_refresh_busy(now) {
+                        return Err(IssueError::RefreshBusy);
+                    }
+                    if b.sarp_refresh(now).is_some() {
+                        return Err(IssueError::RefreshBusy);
+                    }
+                    if now < b.next_act() {
+                        return Err(IssueError::TooEarly);
+                    }
+                }
+                if now < rank.next_act_allowed(now, &self.timing) {
+                    return Err(IssueError::TooEarly);
+                }
+                Ok(())
+            }
+            Command::RefreshPerBank { bank, .. } => {
+                let b = rank.bank(bank);
+                if rank.is_refab_busy(now) {
+                    return Err(IssueError::RefreshBusy);
+                }
+                if rank.is_refpb_busy(now) {
+                    return Err(IssueError::RefpbOverlap);
+                }
+                if b.is_refresh_busy(now) || b.sarp_refresh(now).is_some() {
+                    return Err(IssueError::RefreshBusy);
+                }
+                if !b.is_closed() {
+                    return Err(IssueError::BankNotClosed);
+                }
+                if now < b.next_act() || now < rank.next_act_allowed(now, &self.timing) {
+                    return Err(IssueError::TooEarly);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Issues `cmd` at `now`, updating all device state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DramChannel::check`]; on error no state changes.
+    pub fn issue(&mut self, cmd: Command, now: Cycle) -> Result<Receipt, IssueError> {
+        self.check(&cmd, now)?;
+        self.last_issue = Some(now);
+        if let Some(log) = &mut self.log {
+            log.push((now, cmd));
+        }
+        let timing = self.timing;
+        let mut receipt = Receipt { data_ready: None, refresh_done: None };
+        match cmd {
+            Command::Activate { rank, bank, row } => {
+                let was_all_closed = self.ranks[rank].all_banks_closed();
+                self.ranks[rank].bank_mut(bank).do_activate(now, row, &timing);
+                self.ranks[rank].record_act(now);
+                self.energy.record_act();
+                if was_all_closed {
+                    self.energy.rank_goes_active(rank, now);
+                }
+            }
+            Command::Precharge { rank, bank } => {
+                self.ranks[rank].bank_mut(bank).do_precharge(now, &timing);
+                if self.ranks[rank].all_banks_closed() {
+                    self.energy.rank_goes_idle(rank, now);
+                }
+            }
+            Command::PrechargeAll { rank } => {
+                let open: Vec<usize> = (0..self.ranks[rank].num_banks())
+                    .filter(|&b| !self.ranks[rank].bank(b).is_closed())
+                    .collect();
+                for b in open {
+                    self.ranks[rank].bank_mut(b).do_precharge(now, &timing);
+                }
+                self.energy.rank_goes_idle(rank, now);
+            }
+            Command::Read { rank, bank, auto_precharge, .. } => {
+                self.next_rd = now + timing.ccd;
+                self.next_wr = self.next_wr.max(now + timing.rtw());
+                self.ranks[rank].bank_mut(bank).do_column(
+                    now + timing.rtp,
+                    auto_precharge,
+                    &timing,
+                );
+                self.energy.record_read();
+                receipt.data_ready = Some(timing.read_done(now));
+                if auto_precharge && self.ranks[rank].all_banks_closed() {
+                    self.energy.rank_goes_idle(rank, now);
+                }
+            }
+            Command::Write { rank, bank, auto_precharge, .. } => {
+                self.next_wr = now + timing.ccd;
+                self.next_rd = self.next_rd.max(now + timing.cwl + timing.bl + timing.wtr);
+                self.ranks[rank].bank_mut(bank).do_column(
+                    now + timing.cwl + timing.bl + timing.wr,
+                    auto_precharge,
+                    &timing,
+                );
+                self.energy.record_write();
+                if auto_precharge && self.ranks[rank].all_banks_closed() {
+                    self.energy.rank_goes_idle(rank, now);
+                }
+            }
+            Command::RefreshAllBank { rank, fgr } => {
+                receipt.refresh_done = Some(self.apply_refab(rank, fgr, now));
+            }
+            Command::RefreshPerBank { rank, bank } => {
+                receipt.refresh_done = Some(self.apply_refpb(rank, bank, now));
+            }
+        }
+        Ok(receipt)
+    }
+
+    fn apply_refab(&mut self, rank: usize, fgr: FgrMode, now: Cycle) -> Cycle {
+        let rfc = self.timing.rfc_ab_for(fgr);
+        let done = now + rfc;
+        let rows = self.refresh_unit.rows_per_command(fgr);
+        let rows_per_bank = self.refresh_unit.rows_per_bank();
+        let num_banks = self.ranks[rank].num_banks();
+        if self.sarp.is_enabled() {
+            let factor = if self.power_throttle {
+                sarp_inflation(&self.idd, RefreshScope::AllBank)
+            } else {
+                1.0
+            };
+            self.ranks[rank].start_sarp_window(done, factor);
+            for b in 0..num_banks {
+                let first = self.ranks[rank].bank_mut(b).advance_ref_counter(rows, rows_per_bank);
+                let sub = self.geom.subarray_of_row(first);
+                self.ranks[rank].bank_mut(b).do_refresh_sarp(sub, done);
+                if let Some(rt) = &mut self.retention {
+                    rt.record(rank, b, first, rows, now);
+                }
+            }
+        } else {
+            self.ranks[rank].start_refab_blocking(done);
+            for b in 0..num_banks {
+                let first = self.ranks[rank].bank_mut(b).advance_ref_counter(rows, rows_per_bank);
+                self.ranks[rank].bank_mut(b).do_refresh_blocking(done);
+                if let Some(rt) = &mut self.retention {
+                    rt.record(rank, b, first, rows, now);
+                }
+            }
+        }
+        self.energy.record_refab(rfc);
+        done
+    }
+
+    fn apply_refpb(&mut self, rank: usize, bank: usize, now: Cycle) -> Cycle {
+        let done = now + self.timing.rfc_pb;
+        let rows = self.refresh_unit.rows_per_command(FgrMode::X1);
+        let rows_per_bank = self.refresh_unit.rows_per_bank();
+        let first = self.ranks[rank].bank_mut(bank).advance_ref_counter(rows, rows_per_bank);
+        if self.sarp.is_enabled() {
+            let factor = if self.power_throttle {
+                sarp_inflation(&self.idd, RefreshScope::PerBank)
+            } else {
+                1.0
+            };
+            let sub = self.geom.subarray_of_row(first);
+            self.ranks[rank].bank_mut(bank).do_refresh_sarp(sub, done);
+            self.ranks[rank].start_sarp_window(done, factor);
+        } else {
+            self.ranks[rank].bank_mut(bank).do_refresh_blocking(done);
+        }
+        // The (possibly relaxed) overlap rule and the internal-activation
+        // rate cost apply either way (§4.2.3, footnote 5).
+        self.ranks[rank].start_refpb(now, done);
+        self.ranks[rank].record_act(now);
+        self.refresh_unit.advance_rr(rank);
+        if let Some(rt) = &mut self.retention {
+            rt.record(rank, bank, first, rows, now);
+        }
+        self.energy.record_refpb(self.timing.rfc_pb);
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Density, Retention};
+
+    fn chan(sarp: SarpSupport) -> DramChannel {
+        DramChannel::new(
+            Geometry::paper_default(),
+            TimingParams::ddr3_1333(Density::G8, Retention::Ms32),
+            sarp,
+        )
+    }
+
+    fn act(rank: usize, bank: usize, row: u32) -> Command {
+        Command::Activate { rank, bank, row }
+    }
+
+    #[test]
+    fn activate_then_read_respects_trcd() {
+        let mut c = chan(SarpSupport::Disabled);
+        c.issue(act(0, 0, 5), 0).unwrap();
+        let rd = Command::Read { rank: 0, bank: 0, col: 0, auto_precharge: false };
+        assert_eq!(c.check(&rd, 8), Err(IssueError::TooEarly));
+        let r = c.issue(rd, 9).unwrap();
+        assert_eq!(r.data_ready, Some(9 + 9 + 4));
+    }
+
+    #[test]
+    fn read_before_activate_is_illegal() {
+        let c = chan(SarpSupport::Disabled);
+        let rd = Command::Read { rank: 0, bank: 0, col: 0, auto_precharge: false };
+        assert_eq!(c.check(&rd, 100), Err(IssueError::NoOpenRow));
+    }
+
+    #[test]
+    fn double_activate_is_illegal() {
+        let mut c = chan(SarpSupport::Disabled);
+        c.issue(act(0, 0, 5), 0).unwrap();
+        assert_eq!(c.check(&act(0, 0, 6), 50), Err(IssueError::BankNotClosed));
+    }
+
+    #[test]
+    fn command_bus_allows_one_command_per_cycle() {
+        let mut c = chan(SarpSupport::Disabled);
+        c.issue(act(0, 0, 5), 10).unwrap();
+        assert_eq!(c.check(&act(0, 1, 5), 10), Err(IssueError::CommandBusBusy));
+        assert!(c.can_issue(&act(0, 1, 5), 14));
+    }
+
+    #[test]
+    fn trrd_spaces_cross_bank_activates() {
+        let mut c = chan(SarpSupport::Disabled);
+        c.issue(act(0, 0, 5), 0).unwrap();
+        assert_eq!(c.check(&act(0, 1, 5), 3), Err(IssueError::TooEarly));
+        c.issue(act(0, 1, 5), 4).unwrap();
+        // Different rank: tRRD does not apply.
+        c.issue(act(1, 0, 5), 5).unwrap();
+    }
+
+    #[test]
+    fn tfaw_blocks_fifth_activate() {
+        let mut c = chan(SarpSupport::Disabled);
+        let t = *c.timing();
+        for (i, b) in [0usize, 1, 2, 3].iter().enumerate() {
+            c.issue(act(0, *b, 1), i as u64 * t.rrd).unwrap();
+        }
+        assert_eq!(c.check(&act(0, 4, 1), 16), Err(IssueError::TooEarly));
+        c.issue(act(0, 4, 1), t.faw).unwrap();
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let mut c = chan(SarpSupport::Disabled);
+        let t = *c.timing();
+        c.issue(act(0, 0, 1), 0).unwrap();
+        c.issue(act(0, 1, 1), t.rrd).unwrap();
+        let wr = Command::Write { rank: 0, bank: 0, col: 0, auto_precharge: false };
+        c.issue(wr, t.rcd).unwrap();
+        let rd = Command::Read { rank: 0, bank: 1, col: 0, auto_precharge: false };
+        let earliest = t.rcd + t.cwl + t.bl + t.wtr;
+        assert_eq!(c.check(&rd, earliest - 1), Err(IssueError::TooEarly));
+        assert!(c.can_issue(&rd, earliest));
+    }
+
+    #[test]
+    fn refab_requires_all_banks_closed() {
+        let mut c = chan(SarpSupport::Disabled);
+        c.issue(act(0, 3, 9), 0).unwrap();
+        let refab = Command::RefreshAllBank { rank: 0, fgr: FgrMode::X1 };
+        assert_eq!(c.check(&refab, 100), Err(IssueError::BankNotClosed));
+        c.issue(Command::PrechargeAll { rank: 0 }, 24).unwrap();
+        // tRP after precharge.
+        assert_eq!(c.check(&refab, 30), Err(IssueError::TooEarly));
+        let r = c.issue(refab, 40).unwrap();
+        assert_eq!(r.refresh_done, Some(40 + c.timing().rfc_ab));
+    }
+
+    #[test]
+    fn refab_blocks_whole_rank_without_sarp() {
+        let mut c = chan(SarpSupport::Disabled);
+        let refab = Command::RefreshAllBank { rank: 0, fgr: FgrMode::X1 };
+        c.issue(refab, 0).unwrap();
+        let rfc = c.timing().rfc_ab;
+        assert_eq!(c.check(&act(0, 0, 1), rfc - 1), Err(IssueError::RefreshBusy));
+        assert!(c.can_issue(&act(0, 0, 1), rfc));
+        // Other rank unaffected.
+        assert!(c.can_issue(&act(1, 0, 1), 5));
+    }
+
+    #[test]
+    fn refpb_blocks_only_its_bank_without_sarp() {
+        let mut c = chan(SarpSupport::Disabled);
+        c.issue(Command::RefreshPerBank { rank: 0, bank: 2 }, 0).unwrap();
+        let rfc_pb = c.timing().rfc_pb;
+        assert_eq!(c.check(&act(0, 2, 1), rfc_pb - 1), Err(IssueError::RefreshBusy));
+        // Another bank in the same rank is accessible (after tRRD, since a
+        // refresh is internally an activation).
+        assert!(c.can_issue(&act(0, 3, 1), c.timing().rrd));
+    }
+
+    #[test]
+    fn refpb_no_overlap_within_rank() {
+        let mut c = chan(SarpSupport::Disabled);
+        c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, 0).unwrap();
+        let next = Command::RefreshPerBank { rank: 0, bank: 1 };
+        assert_eq!(c.check(&next, c.timing().rrd), Err(IssueError::RefpbOverlap));
+        assert!(c.can_issue(&next, c.timing().rfc_pb));
+        // A REFpb in the *other* rank may overlap freely.
+        assert!(c.can_issue(&Command::RefreshPerBank { rank: 1, bank: 0 }, 4));
+    }
+
+    #[test]
+    fn sarp_allows_access_to_other_subarray_during_refpb() {
+        let mut c = chan(SarpSupport::Enabled);
+        c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, 0).unwrap();
+        // Bank 0 is refreshing subarray 0 (counter starts at row 0).
+        assert_eq!(c.refreshing_subarray(0, 0, 1), Some(0));
+        // Row in subarray 0 conflicts...
+        let conflict = act(0, 0, 5);
+        let inflated_rrd = c.rank(0).effective_rrd(5, c.timing());
+        assert_eq!(c.check(&conflict, inflated_rrd), Err(IssueError::SubarrayConflict));
+        // ...but a row in subarray 1 is accessible while refreshing.
+        let ok = act(0, 0, 8_192);
+        assert!(c.can_issue(&ok, inflated_rrd));
+        c.issue(ok, inflated_rrd).unwrap();
+    }
+
+    #[test]
+    fn sarp_inflates_trrd_during_refresh_only() {
+        let mut c = chan(SarpSupport::Enabled);
+        let t = *c.timing();
+        c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, 0).unwrap();
+        // Effective tRRD = ceil(4 * 1.1375) = 5 during the refresh.
+        assert_eq!(c.check(&act(0, 1, 0), t.rrd), Err(IssueError::TooEarly));
+        assert!(c.can_issue(&act(0, 1, 0), 5));
+        // After the refresh completes, nominal tRRD applies again.
+        let after = t.rfc_pb + 10;
+        let mut c2 = c.clone();
+        c2.issue(act(0, 1, 0), after).unwrap();
+        assert!(c2.can_issue(&act(0, 2, 0), after + t.rrd));
+    }
+
+    #[test]
+    fn sarp_allbank_refresh_keeps_rank_accessible() {
+        let mut c = chan(SarpSupport::Enabled);
+        c.issue(Command::RefreshAllBank { rank: 0, fgr: FgrMode::X1 }, 0).unwrap();
+        // Every bank refreshes subarray 0; rows in other subarrays work.
+        let inflated_rrd = c.rank(0).effective_rrd(0, c.timing());
+        assert!(inflated_rrd >= 8, "2.1x inflation expected, got {inflated_rrd}");
+        assert_eq!(c.check(&act(0, 0, 0), inflated_rrd), Err(IssueError::SubarrayConflict));
+        assert!(c.can_issue(&act(0, 0, 8_192), inflated_rrd));
+    }
+
+    #[test]
+    fn refresh_advances_row_counters_and_subarray() {
+        let mut c = chan(SarpSupport::Enabled);
+        let mut t = 0;
+        // 1024 REFpb commands cover subarray 0 (8192 rows / 8 rows each).
+        for _ in 0..1024 {
+            c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, t).unwrap();
+            t += c.timing().rfc_pb;
+        }
+        c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, t).unwrap();
+        assert_eq!(c.refreshing_subarray(0, 0, t + 1), Some(1));
+    }
+
+    #[test]
+    fn command_log_records_issues() {
+        let mut c = chan(SarpSupport::Disabled);
+        c.enable_command_log();
+        c.issue(act(0, 0, 5), 0).unwrap();
+        c.issue(Command::Read { rank: 0, bank: 0, col: 1, auto_precharge: true }, 9).unwrap();
+        let log = c.take_command_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].0, 0);
+        assert_eq!(log[1].1.mnemonic(), "RDA");
+    }
+
+    #[test]
+    fn bad_addresses_are_rejected() {
+        let c = chan(SarpSupport::Disabled);
+        assert_eq!(c.check(&act(9, 0, 0), 0), Err(IssueError::BadAddress));
+        assert_eq!(c.check(&act(0, 99, 0), 0), Err(IssueError::BadAddress));
+        assert_eq!(c.check(&act(0, 0, 1 << 20), 0), Err(IssueError::BadAddress));
+        let rd = Command::Read { rank: 0, bank: 0, col: 400, auto_precharge: false };
+        assert_eq!(c.check(&rd, 0), Err(IssueError::BadAddress));
+    }
+
+    #[test]
+    fn auto_precharge_enables_next_activate_after_ras_rp() {
+        let mut c = chan(SarpSupport::Disabled);
+        let t = *c.timing();
+        c.issue(act(0, 0, 1), 0).unwrap();
+        c.issue(Command::Read { rank: 0, bank: 0, col: 0, auto_precharge: true }, t.rcd)
+            .unwrap();
+        // Row closed by auto-precharge; re-activate after tRAS+tRP (>= tRC).
+        let ready = (t.ras + t.rp).max(t.rc);
+        assert_eq!(c.check(&act(0, 0, 2), ready - 1), Err(IssueError::TooEarly));
+        assert!(c.can_issue(&act(0, 0, 2), ready));
+    }
+}

@@ -1,0 +1,260 @@
+//! Per-rank state: activation-rate limits (`tRRD`, `tFAW`) with SARP
+//! power-integrity inflation, refresh occupancy, and bank aggregation.
+
+use crate::bank::Bank;
+use crate::{Cycle, TimingParams};
+use serde::{Deserialize, Serialize};
+
+/// Rank-level state: the banks plus rank-scoped timing constraints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rank {
+    banks: Vec<Bank>,
+    /// Timestamps of recent activations (refreshes count too), newest last.
+    /// Only the last 4 matter for `tFAW`; the last one for `tRRD`.
+    act_history: [Cycle; 4],
+    act_count: u64,
+    /// In-flight `REFpb` completion deadlines. The JEDEC LPDDR3 standard
+    /// allows exactly one (`max_refpb` = 1); the paper's footnote 5 sketches
+    /// a modified standard allowing a subset of banks to overlap, modeled by
+    /// `max_refpb` > 1.
+    refpb_deadlines: Vec<Cycle>,
+    /// Concurrent `REFpb` limit (1 = JEDEC behaviour).
+    max_refpb: usize,
+    /// Whole-rank `REFab` busy window (non-SARP all-bank refresh).
+    refab_until: Cycle,
+    /// SARP inflation window: while `now < sarp_until`, effective
+    /// `tRRD`/`tFAW` are multiplied by `sarp_factor`.
+    sarp_until: Cycle,
+    sarp_factor: f64,
+}
+
+impl Rank {
+    /// Creates a rank with `banks` precharged banks.
+    pub fn new(banks: usize) -> Self {
+        Self {
+            banks: (0..banks).map(|_| Bank::new()).collect(),
+            act_history: [Cycle::MIN; 4],
+            act_count: 0,
+            refpb_deadlines: Vec::new(),
+            max_refpb: 1,
+            refab_until: 0,
+            sarp_until: 0,
+            sarp_factor: 1.0,
+        }
+    }
+
+    /// Immutable access to a bank.
+    pub fn bank(&self, idx: usize) -> &Bank {
+        &self.banks[idx]
+    }
+
+    /// Mutable access to a bank (crate-internal; the channel drives it).
+    pub(crate) fn bank_mut(&mut self, idx: usize) -> &mut Bank {
+        &mut self.banks[idx]
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Iterator over banks.
+    pub fn banks(&self) -> impl Iterator<Item = &Bank> {
+        self.banks.iter()
+    }
+
+    /// Whether every bank is precharged (required before `REFab`).
+    pub fn all_banks_closed(&self) -> bool {
+        self.banks.iter().all(Bank::is_closed)
+    }
+
+    /// Whether a non-SARP all-bank refresh is in flight at `now`.
+    pub fn is_refab_busy(&self, now: Cycle) -> bool {
+        now < self.refab_until
+    }
+
+    /// Whether the rank cannot accept another `REFpb` at `now`: under JEDEC
+    /// rules one in flight saturates the rank; with the footnote-5 overlap
+    /// extension, up to `max_refpb` may proceed concurrently.
+    pub fn is_refpb_busy(&self, now: Cycle) -> bool {
+        self.refpb_in_flight(now) >= self.max_refpb
+    }
+
+    /// Number of `REFpb` operations in flight at `now`.
+    pub fn refpb_in_flight(&self, now: Cycle) -> usize {
+        self.refpb_deadlines.iter().filter(|&&d| now < d).count()
+    }
+
+    /// First cycle after the *latest* in-flight `REFpb` window.
+    pub fn refpb_until(&self) -> Cycle {
+        self.refpb_deadlines.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sets the concurrent `REFpb` limit (footnote-5 extension; 1 = JEDEC).
+    pub(crate) fn set_max_refpb(&mut self, max: usize) {
+        assert!(max >= 1);
+        self.max_refpb = max;
+    }
+
+    /// Effective `tRRD` at `now`, including SARP inflation (Eq. 3).
+    pub fn effective_rrd(&self, now: Cycle, timing: &TimingParams) -> u64 {
+        if now < self.sarp_until {
+            ((timing.rrd as f64) * self.sarp_factor).ceil() as u64
+        } else {
+            timing.rrd
+        }
+    }
+
+    /// Effective `tFAW` at `now`, including SARP inflation (Eq. 2).
+    pub fn effective_faw(&self, now: Cycle, timing: &TimingParams) -> u64 {
+        if now < self.sarp_until {
+            ((timing.faw as f64) * self.sarp_factor).ceil() as u64
+        } else {
+            timing.faw
+        }
+    }
+
+    /// Earliest cycle a new activation (ACT or internal refresh activation)
+    /// may start, considering `tRRD` and the four-activate window.
+    pub fn next_act_allowed(&self, now: Cycle, timing: &TimingParams) -> Cycle {
+        let mut t = now;
+        if self.act_count > 0 {
+            let last = self.act_history[((self.act_count - 1) % 4) as usize];
+            t = t.max(last + self.effective_rrd(now, timing));
+        }
+        if self.act_count >= 4 {
+            let fourth_last = self.act_history[(self.act_count % 4) as usize];
+            t = t.max(fourth_last + self.effective_faw(now, timing));
+        }
+        t
+    }
+
+    /// Records an activation at `t` (ACTs and refreshes both count toward
+    /// the rate limits — refreshes internally activate rows, §4.3.3).
+    pub(crate) fn record_act(&mut self, t: Cycle) {
+        self.act_history[(self.act_count % 4) as usize] = t;
+        self.act_count += 1;
+    }
+
+    /// Marks a `REFpb` starting at `now` and occupying one refresh slot
+    /// until `until`. The caller must have checked capacity via
+    /// [`Rank::is_refpb_busy`].
+    pub(crate) fn start_refpb(&mut self, now: Cycle, until: Cycle) {
+        debug_assert!(self.refpb_in_flight(now) < self.max_refpb);
+        // Reuse an expired slot so the vec stays bounded by max_refpb.
+        if let Some(slot) = self.refpb_deadlines.iter_mut().find(|d| **d <= now) {
+            *slot = until;
+        } else {
+            self.refpb_deadlines.push(until);
+        }
+        debug_assert!(self.refpb_deadlines.len() <= self.max_refpb);
+    }
+
+    /// Marks a blocking `REFab` occupying the whole rank until `until`.
+    pub(crate) fn start_refab_blocking(&mut self, until: Cycle) {
+        self.refab_until = until;
+    }
+
+    /// Opens a SARP inflation window `[now, until)` with the given factor.
+    /// Overlapping windows keep the later deadline and the larger factor.
+    pub(crate) fn start_sarp_window(&mut self, until: Cycle, factor: f64) {
+        self.sarp_until = self.sarp_until.max(until);
+        self.sarp_factor = if factor > self.sarp_factor { factor } else { self.sarp_factor };
+        // Reset the factor lazily when the window expires: approximated by
+        // keeping the max factor; windows of different scopes never overlap
+        // in practice because a policy uses a single refresh granularity.
+    }
+
+    /// Whether a SARP window is active at `now`.
+    pub fn sarp_window_active(&self, now: Cycle) -> bool {
+        now < self.sarp_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Density, Retention};
+
+    fn timing() -> TimingParams {
+        TimingParams::ddr3_1333(Density::G8, Retention::Ms32)
+    }
+
+    #[test]
+    fn trrd_spaces_consecutive_activations() {
+        let t = timing();
+        let mut r = Rank::new(8);
+        assert_eq!(r.next_act_allowed(0, &t), 0);
+        r.record_act(10);
+        assert_eq!(r.next_act_allowed(10, &t), 10 + t.rrd);
+        assert_eq!(r.next_act_allowed(20, &t), 20);
+    }
+
+    #[test]
+    fn tfaw_limits_four_activations() {
+        let t = timing();
+        let mut r = Rank::new(8);
+        for i in 0..4 {
+            r.record_act(i * t.rrd);
+        }
+        // Fifth ACT must wait until first + tFAW = 0 + 20.
+        assert_eq!(r.next_act_allowed(3 * t.rrd + t.rrd, &t), t.faw);
+    }
+
+    #[test]
+    fn sarp_window_inflates_rates() {
+        let t = timing();
+        let mut r = Rank::new(8);
+        r.start_sarp_window(1_000, 2.1);
+        assert_eq!(r.effective_rrd(500, &t), (4.0f64 * 2.1).ceil() as u64);
+        assert_eq!(r.effective_faw(500, &t), 42);
+        // After the window, back to nominal.
+        assert_eq!(r.effective_rrd(1_000, &t), t.rrd);
+        assert_eq!(r.effective_faw(1_000, &t), t.faw);
+    }
+
+    #[test]
+    fn refpb_nonoverlap_window() {
+        let mut r = Rank::new(8);
+        r.start_refpb(0, 300);
+        assert!(r.is_refpb_busy(299));
+        assert!(!r.is_refpb_busy(300));
+        assert_eq!(r.refpb_until(), 300);
+        assert_eq!(r.refpb_in_flight(100), 1);
+    }
+
+    #[test]
+    fn footnote5_overlap_allows_concurrent_refpb() {
+        let mut r = Rank::new(8);
+        r.set_max_refpb(2);
+        r.start_refpb(0, 300);
+        assert!(!r.is_refpb_busy(10), "one slot free with 2-way overlap");
+        r.start_refpb(10, 310);
+        assert!(r.is_refpb_busy(20), "both slots occupied");
+        assert_eq!(r.refpb_in_flight(20), 2);
+        // First completes: a slot frees up and is reused.
+        assert!(!r.is_refpb_busy(301));
+        r.start_refpb(301, 500);
+        assert_eq!(r.refpb_in_flight(302), 2);
+        assert_eq!(r.refpb_until(), 500);
+    }
+
+    #[test]
+    fn refab_blocks_rank() {
+        let mut r = Rank::new(8);
+        r.start_refab_blocking(700);
+        assert!(r.is_refab_busy(699));
+        assert!(!r.is_refab_busy(700));
+    }
+
+    #[test]
+    fn all_banks_closed_tracks_bank_state() {
+        let t = timing();
+        let mut r = Rank::new(2);
+        assert!(r.all_banks_closed());
+        r.bank_mut(1).do_activate(0, 5, &t);
+        assert!(!r.all_banks_closed());
+        r.bank_mut(1).do_precharge(t.ras, &t);
+        assert!(r.all_banks_closed());
+    }
+}

@@ -1,0 +1,187 @@
+//! Serial Presence Detect (SPD) blob.
+//!
+//! The paper's §4.3.2: the memory controller learns the number of subarrays
+//! per bank (and the usual geometry/timing facts) from the module's SPD
+//! EEPROM at boot. This module encodes/decodes a compact SPD image with a
+//! checksum, mimicking JEDEC Standard 21-C Annex K at the granularity this
+//! simulator needs.
+
+use crate::{Density, Geometry, Retention, TimingParams};
+use serde::{Deserialize, Serialize};
+
+/// Size of the encoded SPD image in bytes.
+pub const SPD_BYTES: usize = 32;
+
+const MAGIC: u16 = 0x5D5D;
+
+/// Decoded SPD contents: what the controller reads at boot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpdData {
+    /// Device density.
+    pub density: Density,
+    /// Retention-time class.
+    pub retention: Retention,
+    /// Banks per rank.
+    pub banks_per_rank: u8,
+    /// log2(rows per bank).
+    pub row_bits: u8,
+    /// log2(columns per row).
+    pub col_bits: u8,
+    /// Subarrays per bank — the SARP-specific vendor byte (§4.3.2).
+    pub subarrays_per_bank: u8,
+    /// Whether the device implements SARP.
+    pub sarp_capable: bool,
+}
+
+/// Errors from [`SpdData::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpdError {
+    /// The image does not start with the SPD magic number.
+    BadMagic,
+    /// The checksum over the payload does not match.
+    BadChecksum,
+    /// A field holds an unrepresentable value.
+    BadField(&'static str),
+}
+
+impl std::fmt::Display for SpdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpdError::BadMagic => write!(f, "SPD image has wrong magic number"),
+            SpdError::BadChecksum => write!(f, "SPD checksum mismatch"),
+            SpdError::BadField(name) => write!(f, "SPD field `{name}` is invalid"),
+        }
+    }
+}
+
+impl std::error::Error for SpdError {}
+
+impl SpdData {
+    /// Builds the SPD contents describing a simulated module.
+    pub fn describe(geom: &Geometry, timing: &TimingParams, sarp_capable: bool) -> Self {
+        Self {
+            density: timing.density,
+            retention: timing.retention,
+            banks_per_rank: geom.banks_per_rank() as u8,
+            row_bits: geom.rows_per_bank().trailing_zeros() as u8,
+            col_bits: geom.cols_per_row().trailing_zeros() as u8,
+            subarrays_per_bank: geom.subarrays_per_bank() as u8,
+            sarp_capable,
+        }
+    }
+
+    /// Encodes the SPD image.
+    pub fn encode(&self) -> [u8; SPD_BYTES] {
+        let mut b = [0u8; SPD_BYTES];
+        b[0] = (MAGIC >> 8) as u8;
+        b[1] = (MAGIC & 0xff) as u8;
+        b[2] = match self.density {
+            Density::G8 => 8,
+            Density::G16 => 16,
+            Density::G32 => 32,
+            Density::G64 => 64,
+        };
+        b[3] = self.retention.window_ms() as u8;
+        b[4] = self.banks_per_rank;
+        b[5] = self.row_bits;
+        b[6] = self.col_bits;
+        b[7] = self.subarrays_per_bank;
+        b[8] = self.sarp_capable as u8;
+        let sum: u16 = b[2..SPD_BYTES - 2].iter().map(|&x| x as u16).sum();
+        b[SPD_BYTES - 2] = (sum >> 8) as u8;
+        b[SPD_BYTES - 1] = (sum & 0xff) as u8;
+        b
+    }
+
+    /// Decodes an SPD image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpdError`] for corrupt or unrepresentable images.
+    pub fn decode(b: &[u8; SPD_BYTES]) -> Result<Self, SpdError> {
+        if u16::from(b[0]) << 8 | u16::from(b[1]) != MAGIC {
+            return Err(SpdError::BadMagic);
+        }
+        let sum: u16 = b[2..SPD_BYTES - 2].iter().map(|&x| x as u16).sum();
+        if (u16::from(b[SPD_BYTES - 2]) << 8 | u16::from(b[SPD_BYTES - 1])) != sum {
+            return Err(SpdError::BadChecksum);
+        }
+        let density = match b[2] {
+            8 => Density::G8,
+            16 => Density::G16,
+            32 => Density::G32,
+            64 => Density::G64,
+            _ => return Err(SpdError::BadField("density")),
+        };
+        let retention = match b[3] {
+            32 => Retention::Ms32,
+            64 => Retention::Ms64,
+            _ => return Err(SpdError::BadField("retention")),
+        };
+        if b[4] == 0 || !b[4].is_power_of_two() {
+            return Err(SpdError::BadField("banks_per_rank"));
+        }
+        if b[7] == 0 || !b[7].is_power_of_two() {
+            return Err(SpdError::BadField("subarrays_per_bank"));
+        }
+        Ok(Self {
+            density,
+            retention,
+            banks_per_rank: b[4],
+            row_bits: b[5],
+            col_bits: b[6],
+            subarrays_per_bank: b[7],
+            sarp_capable: b[8] != 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd() -> SpdData {
+        let geom = Geometry::paper_default();
+        let timing = TimingParams::ddr3_1333(Density::G32, Retention::Ms32);
+        SpdData::describe(&geom, &timing, true)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = spd();
+        let img = s.encode();
+        assert_eq!(SpdData::decode(&img).unwrap(), s);
+    }
+
+    #[test]
+    fn describes_geometry() {
+        let s = spd();
+        assert_eq!(s.subarrays_per_bank, 8);
+        assert_eq!(s.banks_per_rank, 8);
+        assert_eq!(s.row_bits, 16);
+        assert_eq!(s.col_bits, 7);
+        assert!(s.sarp_capable);
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut img = spd().encode();
+        img[0] = 0;
+        assert_eq!(SpdData::decode(&img), Err(SpdError::BadMagic));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum() {
+        let mut img = spd().encode();
+        img[7] ^= 0xff;
+        assert_eq!(SpdData::decode(&img), Err(SpdError::BadChecksum));
+    }
+
+    #[test]
+    fn bad_field_detected_when_checksum_fixed() {
+        let mut s = spd();
+        s.subarrays_per_bank = 3; // not a power of two
+        let img = s.encode();
+        assert_eq!(SpdData::decode(&img), Err(SpdError::BadField("subarrays_per_bank")));
+    }
+}

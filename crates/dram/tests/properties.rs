@@ -1,0 +1,168 @@
+//! Property-based tests for the DRAM device model.
+
+use dsarp_dram::{
+    Command, Cycle, Density, DramChannel, FgrMode, Geometry, Retention, SarpSupport, TimingParams,
+};
+use proptest::prelude::*;
+
+fn paper_channel(sarp: SarpSupport) -> DramChannel {
+    DramChannel::new(
+        Geometry::paper_default(),
+        TimingParams::ddr3_1333(Density::G8, Retention::Ms32),
+        sarp,
+    )
+}
+
+proptest! {
+    /// decode/encode is a bijection on line-aligned addresses.
+    #[test]
+    fn address_mapping_roundtrips(addr in 0u64..(16u64 << 30)) {
+        let g = Geometry::paper_default();
+        let aligned = addr & !(g.line_bytes() as u64 - 1);
+        let loc = g.decode(aligned);
+        prop_assert_eq!(g.encode(&loc), aligned);
+        prop_assert!(loc.channel < g.channels());
+        prop_assert!(loc.rank < g.ranks_per_channel());
+        prop_assert!(loc.bank < g.banks_per_rank());
+        prop_assert!((loc.row as usize) < g.rows_per_bank());
+        prop_assert!((loc.col as usize) < g.cols_per_row());
+    }
+
+    /// Distinct line-aligned addresses decode to distinct locations.
+    #[test]
+    fn address_mapping_is_injective(a in 0u64..(1u64 << 34), b in 0u64..(1u64 << 34)) {
+        let g = Geometry::paper_default();
+        let a = a & !(63u64);
+        let b = b & !(63u64);
+        let (la, lb) = (g.decode(a), g.decode(b));
+        if a != b && a < g.capacity_bytes() && b < g.capacity_bytes() {
+            prop_assert_ne!(la, lb);
+        }
+    }
+
+    /// Subarray index is always in range and changes only at subarray-size
+    /// boundaries.
+    #[test]
+    fn subarray_of_row_in_range(row in 0u32..65_536, n in prop::sample::select(vec![1usize,2,4,8,16,32,64])) {
+        let g = Geometry::paper_default().with_subarrays(n).unwrap();
+        let s = g.subarray_of_row(row);
+        prop_assert!(s < n);
+        if (row as usize + 1) % g.rows_per_subarray() != 0 && row < 65_535 {
+            prop_assert_eq!(g.subarray_of_row(row + 1), s);
+        }
+    }
+}
+
+/// A randomized legal-command fuzzer: attempt random commands at advancing
+/// cycles; whatever `can_issue` admits must also succeed in `issue`, and the
+/// device state must stay internally consistent.
+fn fuzz_channel(sarp: SarpSupport, seed_cmds: Vec<(u8, u8, u8, u16, u8)>) {
+    let mut chan = paper_channel(sarp);
+    let mut now: Cycle = 0;
+    let mut refpb_windows: Vec<(usize, Cycle, Cycle)> = Vec::new(); // rank, start, end
+    for (kind, rank, bank, row, gap) in seed_cmds {
+        now += 1 + gap as Cycle;
+        let rank = (rank % 2) as usize;
+        let bank = (bank % 8) as usize;
+        let row = (row % 1024) as u32 * 64; // spread across subarrays
+        let cmd = match kind % 6 {
+            0 => Command::Activate { rank, bank, row },
+            1 => Command::Precharge { rank, bank },
+            2 => Command::Read { rank, bank, col: (row % 128), auto_precharge: kind % 2 == 0 },
+            3 => Command::Write { rank, bank, col: (row % 128), auto_precharge: kind % 2 == 1 },
+            4 => Command::RefreshPerBank { rank, bank },
+            _ => Command::RefreshAllBank { rank, fgr: FgrMode::X1 },
+        };
+        if chan.can_issue(&cmd, now) {
+            let receipt = chan.issue(cmd, now).expect("can_issue admitted the command");
+            if let Command::RefreshPerBank { rank, .. } = cmd {
+                let end = receipt.refresh_done.unwrap();
+                // JEDEC non-overlap: no other REFpb window in this rank may
+                // contain `now`.
+                for &(r, s, e) in &refpb_windows {
+                    if r == rank {
+                        assert!(now >= e || now < s, "REFpb overlap in rank {rank}");
+                    }
+                }
+                refpb_windows.push((rank, now, end));
+            }
+            if let Command::Read { .. } = cmd {
+                let ready = receipt.data_ready.unwrap();
+                assert!(ready > now);
+            }
+        } else {
+            // Rejected commands must not mutate state: issue must fail too.
+            assert!(chan.issue(cmd, now).is_err());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_command_streams_keep_invariants_plain(
+        cmds in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u16>(), 0u8..32), 1..400)
+    ) {
+        fuzz_channel(SarpSupport::Disabled, cmds);
+    }
+
+    #[test]
+    fn random_command_streams_keep_invariants_sarp(
+        cmds in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u16>(), 0u8..32), 1..400)
+    ) {
+        fuzz_channel(SarpSupport::Enabled, cmds);
+    }
+
+    /// Under SARP, any ACT admitted while the bank has a refresh in flight
+    /// must target a different subarray.
+    #[test]
+    fn sarp_never_admits_conflicting_activate(rows in prop::collection::vec(0u32..65_536, 1..64)) {
+        let mut chan = paper_channel(SarpSupport::Enabled);
+        chan.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, 0).unwrap();
+        let refreshing = chan.refreshing_subarray(0, 0, 1).unwrap();
+        let geom = *chan.geometry();
+        let mut now = 10; // inside the tRFCpb window (102 cycles)
+        for row in rows {
+            let cmd = Command::Activate { rank: 0, bank: 0, row };
+            if chan.can_issue(&cmd, now) {
+                prop_assert_ne!(geom.subarray_of_row(row), refreshing);
+                chan.issue(cmd, now).unwrap();
+                // Close it again so the next ACT has a chance.
+                now += chan.timing().ras;
+                chan.issue(Command::Precharge { rank: 0, bank: 0 }, now).unwrap();
+                now += chan.timing().rp;
+            }
+            now += 1;
+            if now >= chan.timing().rfc_pb {
+                break;
+            }
+        }
+    }
+
+    /// Energy accounting never goes backwards and accesses count reads+writes.
+    #[test]
+    fn energy_counters_are_monotonic(gaps in prop::collection::vec(1u64..40, 1..100)) {
+        let mut chan = paper_channel(SarpSupport::Disabled);
+        let mut now = 0;
+        let mut last_accesses = 0;
+        let mut open = false;
+        for (i, g) in gaps.iter().enumerate() {
+            now += g;
+            let cmd = if !open {
+                Command::Activate { rank: 0, bank: 0, row: (i % 100) as u32 }
+            } else {
+                Command::Read { rank: 0, bank: 0, col: 0, auto_precharge: true }
+            };
+            if chan.can_issue(&cmd, now) {
+                chan.issue(cmd, now).unwrap();
+                open = !open;
+            }
+            let acc = chan.energy_counters().accesses();
+            prop_assert!(acc >= last_accesses);
+            last_accesses = acc;
+        }
+        chan.finalize_energy(now);
+        prop_assert!(chan.energy_counters().active_rank_cycles() <= now * 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! Developer diagnostic: mean throughput of every mechanism on a few
+//! memory-intensive mixes at 8 and 32 Gb — the fastest way to eyeball the
+//! paper's ordering (`cargo run --release -p dsarp-sim --example mechdiag`).
+
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use dsarp_sim::{SimConfig, System};
+use dsarp_workloads::mixes;
+
+fn main() {
+    let wls = mixes::intensive_mixes(8, 1);
+    for density in [Density::G8, Density::G32] {
+        println!("--- {density} ---");
+        for mech in [
+            Mechanism::NoRefresh,
+            Mechanism::RefAb,
+            Mechanism::RefPb,
+            Mechanism::Elastic,
+            Mechanism::Darp,
+            Mechanism::SarpAb,
+            Mechanism::SarpPb,
+            Mechanism::Dsarp,
+            Mechanism::RefPbOverlapped,
+            Mechanism::DsarpOverlapped,
+            Mechanism::Fgr2x,
+            Mechanism::Fgr4x,
+            Mechanism::AdaptiveRefresh,
+        ] {
+            let n = 4;
+            let total: f64 = wls
+                .iter()
+                .take(n)
+                .map(|wl| {
+                    System::new(&SimConfig::paper(mech, density), wl).run(100_000).total_ipc()
+                })
+                .sum();
+            println!("{:16} mean total IPC = {:.4}", mech.label(), total / n as f64);
+        }
+    }
+}

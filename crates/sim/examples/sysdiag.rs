@@ -1,0 +1,31 @@
+//! Developer diagnostic: raw simulator speed and per-channel counters for
+//! one memory-intensive run (`cargo run --release -p dsarp-sim --example sysdiag`).
+
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use dsarp_sim::{SimConfig, System};
+use dsarp_workloads::mixes;
+
+fn main() {
+    let wl = mixes::intensive_mixes(8, 1)[0].clone();
+    let cfg = SimConfig::paper(Mechanism::RefPb, Density::G8);
+    let mut sys = System::new(&cfg, &wl);
+    let t0 = std::time::Instant::now();
+    let cycles = 50_000;
+    let stats = sys.run(cycles);
+    let dt = t0.elapsed();
+    println!(
+        "sim speed: {:.1} K DRAM cycles/s ({dt:?} for {cycles} cycles)",
+        cycles as f64 / dt.as_secs_f64() / 1e3
+    );
+    println!("ipc = {:?}", stats.ipc.iter().map(|x| format!("{x:.2}")).collect::<Vec<_>>());
+    println!("llc = {:?}", stats.llc);
+    for (i, c) in stats.ctrl.iter().enumerate() {
+        println!(
+            "ch{i}: reads={} writes={} acts={} refpb={} refab={} row_hits={} avg_lat={:.0}",
+            c.reads_done, c.writes_done, c.acts, c.refpb_issued, c.refab_issued, c.row_hits,
+            c.avg_read_latency()
+        );
+    }
+    println!("energy/access = {:.2} nJ", stats.energy_per_access_nj());
+}

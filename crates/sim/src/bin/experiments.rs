@@ -1,0 +1,241 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p dsarp-sim --bin experiments -- [--scale quick|full]
+//!     [--cycles N] [--per-category N] [--threads N] [--out DIR] [--exp NAME]
+//! ```
+//!
+//! Outputs one CSV per artifact under `--out` (default `results/`) plus a
+//! combined `EXPERIMENTS_RAW.md`.
+
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use dsarp_sim::experiments::{
+    ablations, chart, fig05, fig06_07, fig12_table2, fig13, fig14, fig15, fig16, harness::Grid,
+    harness::Scale, overlap, report, table3, table4, table5, table6,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    scale: Scale,
+    out: PathBuf,
+    only: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut scale = Scale::full();
+    let mut out = PathBuf::from("results");
+    let mut only = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let next = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).unwrap_or_else(|| panic!("missing value for {}", argv[*i - 1])).clone()
+        };
+        match argv[i].as_str() {
+            "--scale" => {
+                scale = match next(&mut i).as_str() {
+                    "quick" => Scale::quick(),
+                    "full" => Scale::full(),
+                    other => panic!("unknown scale `{other}`"),
+                }
+            }
+            "--cycles" => scale.dram_cycles = next(&mut i).parse().expect("--cycles"),
+            "--per-category" => {
+                scale.per_category = next(&mut i).parse().expect("--per-category")
+            }
+            "--threads" => scale.threads = next(&mut i).parse().expect("--threads"),
+            "--out" => out = PathBuf::from(next(&mut i)),
+            "--exp" => only = Some(next(&mut i)),
+            other => panic!("unknown argument `{other}` (see the module docs)"),
+        }
+        i += 1;
+    }
+    Args { scale, out, only }
+}
+
+fn wanted(only: &Option<String>, name: &str) -> bool {
+    only.as_deref().is_none_or(|o| o == name)
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = args.scale;
+    let out = &args.out;
+    std::fs::create_dir_all(out).expect("create output dir");
+    let mut md = String::from("# DSARP reproduction — raw experiment output\n\n");
+    md.push_str(&format!(
+        "Scale: {} DRAM cycles/run, {} workloads/category, {} threads.\n\n",
+        scale.dram_cycles,
+        scale.per_category,
+        scale.resolved_threads()
+    ));
+    let t0 = Instant::now();
+
+    // Figure 5 is analytic.
+    if wanted(&args.only, "fig5") {
+        let rows = fig05::run();
+        report::write_csv(out, "fig05_trfc_trend", &rows).unwrap();
+        md.push_str(&report::to_markdown("Figure 5: tRFCab trend (ns)", &rows));
+        println!("[{:>7.1?}] fig5 done", t0.elapsed());
+    }
+
+    // The main grid feeds figs 6/7/12/13/14/15/16 and table 2.
+    let grid_needed = ["fig6", "fig7", "fig12", "table2", "fig13", "fig14", "fig15", "fig16"]
+        .iter()
+        .any(|n| wanted(&args.only, n));
+    if grid_needed {
+        let workloads = scale.workloads();
+        let densities = Density::evaluated();
+        let mechanisms = [
+            Mechanism::NoRefresh,
+            Mechanism::RefAb,
+            Mechanism::RefPb,
+            Mechanism::Elastic,
+            Mechanism::DarpOooOnly,
+            Mechanism::Darp,
+            Mechanism::SarpAb,
+            Mechanism::SarpPb,
+            Mechanism::Dsarp,
+            Mechanism::Fgr2x,
+            Mechanism::Fgr4x,
+            Mechanism::AdaptiveRefresh,
+        ];
+        println!(
+            "computing main grid: {} workloads x {} mechanisms x {} densities = {} runs...",
+            workloads.len(),
+            mechanisms.len(),
+            densities.len(),
+            workloads.len() * mechanisms.len() * densities.len()
+        );
+        let grid = Grid::compute(&workloads, &mechanisms, &densities, &scale);
+        println!("[{:>7.1?}] main grid done", t0.elapsed());
+        report::write_csv(out, "main_grid", grid.rows()).unwrap();
+
+        let (fig6, fig7) = fig06_07::reduce(&grid, &densities);
+        report::write_csv(out, "fig06_refab_loss", &fig6).unwrap();
+        report::write_csv(out, "fig07_refab_refpb_loss", &fig7).unwrap();
+        md.push_str(&report::to_markdown(
+            "Figure 6: WS loss of REFab vs no-refresh (%)",
+            &fig6,
+        ));
+        md.push_str(&report::to_markdown(
+            "Figure 7: WS loss of REFab/REFpb vs no-refresh (%)",
+            &fig7,
+        ));
+
+        let fig12 = fig12_table2::reduce_fig12(&grid, &densities);
+        let table2 = fig12_table2::reduce_table2(&grid, &densities);
+        report::write_csv(out, "fig12_sorted_ws", &fig12).unwrap();
+        {
+            use dsarp_core::Mechanism as M;
+            let series: Vec<(&str, Vec<f64>)> = [M::RefPb, M::Darp, M::Dsarp]
+                .iter()
+                .map(|m| {
+                    let mut pts: Vec<&fig12_table2::Fig12Point> = fig12
+                        .iter()
+                        .filter(|p| p.density == Density::G32 && p.mechanism == *m)
+                        .collect();
+                    pts.sort_by_key(|p| p.sorted_index);
+                    (m.label(), pts.iter().map(|p| p.ws_over_refab).collect())
+                })
+                .collect();
+            md.push_str(&chart::line_chart(
+                "Figure 12 at 32 Gb: WS over REFab, workloads sorted by DARP gain",
+                &series,
+                12,
+            ));
+        }
+        report::write_csv(out, "table2_ws_improvements", &table2).unwrap();
+        md.push_str(&report::to_markdown(
+            "Table 2: max / gmean WS improvement over REFpb and REFab (%)",
+            &table2,
+        ));
+
+        let f13 = fig13::reduce(&grid, &densities);
+        report::write_csv(out, "fig13_all_mechanisms", &f13).unwrap();
+        md.push_str(&report::to_markdown(
+            "Figure 13: gmean WS improvement over REFab (%)",
+            &f13,
+        ));
+        let bars: Vec<(String, f64)> = f13
+            .iter()
+            .filter(|r| r.density == Density::G32)
+            .map(|r| (r.mechanism.label().to_string(), r.gmean_over_refab_pct))
+            .collect();
+        md.push_str(&chart::bar_chart("Figure 13 at 32 Gb (% over REFab)", &bars, 40));
+
+        let f14 = fig14::reduce(&grid, &densities);
+        report::write_csv(out, "fig14_energy", &f14).unwrap();
+        md.push_str(&report::to_markdown("Figure 14: energy per access (nJ)", &f14));
+
+        let f15 = fig15::reduce(&grid, &densities);
+        report::write_csv(out, "fig15_intensity", &f15).unwrap();
+        md.push_str(&report::to_markdown(
+            "Figure 15: DSARP WS improvement by memory intensity (%)",
+            &f15,
+        ));
+
+        let f16 = fig16::reduce(&grid, &densities);
+        report::write_csv(out, "fig16_fgr_ar", &f16).unwrap();
+        md.push_str(&report::to_markdown("Figure 16: WS normalized to REFab", &f16));
+        println!("[{:>7.1?}] grid reductions done", t0.elapsed());
+    }
+
+    if wanted(&args.only, "table3") {
+        let rows = table3::run(&scale);
+        report::write_csv(out, "table3_core_count", &rows).unwrap();
+        md.push_str(&report::to_markdown(
+            "Table 3: DSARP vs REFab by core count (32 Gb, intensive, %)",
+            &rows,
+        ));
+        println!("[{:>7.1?}] table3 done", t0.elapsed());
+    }
+    if wanted(&args.only, "table4") {
+        let rows = table4::run(&scale);
+        report::write_csv(out, "table4_tfaw", &rows).unwrap();
+        md.push_str(&report::to_markdown(
+            "Table 4: SARPpb over REFpb vs tFAW/tRRD (32 Gb, %)",
+            &rows,
+        ));
+        println!("[{:>7.1?}] table4 done", t0.elapsed());
+    }
+    if wanted(&args.only, "table5") {
+        let rows = table5::run(&scale);
+        report::write_csv(out, "table5_subarrays", &rows).unwrap();
+        md.push_str(&report::to_markdown(
+            "Table 5: SARPpb over REFpb vs subarrays/bank (32 Gb, %)",
+            &rows,
+        ));
+        println!("[{:>7.1?}] table5 done", t0.elapsed());
+    }
+    if wanted(&args.only, "ablations") {
+        let rows = ablations::run(&scale);
+        report::write_csv(out, "ablations", &rows).unwrap();
+        md.push_str(&report::to_markdown("Ablations (32 Gb, intensive, %)", &rows));
+        println!("[{:>7.1?}] ablations done", t0.elapsed());
+    }
+    if wanted(&args.only, "overlap") {
+        let rows = overlap::run(&scale);
+        report::write_csv(out, "overlap_extension", &rows).unwrap();
+        md.push_str(&report::to_markdown(
+            "Extension: footnote-5 overlapped REFpb (% over REFpb)",
+            &rows,
+        ));
+        println!("[{:>7.1?}] overlap done", t0.elapsed());
+    }
+    if wanted(&args.only, "table6") {
+        let rows = table6::run(&scale);
+        report::write_csv(out, "table6_64ms", &rows).unwrap();
+        md.push_str(&report::to_markdown(
+            "Table 6: DSARP improvements at 64 ms retention (%)",
+            &rows,
+        ));
+        println!("[{:>7.1?}] table6 done", t0.elapsed());
+    }
+
+    std::fs::write(out.join("EXPERIMENTS_RAW.md"), &md).expect("write markdown report");
+    println!("[{:>7.1?}] all requested experiments written to {}", t0.elapsed(), out.display());
+}

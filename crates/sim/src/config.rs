@@ -1,0 +1,174 @@
+//! Simulation configuration: every knob the paper sweeps.
+
+use dsarp_core::Mechanism;
+use dsarp_cpu::CoreParams;
+use dsarp_dram::{Density, Geometry, Retention, TimingParams};
+use serde::{Deserialize, Serialize};
+
+/// Full system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of cores (paper: 8; Table 3 sweeps 2/4/8).
+    pub cores: usize,
+    /// Refresh mechanism under test.
+    pub mechanism: Mechanism,
+    /// DRAM chip density (8/16/32 Gb; 64 Gb projected).
+    pub density: Density,
+    /// Retention time (32 ms main results; 64 ms in Table 6).
+    pub retention: Retention,
+    /// Subarrays per bank (paper: 8; Table 5 sweeps 1–64).
+    pub subarrays_per_bank: usize,
+    /// Optional `(tFAW, tRRD)` override in DRAM cycles (Table 4).
+    pub faw_rrd: Option<(u64, u64)>,
+    /// Core microarchitecture parameters.
+    pub core_params: CoreParams,
+    /// LLC capacity override in bytes (`None` = 512 KB × cores).
+    pub llc_capacity: Option<usize>,
+    /// Seed for workload traces and DARP's randomized choices.
+    pub seed: u64,
+    /// Functional-warmup length: memory operations per core fed through the
+    /// LLC (no timing) before cycle 0, so short runs measure warm-cache
+    /// behaviour like the paper's 256 M-cycle runs do.
+    pub warmup_ops: u64,
+    /// Write-drain watermarks `(enter, exit)`; `None` = the paper's (48, 32).
+    pub drain_watermarks: Option<(usize, usize)>,
+    /// Ablation: disable SARP's tFAW/tRRD power-integrity inflation.
+    /// A real device cannot do this; used to quantify the throttle's cost.
+    pub ablate_sarp_throttle: bool,
+}
+
+impl SimConfig {
+    /// The paper's Table 1 system for a given mechanism and density.
+    pub fn paper(mechanism: Mechanism, density: Density) -> Self {
+        Self {
+            cores: 8,
+            mechanism,
+            density,
+            retention: Retention::Ms32,
+            subarrays_per_bank: 8,
+            faw_rrd: None,
+            core_params: CoreParams::paper_default(),
+            llc_capacity: None,
+            seed: 0xD5A2_2014,
+            warmup_ops: 100_000,
+            drain_watermarks: None,
+            ablate_sarp_throttle: false,
+        }
+    }
+
+    /// Sets the core count (Table 3).
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Sets the retention time (Table 6).
+    pub fn with_retention(mut self, retention: Retention) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// Sets subarrays per bank (Table 5).
+    pub fn with_subarrays(mut self, n: usize) -> Self {
+        self.subarrays_per_bank = n;
+        self
+    }
+
+    /// Overrides `tFAW`/`tRRD` (Table 4).
+    pub fn with_faw_rrd(mut self, faw: u64, rrd: u64) -> Self {
+        self.faw_rrd = Some((faw, rrd));
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the functional-warmup length (memory ops per core).
+    pub fn with_warmup_ops(mut self, ops: u64) -> Self {
+        self.warmup_ops = ops;
+        self
+    }
+
+    /// Overrides the write-drain watermarks (ablation studies).
+    pub fn with_drain_watermarks(mut self, enter: usize, exit: usize) -> Self {
+        self.drain_watermarks = Some((enter, exit));
+        self
+    }
+
+    /// Disables the SARP power throttle (ablation; see the field docs).
+    pub fn with_sarp_throttle_ablated(mut self) -> Self {
+        self.ablate_sarp_throttle = true;
+        self
+    }
+
+    /// Derives the DRAM geometry.
+    pub fn geometry(&self) -> Geometry {
+        Geometry::paper_default()
+            .with_subarrays(self.subarrays_per_bank)
+            .expect("subarray counts are validated powers of two")
+    }
+
+    /// Derives the timing parameters.
+    pub fn timing(&self) -> TimingParams {
+        let mut t = TimingParams::ddr3_1333(self.density, self.retention);
+        if let Some((faw, rrd)) = self.faw_rrd {
+            t = t.with_faw_rrd(faw, rrd);
+        }
+        t
+    }
+
+    /// LLC capacity in bytes.
+    pub fn llc_bytes(&self) -> usize {
+        self.llc_capacity.unwrap_or(512 * 1024 * self.cores)
+    }
+
+    /// The single-benchmark configuration used to measure alone-IPC: one
+    /// core, no refresh, same density and LLC capacity as this config.
+    pub fn alone(&self) -> Self {
+        Self {
+            cores: 1,
+            mechanism: Mechanism::NoRefresh,
+            llc_capacity: Some(self.llc_bytes()),
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SimConfig::paper(Mechanism::RefAb, Density::G8);
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.subarrays_per_bank, 8);
+        assert_eq!(c.llc_bytes(), 4 * 1024 * 1024);
+        assert_eq!(c.timing().rfc_ab, 234);
+    }
+
+    #[test]
+    fn alone_keeps_llc_and_density() {
+        let c = SimConfig::paper(Mechanism::Dsarp, Density::G32).with_cores(4);
+        let a = c.alone();
+        assert_eq!(a.cores, 1);
+        assert_eq!(a.mechanism, Mechanism::NoRefresh);
+        assert_eq!(a.llc_bytes(), c.llc_bytes());
+        assert_eq!(a.density, Density::G32);
+    }
+
+    #[test]
+    fn sweeps_apply() {
+        let c = SimConfig::paper(Mechanism::SarpPb, Density::G32)
+            .with_faw_rrd(5, 1)
+            .with_subarrays(64)
+            .with_retention(Retention::Ms64);
+        assert_eq!(c.timing().faw, 5);
+        assert_eq!(c.timing().rrd, 1);
+        assert_eq!(c.geometry().subarrays_per_bank(), 64);
+        assert_eq!(c.timing().refi_ab, 5_200);
+    }
+}

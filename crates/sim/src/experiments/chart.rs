@@ -1,0 +1,102 @@
+//! Minimal ASCII charts for the markdown report: bar charts for figure-style
+//! results and line series for the sorted Figure 12 curves, so
+//! `results/EXPERIMENTS_RAW.md` is readable without a plotting stack.
+
+/// Renders a horizontal bar chart. `rows` are `(label, value)`; bars are
+/// scaled to `width` characters over the value range (including 0).
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut out = format!("```text\n{title}\n");
+    if rows.is_empty() {
+        out.push_str("(no data)\n```\n");
+        return out;
+    }
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max).max(1e-12);
+    let min = rows.iter().map(|(_, v)| *v).fold(0.0_f64, f64::min);
+    let span = (max - min).max(1e-12);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, v) in rows {
+        let frac = (v - min) / span;
+        let bars = (frac * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} | {}{} {v:.2}\n",
+            "#".repeat(bars),
+            " ".repeat(width - bars),
+        ));
+    }
+    out.push_str("```\n");
+    out
+}
+
+/// Renders one or more y-series sharing an implicit x index as a compact
+/// ASCII plot of `height` rows. Each series is drawn with its own glyph.
+pub fn line_chart(title: &str, series: &[(&str, Vec<f64>)], height: usize) -> String {
+    let mut out = format!("```text\n{title}\n");
+    let n = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    if n == 0 || height == 0 {
+        out.push_str("(no data)\n```\n");
+        return out;
+    }
+    let glyphs = ['*', '+', 'o', 'x', '@', '%'];
+    let all: Vec<f64> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+    let max = all.iter().cloned().fold(f64::MIN, f64::max);
+    let min = all.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    let mut grid = vec![vec![' '; n]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        for (x, v) in s.iter().enumerate() {
+            let y = (((v - min) / span) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - y][x] = glyphs[si % glyphs.len()];
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = if i == 0 {
+            format!("{max:>8.2} ")
+        } else if i == height - 1 {
+            format!("{min:>8.2} ")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&y_label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push_str(&"-".repeat(n));
+    out.push('\n');
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {name}", glyphs[si % glyphs.len()]));
+    }
+    out.push_str("\n```\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_and_labels() {
+        let rows = vec![("REFab".to_string(), 0.0), ("DSARP".to_string(), 10.0)];
+        let c = bar_chart("gains", &rows, 20);
+        assert!(c.contains("gains"));
+        assert!(c.contains("REFab"));
+        // The max bar fills the width, the min bar is empty.
+        assert!(c.contains(&"#".repeat(20)));
+        assert!(c.contains("10.00"));
+    }
+
+    #[test]
+    fn line_chart_draws_all_series() {
+        let s = vec![("a", vec![1.0, 2.0, 3.0]), ("b", vec![3.0, 2.0, 1.0])];
+        let c = line_chart("curves", &s, 5);
+        assert!(c.contains('*') && c.contains('+'));
+        assert!(c.contains("a") && c.contains("b"));
+        assert!(c.lines().count() >= 8);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert!(bar_chart("t", &[], 10).contains("no data"));
+        assert!(line_chart("t", &[], 5).contains("no data"));
+    }
+}

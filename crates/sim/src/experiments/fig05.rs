@@ -1,0 +1,72 @@
+//! Figure 5: the `tRFCab` scaling trend with DRAM density.
+//!
+//! Purely analytic — the paper extrapolates refresh latency linearly from
+//! shipped devices (Projection 1: 1/2/4 Gb, Projection 2: 4/8 Gb) and uses
+//! Projection 2 for evaluation.
+
+use dsarp_dram::timing::{trfc_projection1_ns, trfc_projection2_ns};
+use serde::{Deserialize, Serialize};
+
+/// One density point of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Density in gigabits.
+    pub gigabits: u32,
+    /// Data-sheet value for shipped devices, where one exists (ns).
+    pub present_ns: Option<f64>,
+    /// Projection 1 (from 1/2/4 Gb devices), ns.
+    pub projection1_ns: f64,
+    /// Projection 2 (from 4/8 Gb devices; used for evaluation), ns.
+    pub projection2_ns: f64,
+}
+
+/// Data-sheet `tRFCab` for shipped densities (ns).
+fn present(gb: u32) -> Option<f64> {
+    match gb {
+        1 => Some(110.0),
+        2 => Some(160.0),
+        4 => Some(260.0),
+        8 => Some(350.0),
+        _ => None,
+    }
+}
+
+/// Generates the figure's series at every 8 Gb step (plus the small shipped
+/// densities).
+pub fn run() -> Vec<Fig5Row> {
+    let mut gbs = vec![1u32, 2, 4];
+    gbs.extend((1..=8).map(|i| i * 8));
+    gbs.iter()
+        .map(|&gb| Fig5Row {
+            gigabits: gb,
+            present_ns: present(gb),
+            projection1_ns: trfc_projection1_ns(gb as f64),
+            projection2_ns: trfc_projection2_ns(gb as f64),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection2_hits_paper_anchor_points() {
+        let rows = run();
+        let at = |gb: u32| rows.iter().find(|r| r.gigabits == gb).unwrap();
+        assert_eq!(at(16).projection2_ns, 530.0);
+        assert_eq!(at(32).projection2_ns, 890.0);
+        assert_eq!(at(64).projection2_ns, 1_610.0);
+        // Figure 5's top end: Projection 1 lands above 3 us at 64 Gb.
+        assert!(at(64).projection1_ns > 3_000.0);
+    }
+
+    #[test]
+    fn both_projections_are_monotonic() {
+        let rows = run();
+        for w in rows.windows(2) {
+            assert!(w[1].projection1_ns > w[0].projection1_ns);
+            assert!(w[1].projection2_ns > w[0].projection2_ns);
+        }
+    }
+}

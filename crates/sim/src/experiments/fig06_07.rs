@@ -1,0 +1,112 @@
+//! Figures 6 and 7: the motivation data.
+//!
+//! * Fig. 6 — performance loss of all-bank refresh vs an ideal no-refresh
+//!   system, across the five memory-intensity categories and three DRAM
+//!   densities (the paper: up to ~20%+ at 32 Gb on all-intensive mixes).
+//! * Fig. 7 — average loss of `REFab` and `REFpb` vs ideal per density
+//!   (the paper: `REFpb` still loses 16.6% at 32 Gb).
+
+use super::harness::{Grid, Scale};
+use crate::metrics::gmean;
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use serde::{Deserialize, Serialize};
+
+/// One bar of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Intensity category (0/25/50/75/100 = % memory-intensive), or `u32::MAX`
+    /// for the Gmean column.
+    pub category: u32,
+    /// DRAM density.
+    pub density: Density,
+    /// Performance (WS) loss of `REFab` vs no-refresh, percent.
+    pub loss_pct: f64,
+}
+
+/// One bar group of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Row {
+    /// DRAM density.
+    pub density: Density,
+    /// Mean WS loss of `REFab` vs no-refresh, percent.
+    pub refab_loss_pct: f64,
+    /// Mean WS loss of `REFpb` vs no-refresh, percent.
+    pub refpb_loss_pct: f64,
+}
+
+fn loss_pct(grid: &Grid, mech: Mechanism, density: Density, category: Option<u32>) -> f64 {
+    let ratios: Vec<f64> = grid
+        .rows()
+        .iter()
+        .filter(|r| {
+            r.mechanism == mech
+                && r.density == density
+                && category.map_or(true, |c| r.category == c)
+        })
+        .filter_map(|r| {
+            grid.get(&r.workload, Mechanism::NoRefresh, density).map(|ideal| r.ws / ideal.ws)
+        })
+        .collect();
+    (1.0 - gmean(&ratios)) * 100.0
+}
+
+/// Reduces a grid (containing `NoRefresh`, `RefAb`, `RefPb` rows) to the
+/// two figures.
+pub fn reduce(grid: &Grid, densities: &[Density]) -> (Vec<Fig6Row>, Vec<Fig7Row>) {
+    let mut fig6 = Vec::new();
+    let mut fig7 = Vec::new();
+    for &d in densities {
+        for cat in [0u32, 25, 50, 75, 100] {
+            fig6.push(Fig6Row {
+                category: cat,
+                density: d,
+                loss_pct: loss_pct(grid, Mechanism::RefAb, d, Some(cat)),
+            });
+        }
+        fig6.push(Fig6Row {
+            category: u32::MAX,
+            density: d,
+            loss_pct: loss_pct(grid, Mechanism::RefAb, d, None),
+        });
+        fig7.push(Fig7Row {
+            density: d,
+            refab_loss_pct: loss_pct(grid, Mechanism::RefAb, d, None),
+            refpb_loss_pct: loss_pct(grid, Mechanism::RefPb, d, None),
+        });
+    }
+    (fig6, fig7)
+}
+
+/// Standalone runner (computes its own grid).
+pub fn run(scale: &Scale) -> (Vec<Fig6Row>, Vec<Fig7Row>) {
+    let workloads = scale.workloads();
+    let densities = Density::evaluated();
+    let grid = Grid::compute(
+        &workloads,
+        &[Mechanism::NoRefresh, Mechanism::RefAb, Mechanism::RefPb],
+        &densities,
+        scale,
+    );
+    reduce(&grid, &densities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shows_refresh_hurting_more_at_high_density() {
+        let scale = Scale { dram_cycles: 25_000, alone_cycles: 15_000, per_category: 1, threads: 0, warmup_ops: 20_000 };
+        let (_fig6, fig7) = run(&scale);
+        assert_eq!(fig7.len(), 3);
+        let loss8 = fig7.iter().find(|r| r.density == Density::G8).unwrap();
+        let loss32 = fig7.iter().find(|r| r.density == Density::G32).unwrap();
+        assert!(
+            loss32.refab_loss_pct > loss8.refab_loss_pct,
+            "REFab loss must grow with density: {loss8:?} vs {loss32:?}"
+        );
+        // Per-bank refresh recovers part of the loss on average.
+        assert!(loss32.refpb_loss_pct < loss32.refab_loss_pct);
+    }
+}

@@ -1,0 +1,96 @@
+//! Figure 14: DRAM energy per memory access under each mechanism.
+
+use super::harness::{Grid, Scale};
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use serde::{Deserialize, Serialize};
+
+/// One bar of Figure 14.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig14Row {
+    /// DRAM density.
+    pub density: Density,
+    /// Mechanism.
+    pub mechanism: Mechanism,
+    /// Mean energy per access across workloads (nJ).
+    pub energy_nj: f64,
+    /// Reduction vs `REFab`, percent (positive = less energy).
+    pub reduction_vs_refab_pct: f64,
+}
+
+/// Mechanisms shown in Figure 14.
+pub const FIG14_MECHS: [Mechanism; 8] = [
+    Mechanism::RefAb,
+    Mechanism::RefPb,
+    Mechanism::Elastic,
+    Mechanism::Darp,
+    Mechanism::SarpAb,
+    Mechanism::SarpPb,
+    Mechanism::Dsarp,
+    Mechanism::NoRefresh,
+];
+
+fn mean_energy(grid: &Grid, m: Mechanism, d: Density) -> f64 {
+    let vals: Vec<f64> = grid
+        .rows()
+        .iter()
+        .filter(|r| r.mechanism == m && r.density == d && r.energy_nj > 0.0)
+        .map(|r| r.energy_nj)
+        .collect();
+    if vals.is_empty() {
+        0.0
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+/// Reduces a grid containing the Figure 14 mechanisms.
+pub fn reduce(grid: &Grid, densities: &[Density]) -> Vec<Fig14Row> {
+    let mut out = Vec::new();
+    for &d in densities {
+        let base = mean_energy(grid, Mechanism::RefAb, d);
+        for m in FIG14_MECHS {
+            let e = mean_energy(grid, m, d);
+            out.push(Fig14Row {
+                density: d,
+                mechanism: m,
+                energy_nj: e,
+                reduction_vs_refab_pct: if base > 0.0 { (1.0 - e / base) * 100.0 } else { 0.0 },
+            });
+        }
+    }
+    out
+}
+
+/// Standalone runner.
+pub fn run(scale: &Scale) -> Vec<Fig14Row> {
+    let workloads = scale.workloads();
+    let densities = Density::evaluated();
+    let grid = Grid::compute(&workloads, &FIG14_MECHS, &densities, scale);
+    reduce(&grid, &densities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsarp_reduces_energy_per_access() {
+        let scale = Scale { dram_cycles: 30_000, alone_cycles: 15_000, per_category: 1, threads: 0, warmup_ops: 20_000 };
+        let rows = run(&scale);
+        for d in Density::evaluated() {
+            let get = |m: Mechanism| {
+                rows.iter().find(|r| r.mechanism == m && r.density == d).unwrap().energy_nj
+            };
+            assert!(get(Mechanism::RefAb) > 0.0);
+            // Paper Fig. 14: DSARP consumes less energy per access than
+            // REFab (3-9% depending on density).
+            assert!(
+                get(Mechanism::Dsarp) < get(Mechanism::RefAb) * 1.02,
+                "DSARP {} vs REFab {} at {d}",
+                get(Mechanism::Dsarp),
+                get(Mechanism::RefAb)
+            );
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 15: DSARP's WS improvement over `REFab` and `REFpb` as memory
+//! intensity and DRAM density vary.
+
+use super::harness::{Grid, Scale};
+use crate::metrics::{gmean, improvement_pct};
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use serde::{Deserialize, Serialize};
+
+/// One bar of Figure 15.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig15Row {
+    /// Intensity category (% memory-intensive; `u32::MAX` = average).
+    pub category: u32,
+    /// DRAM density.
+    pub density: Density,
+    /// DSARP gmean WS improvement over `REFab`, percent.
+    pub over_refab_pct: f64,
+    /// DSARP gmean WS improvement over `REFpb`, percent.
+    pub over_refpb_pct: f64,
+}
+
+fn improvement(grid: &Grid, base: Mechanism, d: Density, cat: Option<u32>) -> f64 {
+    let ratios: Vec<f64> = grid
+        .rows()
+        .iter()
+        .filter(|r| {
+            r.mechanism == Mechanism::Dsarp
+                && r.density == d
+                && cat.map_or(true, |c| r.category == c)
+        })
+        .filter_map(|r| grid.get(&r.workload, base, d).map(|b| r.ws / b.ws))
+        .collect();
+    improvement_pct(gmean(&ratios), 1.0)
+}
+
+/// Reduces a grid containing `RefAb`, `RefPb` and `Dsarp`.
+pub fn reduce(grid: &Grid, densities: &[Density]) -> Vec<Fig15Row> {
+    let mut out = Vec::new();
+    for &d in densities {
+        for cat in [0u32, 25, 50, 75, 100] {
+            out.push(Fig15Row {
+                category: cat,
+                density: d,
+                over_refab_pct: improvement(grid, Mechanism::RefAb, d, Some(cat)),
+                over_refpb_pct: improvement(grid, Mechanism::RefPb, d, Some(cat)),
+            });
+        }
+        out.push(Fig15Row {
+            category: u32::MAX,
+            density: d,
+            over_refab_pct: improvement(grid, Mechanism::RefAb, d, None),
+            over_refpb_pct: improvement(grid, Mechanism::RefPb, d, None),
+        });
+    }
+    out
+}
+
+/// Standalone runner.
+pub fn run(scale: &Scale) -> Vec<Fig15Row> {
+    let workloads = scale.workloads();
+    let densities = Density::evaluated();
+    let grid = Grid::compute(
+        &workloads,
+        &[Mechanism::RefAb, Mechanism::RefPb, Mechanism::Dsarp],
+        &densities,
+        scale,
+    );
+    reduce(&grid, &densities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_over_refab_grows_with_intensity() {
+        let scale = Scale { dram_cycles: 30_000, alone_cycles: 15_000, per_category: 2, threads: 0, warmup_ops: 20_000 };
+        let rows = run(&scale);
+        let at = |cat: u32, d: Density| {
+            rows.iter().find(|r| r.category == cat && r.density == d).unwrap()
+        };
+        // The all-intensive category benefits more than the all-compute one
+        // at 32 Gb (the paper's central trend).
+        let low = at(0, Density::G32).over_refab_pct;
+        let high = at(100, Density::G32).over_refab_pct;
+        assert!(high > low, "100% {high} should beat 0% {low}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 16: DDR4 fine-granularity refresh (2x/4x), Adaptive Refresh, and
+//! DSARP, normalized to the `REFab` baseline.
+
+use super::harness::{Grid, Scale};
+use crate::metrics::gmean;
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use serde::{Deserialize, Serialize};
+
+/// Mechanisms in Figure 16 (all normalized to `RefAb`).
+pub const FIG16_MECHS: [Mechanism; 5] = [
+    Mechanism::RefAb,
+    Mechanism::Fgr2x,
+    Mechanism::Fgr4x,
+    Mechanism::AdaptiveRefresh,
+    Mechanism::Dsarp,
+];
+
+/// One bar of Figure 16.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig16Row {
+    /// DRAM density.
+    pub density: Density,
+    /// Mechanism.
+    pub mechanism: Mechanism,
+    /// Gmean WS normalized to `REFab` (1.0 = baseline).
+    pub normalized_ws: f64,
+}
+
+/// Reduces a grid containing the Figure 16 mechanisms.
+pub fn reduce(grid: &Grid, densities: &[Density]) -> Vec<Fig16Row> {
+    let mut out = Vec::new();
+    for &d in densities {
+        for m in FIG16_MECHS {
+            let ratios = grid.ws_ratios(m, Mechanism::RefAb, d);
+            out.push(Fig16Row { density: d, mechanism: m, normalized_ws: gmean(&ratios) });
+        }
+    }
+    out
+}
+
+/// Standalone runner.
+pub fn run(scale: &Scale) -> Vec<Fig16Row> {
+    let workloads = scale.workloads();
+    let densities = Density::evaluated();
+    let grid = Grid::compute(&workloads, &FIG16_MECHS, &densities, scale);
+    reduce(&grid, &densities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fgr_loses_ar_ties_dsarp_wins() {
+        let scale = Scale { dram_cycles: 30_000, alone_cycles: 15_000, per_category: 1, threads: 0, warmup_ops: 20_000 };
+        let rows = run(&scale);
+        let at = |m: Mechanism, d: Density| {
+            rows.iter().find(|r| r.mechanism == m && r.density == d).unwrap().normalized_ws
+        };
+        for d in Density::evaluated() {
+            // The paper's §6.5 ordering: FGR 4x < FGR 2x < ~REFab ~ AR < DSARP.
+            assert!(at(Mechanism::Fgr4x, d) < at(Mechanism::Fgr2x, d) + 0.02);
+            assert!(at(Mechanism::Fgr2x, d) < 1.02);
+            assert!(at(Mechanism::Dsarp, d) > at(Mechanism::Fgr2x, d));
+            assert!(at(Mechanism::Dsarp, d) > 1.0);
+        }
+        // FGR's penalty is worst at the highest density.
+        assert!(at(Mechanism::Fgr4x, Density::G32) < at(Mechanism::Fgr4x, Density::G8));
+    }
+}

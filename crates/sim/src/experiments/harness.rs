@@ -1,0 +1,328 @@
+//! Shared experiment infrastructure: run scaling, parallel execution, and
+//! the main (workload × mechanism × density) result grid.
+
+use crate::config::SimConfig;
+use crate::metrics::{gmean, improvement_pct, Metrics};
+use crate::system::System;
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use dsarp_workloads::{IntensityCategory, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How big to run the experiments. The paper simulates 256 M CPU cycles per
+/// run; the defaults here are throughput-scaled but cover hundreds of
+/// refresh intervals, which is what the mechanisms react to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// DRAM cycles per multiprogrammed run (6 CPU cycles each).
+    pub dram_cycles: u64,
+    /// DRAM cycles per alone-IPC measurement run.
+    pub alone_cycles: u64,
+    /// Workloads taken per intensity category (the paper uses 20).
+    pub per_category: usize,
+    /// Worker threads (0 = all available).
+    pub threads: usize,
+    /// Functional-warmup memory ops per core (see `SimConfig::warmup_ops`).
+    pub warmup_ops: u64,
+}
+
+impl Scale {
+    /// Full fidelity for the experiments binary.
+    pub fn full() -> Self {
+        Self {
+            dram_cycles: 300_000,
+            alone_cycles: 150_000,
+            per_category: 20,
+            threads: 0,
+            warmup_ops: 100_000,
+        }
+    }
+
+    /// Reduced scale for Criterion benches and CI.
+    pub fn quick() -> Self {
+        Self {
+            dram_cycles: 40_000,
+            alone_cycles: 25_000,
+            per_category: 2,
+            threads: 0,
+            warmup_ops: 25_000,
+        }
+    }
+
+    /// Resolved thread count.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        }
+    }
+
+    /// The evaluation workload set at this scale (5 categories ×
+    /// `per_category`), with the paper's seed.
+    pub fn workloads(&self) -> Vec<Workload> {
+        let all = dsarp_workloads::mixes::paper_workloads(8, WORKLOAD_SEED);
+        IntensityCategory::all()
+            .iter()
+            .flat_map(|cat| {
+                all.iter()
+                    .filter(|w| w.category == *cat)
+                    .take(self.per_category)
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// The 16 memory-intensive sensitivity workloads (truncated at quick
+    /// scale).
+    pub fn intensive_workloads(&self, cores: usize) -> Vec<Workload> {
+        let n = if self.per_category >= 20 { 16 } else { 4.min(self.per_category * 2) };
+        dsarp_workloads::mixes::intensive_mixes(cores, WORKLOAD_SEED)
+            .into_iter()
+            .take(n)
+            .collect()
+    }
+}
+
+/// Seed fixing the randomly-mixed workload selection.
+pub const WORKLOAD_SEED: u64 = 0x2014_D5A2;
+
+/// Runs `f` over `items` on a scoped thread pool, preserving order.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                **slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    drop(slots);
+    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// One cell of the main result grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WsRow {
+    /// Workload name (e.g. `w042`).
+    pub workload: String,
+    /// Intensity category percentage (0/25/50/75/100).
+    pub category: u32,
+    /// Mechanism evaluated.
+    pub mechanism: Mechanism,
+    /// DRAM density.
+    pub density: Density,
+    /// Weighted speedup.
+    pub ws: f64,
+    /// Harmonic speedup.
+    pub hs: f64,
+    /// Maximum slowdown.
+    pub max_slowdown: f64,
+    /// Energy per DRAM access (nJ).
+    pub energy_nj: f64,
+    /// Sum of per-core IPCs.
+    pub total_ipc: f64,
+}
+
+/// The main grid: metrics for every (workload, mechanism, density) tuple.
+#[derive(Debug, Clone, Default)]
+pub struct Grid {
+    rows: Vec<WsRow>,
+}
+
+impl Grid {
+    /// Computes the grid, parallelized across runs. Alone-IPCs are measured
+    /// first (one single-core run per benchmark × density).
+    pub fn compute(
+        workloads: &[Workload],
+        mechanisms: &[Mechanism],
+        densities: &[Density],
+        scale: &Scale,
+    ) -> Self {
+        Self::compute_with(workloads, mechanisms, densities, scale, |m, d| {
+            SimConfig::paper(*m, *d)
+        })
+    }
+
+    /// Like [`Grid::compute`], with a custom config constructor (used by the
+    /// sensitivity sweeps to override `tFAW`, subarrays, retention, cores).
+    pub fn compute_with(
+        workloads: &[Workload],
+        mechanisms: &[Mechanism],
+        densities: &[Density],
+        scale: &Scale,
+        make_cfg: impl Fn(&Mechanism, &Density) -> SimConfig + Sync,
+    ) -> Self {
+        let threads = scale.resolved_threads();
+
+        // 1. Alone IPCs per (benchmark, density), measured with the config's
+        //    own geometry/retention so sweeps stay internally consistent.
+        let mut alone_keys: Vec<(&'static dsarp_workloads::BenchmarkSpec, Density)> = Vec::new();
+        for d in densities {
+            let mut seen = std::collections::HashSet::new();
+            for wl in workloads {
+                for b in &wl.benchmarks {
+                    if seen.insert(b.name) {
+                        alone_keys.push((b, *d));
+                    }
+                }
+            }
+        }
+        let alone_vals = parallel_map(&alone_keys, threads, |(bench, d)| {
+            let base = make_cfg(&Mechanism::NoRefresh, d).with_warmup_ops(scale.warmup_ops);
+            let cfg = base.alone();
+            let wl = Workload {
+                name: format!("alone-{}", bench.name),
+                category: IntensityCategory::P100,
+                benchmarks: vec![bench],
+            };
+            System::new(&cfg, &wl).run(scale.alone_cycles).ipc[0].max(1e-9)
+        });
+        let alone: HashMap<(&str, Density), f64> = alone_keys
+            .iter()
+            .zip(alone_vals)
+            .map(|((b, d), v)| ((b.name, *d), v))
+            .collect();
+
+        // 2. The grid itself.
+        let mut tuples: Vec<(usize, Mechanism, Density)> = Vec::new();
+        for d in densities {
+            for m in mechanisms {
+                for (i, _) in workloads.iter().enumerate() {
+                    tuples.push((i, *m, *d));
+                }
+            }
+        }
+        let rows = parallel_map(&tuples, threads, |(wi, m, d)| {
+            let wl = &workloads[*wi];
+            let cfg = make_cfg(m, d).with_warmup_ops(scale.warmup_ops);
+            let stats = System::new(&cfg, wl).run(scale.dram_cycles);
+            let alone_ipcs: Vec<f64> = wl
+                .benchmarks
+                .iter()
+                .take(cfg.cores)
+                .map(|b| alone[&(b.name, *d)])
+                .collect();
+            let metrics = Metrics::compute(&stats, &alone_ipcs);
+            WsRow {
+                workload: wl.name.clone(),
+                category: wl.category.percent(),
+                mechanism: *m,
+                density: *d,
+                ws: metrics.weighted_speedup,
+                hs: metrics.harmonic_speedup,
+                max_slowdown: metrics.max_slowdown,
+                energy_nj: metrics.energy_per_access_nj,
+                total_ipc: stats.total_ipc(),
+            }
+        });
+        Self { rows }
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[WsRow] {
+        &self.rows
+    }
+
+    /// The row for one (workload, mechanism, density).
+    pub fn get(&self, workload: &str, mechanism: Mechanism, density: Density) -> Option<&WsRow> {
+        self.rows.iter().find(|r| {
+            r.workload == workload && r.mechanism == mechanism && r.density == density
+        })
+    }
+
+    /// Per-workload WS ratios of `mech` over `base` at `density`.
+    pub fn ws_ratios(&self, mech: Mechanism, base: Mechanism, density: Density) -> Vec<f64> {
+        let mut out = Vec::new();
+        for r in self.rows.iter().filter(|r| r.mechanism == mech && r.density == density) {
+            if let Some(b) = self.get(&r.workload, base, density) {
+                out.push(r.ws / b.ws);
+            }
+        }
+        out
+    }
+
+    /// Geometric-mean WS improvement (%) of `mech` over `base`.
+    pub fn gmean_improvement(&self, mech: Mechanism, base: Mechanism, density: Density) -> f64 {
+        improvement_pct(gmean(&self.ws_ratios(mech, base, density)), 1.0)
+    }
+
+    /// Maximum WS improvement (%) of `mech` over `base`.
+    pub fn max_improvement(&self, mech: Mechanism, base: Mechanism, density: Density) -> f64 {
+        self.ws_ratios(mech, base, density)
+            .into_iter()
+            .map(|r| improvement_pct(r, 1.0))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Merges another grid's rows into this one.
+    pub fn merge(&mut self, other: Grid) {
+        self.rows.extend(other.rows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, 8, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<u64> = parallel_map(&Vec::<u64>::new(), 4, |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scale_workload_sets() {
+        let s = Scale { dram_cycles: 1, alone_cycles: 1, per_category: 3, threads: 1, warmup_ops: 1_000 };
+        let w = s.workloads();
+        assert_eq!(w.len(), 15);
+        assert_eq!(w.iter().filter(|x| x.category.percent() == 50).count(), 3);
+        assert!(!s.intensive_workloads(8).is_empty());
+    }
+
+    #[test]
+    fn tiny_grid_end_to_end() {
+        let scale = Scale { dram_cycles: 4_000, alone_cycles: 3_000, per_category: 1, threads: 4, warmup_ops: 1_000 };
+        let wls: Vec<Workload> = scale.workloads().into_iter().take(2).collect();
+        let grid = Grid::compute(
+            &wls,
+            &[Mechanism::RefAb, Mechanism::NoRefresh],
+            &[Density::G32],
+            &scale,
+        );
+        assert_eq!(grid.rows().len(), 4);
+        let ratios = grid.ws_ratios(Mechanism::NoRefresh, Mechanism::RefAb, Density::G32);
+        assert_eq!(ratios.len(), 2);
+        for r in ratios {
+            assert!(r > 0.0);
+        }
+    }
+}

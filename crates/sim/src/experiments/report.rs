@@ -1,0 +1,131 @@
+//! CSV and markdown emission for experiment rows.
+//!
+//! Rows are any `Serialize` struct that flattens to a JSON object of
+//! scalars; headers come from the first row's keys (in declaration order,
+//! courtesy of `serde_json`'s preserve-order feature being off — we sort
+//! keys for stability).
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+fn flatten<T: Serialize>(row: &T) -> Vec<(String, String)> {
+    let v = serde_json::to_value(row).expect("experiment rows serialize");
+    let obj = v.as_object().expect("experiment rows are flat structs");
+    obj.iter()
+        .map(|(k, v)| {
+            let s = match v {
+                serde_json::Value::String(s) => s.clone(),
+                serde_json::Value::Number(n) => {
+                    if let Some(f) = n.as_f64() {
+                        if n.is_f64() {
+                            format!("{f:.4}")
+                        } else {
+                            n.to_string()
+                        }
+                    } else {
+                        n.to_string()
+                    }
+                }
+                serde_json::Value::Null => String::new(),
+                other => other.to_string(),
+            };
+            (k.clone(), s)
+        })
+        .collect()
+}
+
+/// Renders rows as CSV text.
+pub fn to_csv<T: Serialize>(rows: &[T]) -> String {
+    let mut out = String::new();
+    if rows.is_empty() {
+        return out;
+    }
+    let first = flatten(&rows[0]);
+    let headers: Vec<&String> = first.iter().map(|(k, _)| k).collect();
+    out.push_str(&headers.iter().map(|h| h.as_str()).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        let cells = flatten(row);
+        out.push_str(&cells.iter().map(|(_, v)| v.as_str()).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as a GitHub-flavoured markdown table.
+pub fn to_markdown<T: Serialize>(title: &str, rows: &[T]) -> String {
+    let mut out = format!("### {title}\n\n");
+    if rows.is_empty() {
+        out.push_str("_(no rows)_\n");
+        return out;
+    }
+    let first = flatten(&rows[0]);
+    let headers: Vec<&String> = first.iter().map(|(k, _)| k).collect();
+    out.push_str("| ");
+    out.push_str(&headers.iter().map(|h| h.as_str()).collect::<Vec<_>>().join(" | "));
+    out.push_str(" |\n|");
+    out.push_str(&headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    out.push_str("|\n");
+    for row in rows {
+        let cells = flatten(row);
+        out.push_str("| ");
+        out.push_str(&cells.iter().map(|(_, v)| v.as_str()).collect::<Vec<_>>().join(" | "));
+        out.push_str(" |\n");
+    }
+    out.push('\n');
+    out
+}
+
+/// Writes rows to `<dir>/<name>.csv`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv<T: Serialize>(dir: &Path, name: &str, rows: &[T]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+    f.write_all(to_csv(rows).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Row {
+        name: String,
+        value: f64,
+        count: u32,
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let rows = vec![
+            Row { name: "a".into(), value: 1.5, count: 2 },
+            Row { name: "b".into(), value: 0.25, count: 9 },
+        ];
+        let csv = to_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].contains("1.5000"));
+        assert!(lines[2].contains('9'));
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let rows = vec![Row { name: "x".into(), value: 2.0, count: 1 }];
+        let md = to_markdown("Test", &rows);
+        assert!(md.starts_with("### Test"));
+        assert_eq!(md.matches('\n').count() >= 5, true);
+        assert!(md.contains("| x |") || md.contains("x |"));
+    }
+
+    #[test]
+    fn empty_rows_are_safe() {
+        let rows: Vec<Row> = vec![];
+        assert_eq!(to_csv(&rows), "");
+        assert!(to_markdown("Empty", &rows).contains("no rows"));
+    }
+}

@@ -1,0 +1,177 @@
+//! System-level performance metrics: weighted speedup, harmonic speedup,
+//! maximum slowdown, and the alone-IPC cache they all need.
+//!
+//! The paper (§5, §6.1.5) reports weighted speedup (WS) as the primary
+//! metric, plus harmonic speedup and maximum slowdown for fairness.
+//! `IPC_alone` for each benchmark is measured on a single-core system with
+//! the same DRAM density and LLC capacity and no refresh; because every
+//! policy comparison divides by the *same* alone values, the choice of
+//! alone baseline cancels out of relative improvements.
+
+use crate::config::SimConfig;
+use crate::system::{RunStats, System};
+use dsarp_dram::Density;
+use dsarp_workloads::{BenchmarkSpec, IntensityCategory, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Memoized alone-IPC measurements, keyed by (benchmark, density).
+#[derive(Debug, Default, Clone)]
+pub struct AloneIpcCache {
+    map: HashMap<(&'static str, Density), f64>,
+}
+
+impl AloneIpcCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Alone-IPC of `bench` under `base` (density/LLC taken from it),
+    /// simulating `dram_cycles` on first use.
+    pub fn get(
+        &mut self,
+        bench: &'static BenchmarkSpec,
+        base: &SimConfig,
+        dram_cycles: u64,
+    ) -> f64 {
+        *self.map.entry((bench.name, base.density)).or_insert_with(|| {
+            let cfg = base.alone();
+            let wl = Workload {
+                name: format!("alone-{}", bench.name),
+                category: IntensityCategory::P100,
+                benchmarks: vec![bench],
+            };
+            let stats = System::new(&cfg, &wl).run(dram_cycles);
+            stats.ipc[0].max(1e-9)
+        })
+    }
+
+    /// Pre-computes alone IPCs for every benchmark in `workloads`.
+    pub fn warm(&mut self, workloads: &[Workload], base: &SimConfig, dram_cycles: u64) {
+        for wl in workloads {
+            for b in &wl.benchmarks {
+                self.get(b, base, dram_cycles);
+            }
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The paper's multiprogram metrics for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Weighted speedup: Σ IPCᵢ(shared) / IPCᵢ(alone).
+    pub weighted_speedup: f64,
+    /// Harmonic speedup: N / Σ IPCᵢ(alone)/IPCᵢ(shared).
+    pub harmonic_speedup: f64,
+    /// Maximum slowdown: max IPCᵢ(alone)/IPCᵢ(shared).
+    pub max_slowdown: f64,
+    /// Energy per DRAM access in nanojoules.
+    pub energy_per_access_nj: f64,
+}
+
+impl Metrics {
+    /// Computes the metrics for `stats` of `workload`, using `alone` IPCs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alone.len()` does not match the number of cores in
+    /// `stats`.
+    pub fn compute(stats: &RunStats, alone: &[f64]) -> Self {
+        assert_eq!(stats.ipc.len(), alone.len());
+        let n = alone.len() as f64;
+        let mut ws = 0.0;
+        let mut inv_sum = 0.0;
+        let mut max_sd: f64 = 0.0;
+        for (shared, alone_ipc) in stats.ipc.iter().zip(alone) {
+            let shared = shared.max(1e-9);
+            ws += shared / alone_ipc;
+            inv_sum += alone_ipc / shared;
+            max_sd = max_sd.max(alone_ipc / shared);
+        }
+        Metrics {
+            weighted_speedup: ws,
+            harmonic_speedup: n / inv_sum,
+            max_slowdown: max_sd,
+            energy_per_access_nj: stats.energy_per_access_nj(),
+        }
+    }
+}
+
+/// Geometric mean of a non-empty slice of positive values.
+pub fn gmean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "gmean of empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Percentage improvement of `new` over `base`.
+pub fn improvement_pct(new: f64, base: f64) -> f64 {
+    (new / base - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with_ipc(ipc: Vec<f64>) -> RunStats {
+        RunStats {
+            insts: vec![0; ipc.len()],
+            ipc,
+            cpu_cycles: 1,
+            dram_cycles: 1,
+            ctrl: vec![],
+            llc: Default::default(),
+            energy: Default::default(),
+            max_refresh_gap: None,
+        }
+    }
+
+    #[test]
+    fn weighted_speedup_math() {
+        let s = stats_with_ipc(vec![1.0, 0.5]);
+        let m = Metrics::compute(&s, &[2.0, 1.0]);
+        assert!((m.weighted_speedup - 1.0).abs() < 1e-12); // 0.5 + 0.5
+        assert!((m.harmonic_speedup - 0.5).abs() < 1e-12); // 2 / (2 + 2)
+        assert!((m.max_slowdown - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_runs_give_ws_equal_to_n() {
+        let s = stats_with_ipc(vec![1.5, 2.0, 0.7]);
+        let m = Metrics::compute(&s, &[1.5, 2.0, 0.7]);
+        assert!((m.weighted_speedup - 3.0).abs() < 1e-12);
+        assert!((m.harmonic_speedup - 1.0).abs() < 1e-12);
+        assert!((m.max_slowdown - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_and_improvement() {
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((improvement_pct(1.1, 1.0) - 10.0).abs() < 1e-9);
+        assert!(improvement_pct(0.9, 1.0) < 0.0);
+    }
+
+    #[test]
+    fn alone_cache_memoizes() {
+        use dsarp_core::Mechanism;
+        let base = SimConfig::paper(Mechanism::RefAb, Density::G8);
+        let mut cache = AloneIpcCache::new();
+        let bench = &dsarp_workloads::catalogue::all()[0];
+        let a = cache.get(bench, &base, 2_000);
+        let b = cache.get(bench, &base, 999_999); // ignored: memoized
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+        assert!(a > 0.0);
+    }
+}

@@ -1,0 +1,412 @@
+//! The full-system simulation loop: cores + LLC + controllers + DRAM.
+//!
+//! The system steps at DRAM command-clock granularity; within each DRAM
+//! cycle the cores micro-step 6 CPU cycles (4 GHz over DDR3-1333's
+//! 666.67 MHz command clock).
+
+use crate::config::SimConfig;
+use dsarp_core::{Completion, ControllerStats, MemoryController, Request};
+use dsarp_cpu::{
+    AccessResult, Core, CoreStats, Llc, LlcParams, LlcResult, LlcStats, MemoryInterface,
+    TraceSource,
+};
+use dsarp_dram::{
+    Cycle, DramChannel, EnergyBreakdown, Geometry, IddValues, PowerModel,
+    CPU_CYCLES_PER_DRAM_CYCLE,
+};
+use dsarp_workloads::{SyntheticTrace, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Per-core instruction counts.
+    pub insts: Vec<u64>,
+    /// Per-core IPC over the run.
+    pub ipc: Vec<f64>,
+    /// CPU cycles simulated.
+    pub cpu_cycles: u64,
+    /// DRAM cycles simulated.
+    pub dram_cycles: u64,
+    /// Per-channel controller statistics.
+    pub ctrl: Vec<ControllerStats>,
+    /// LLC statistics.
+    pub llc: LlcStats,
+    /// Total DRAM energy across channels.
+    pub energy: EnergyBreakdown,
+    /// Largest per-bank refresh gap observed (cycles), when retention
+    /// tracking was enabled.
+    pub max_refresh_gap: Option<u64>,
+}
+
+impl RunStats {
+    /// Sum of per-core IPCs (throughput).
+    pub fn total_ipc(&self) -> f64 {
+        self.ipc.iter().sum()
+    }
+
+    /// Total reads + writes serviced by DRAM.
+    pub fn accesses(&self) -> u64 {
+        self.ctrl.iter().map(|c| c.reads_done + c.writes_done).sum()
+    }
+
+    /// Total refresh commands issued (both granularities).
+    pub fn refreshes(&self) -> u64 {
+        self.ctrl.iter().map(|c| c.refab_issued + c.refpb_issued).sum()
+    }
+
+    /// Average read latency in DRAM cycles across channels.
+    pub fn avg_read_latency(&self) -> f64 {
+        let (sum, n) = self
+            .ctrl
+            .iter()
+            .fold((0u64, 0u64), |(s, n), c| (s + c.read_latency_sum, n + c.reads_done));
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// Energy per memory access serviced, in nanojoules (Figure 14 metric).
+    pub fn energy_per_access_nj(&self) -> f64 {
+        self.energy.per_access_nj()
+    }
+}
+
+/// Bridge between the cores and the memory hierarchy: LLC lookup, miss
+/// routing to the right channel's controller, writeback spill handling.
+struct MemBridge<'a> {
+    llc: &'a mut Llc,
+    mcs: &'a mut [MemoryController],
+    geom: &'a Geometry,
+    now: Cycle,
+    next_token: &'a mut u64,
+    wb_spill: &'a mut VecDeque<Request>,
+    max_spill: &'a mut usize,
+}
+
+impl MemBridge<'_> {
+    fn push_writeback(&mut self, addr: u64) {
+        let loc = self.geom.decode(addr);
+        let id = *self.next_token;
+        *self.next_token += 1;
+        let req = Request::write(id, loc, usize::MAX, self.now);
+        if !self.mcs[loc.channel].try_enqueue_write(req) {
+            self.wb_spill.push_back(req);
+            *self.max_spill = (*self.max_spill).max(self.wb_spill.len());
+        }
+    }
+}
+
+impl MemoryInterface for MemBridge<'_> {
+    fn access(&mut self, core: usize, addr: u64, is_store: bool) -> AccessResult {
+        let line = addr & !63u64;
+        let loc = self.geom.decode(line);
+        // Backpressure *before* touching the LLC: a rejected fill must not
+        // leave the line installed.
+        if self.mcs[loc.channel].queues().read_len() >= 64
+            && !self.mcs[loc.channel].queues().forwards_read(&loc)
+        {
+            return AccessResult::Busy;
+        }
+        match self.llc.access(line, is_store) {
+            LlcResult::Hit => AccessResult::Hit,
+            LlcResult::Miss { writeback } => {
+                let id = *self.next_token;
+                *self.next_token += 1;
+                let ok = self.mcs[loc.channel].try_enqueue_read(Request::read(
+                    id, loc, core, self.now,
+                ));
+                debug_assert!(ok, "capacity checked above");
+                if let Some(wb) = writeback {
+                    self.push_writeback(wb);
+                }
+                AccessResult::Miss(id)
+            }
+        }
+    }
+}
+
+/// The simulated system. Construct with [`System::new`], drive with
+/// [`System::run`].
+pub struct System {
+    cores: Vec<Core>,
+    llc: Llc,
+    mcs: Vec<MemoryController>,
+    chans: Vec<DramChannel>,
+    geom: Geometry,
+    next_token: u64,
+    wb_spill: VecDeque<Request>,
+    max_spill: usize,
+    now: Cycle,
+    retention_tracking: bool,
+}
+
+impl System {
+    /// Builds the system for `cfg` running `workload` (one benchmark per
+    /// core; the workload must have at least `cfg.cores` entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has fewer benchmarks than `cfg.cores`.
+    pub fn new(cfg: &SimConfig, workload: &Workload) -> Self {
+        assert!(
+            workload.benchmarks.len() >= cfg.cores,
+            "workload {} has {} benchmarks for {} cores",
+            workload.name,
+            workload.benchmarks.len(),
+            cfg.cores
+        );
+        let geom = cfg.geometry();
+        let timing = cfg.timing();
+        let mut llc = Llc::new(LlcParams {
+            capacity_bytes: cfg.llc_bytes(),
+            assoc: 16,
+            line_bytes: 64,
+        });
+        // Functional warmup: run each trace's first `warmup_ops` memory
+        // operations through the LLC with no timing, then hand the (already
+        // advanced) trace to its core. Short timed runs then observe
+        // steady-state cache behaviour, as the paper's long runs do.
+        let cores = (0..cfg.cores)
+            .map(|i| {
+                let mut trace =
+                    SyntheticTrace::new(workload.benchmarks[i], i, cfg.cores, cfg.seed);
+                for _ in 0..cfg.warmup_ops {
+                    let op = trace.next_op();
+                    llc.access(op.addr & !63, op.kind == dsarp_cpu::MemKind::Store);
+                }
+                Core::new(i, cfg.core_params, Box::new(trace))
+            })
+            .collect();
+        llc.reset_stats();
+        let mcs = (0..geom.channels())
+            .map(|ch| {
+                let mc = MemoryController::new(ch, geom, timing, cfg.mechanism, cfg.seed);
+                match cfg.drain_watermarks {
+                    Some((enter, exit)) => mc.with_queues(
+                        dsarp_core::RequestQueues::new(64, 64, enter, exit),
+                    ),
+                    None => mc,
+                }
+            })
+            .collect();
+        let chans = (0..geom.channels())
+            .map(|_| {
+                let mut ch = DramChannel::new(geom, timing, cfg.mechanism.sarp_support());
+                if cfg.ablate_sarp_throttle {
+                    ch.disable_power_throttle();
+                }
+                ch.set_refpb_overlap_ways(cfg.mechanism.refpb_overlap_ways());
+                ch
+            })
+            .collect();
+        Self {
+            cores,
+            llc,
+            mcs,
+            chans,
+            geom,
+            next_token: 1,
+            wb_spill: VecDeque::new(),
+            max_spill: 0,
+            now: 0,
+            retention_tracking: false,
+        }
+    }
+
+    /// Enables per-refresh retention bookkeeping (integration tests).
+    pub fn enable_retention_tracking(&mut self) {
+        self.retention_tracking = true;
+        for c in &mut self.chans {
+            c.enable_retention_tracking();
+        }
+    }
+
+    /// Enables DRAM command logging on every channel (timeline examples).
+    pub fn enable_command_log(&mut self) {
+        for c in &mut self.chans {
+            c.enable_command_log();
+        }
+    }
+
+    /// Drains the command log of channel `ch`.
+    pub fn take_command_log(&mut self, ch: usize) -> Vec<(Cycle, dsarp_dram::Command)> {
+        self.chans[ch].take_command_log()
+    }
+
+    /// Direct access to a channel (tests).
+    pub fn channel(&self, ch: usize) -> &DramChannel {
+        &self.chans[ch]
+    }
+
+    /// Direct access to a controller (tests).
+    pub fn controller(&self, ch: usize) -> &MemoryController {
+        &self.mcs[ch]
+    }
+
+    /// Runs for `dram_cycles` more DRAM cycles and returns cumulative stats.
+    pub fn run(&mut self, dram_cycles: u64) -> RunStats {
+        let end = self.now + dram_cycles;
+        let mut completions: Vec<Completion> = Vec::with_capacity(16);
+        while self.now < end {
+            let now = self.now;
+
+            // Drain spilled writebacks into freed write-queue slots.
+            while let Some(req) = self.wb_spill.front() {
+                let ch = req.loc.channel;
+                let req = *req;
+                if self.mcs[ch].try_enqueue_write(req) {
+                    self.wb_spill.pop_front();
+                } else {
+                    break;
+                }
+            }
+
+            // Step each channel's controller (one command per channel).
+            completions.clear();
+            for (mc, chan) in self.mcs.iter_mut().zip(self.chans.iter_mut()) {
+                mc.step(chan, now, &mut completions);
+            }
+            for c in &completions {
+                if c.core != usize::MAX {
+                    self.cores[c.core].complete(c.id);
+                }
+            }
+
+            // Micro-step the cores.
+            let mut bridge = MemBridge {
+                llc: &mut self.llc,
+                mcs: &mut self.mcs,
+                geom: &self.geom,
+                now,
+                next_token: &mut self.next_token,
+                wb_spill: &mut self.wb_spill,
+                max_spill: &mut self.max_spill,
+            };
+            for _ in 0..CPU_CYCLES_PER_DRAM_CYCLE {
+                for core in &mut self.cores {
+                    core.step(&mut bridge);
+                }
+            }
+            self.now += 1;
+        }
+        self.collect()
+    }
+
+    /// Per-core statistics (cumulative).
+    pub fn core_stats(&self) -> Vec<CoreStats> {
+        self.cores.iter().map(|c| *c.stats()).collect()
+    }
+
+    fn collect(&mut self) -> RunStats {
+        for c in &mut self.chans {
+            c.finalize_energy(self.now);
+        }
+        let timing = *self.chans[0].timing();
+        let pm = PowerModel::new(
+            IddValues::micron_8gb_ddr3_1333(),
+            timing.tck_ps,
+            self.geom.ranks_per_channel(),
+        );
+        let mut energy = EnergyBreakdown::default();
+        for c in &self.chans {
+            let e = pm.energy(c.energy_counters(), &timing);
+            energy.act_pre_nj += e.act_pre_nj;
+            energy.read_nj += e.read_nj;
+            energy.write_nj += e.write_nj;
+            energy.refresh_nj += e.refresh_nj;
+            energy.background_nj += e.background_nj;
+            energy.accesses += e.accesses;
+        }
+        let max_refresh_gap = if self.retention_tracking {
+            self.chans
+                .iter()
+                .filter_map(|c| c.retention_tracker().map(|t| t.max_bank_gap(self.now)))
+                .max()
+        } else {
+            None
+        };
+        RunStats {
+            insts: self.cores.iter().map(|c| c.retired()).collect(),
+            ipc: self.cores.iter().map(|c| c.ipc()).collect(),
+            cpu_cycles: self.now * CPU_CYCLES_PER_DRAM_CYCLE,
+            dram_cycles: self.now,
+            ctrl: self.mcs.iter().map(|m| *m.stats()).collect(),
+            llc: *self.llc.stats(),
+            energy,
+            max_refresh_gap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsarp_core::Mechanism;
+    use dsarp_dram::Density;
+    use dsarp_workloads::mixes;
+
+    fn intensive_workload() -> Workload {
+        mixes::intensive_mixes(8, 1)[0].clone()
+    }
+
+    #[test]
+    fn cores_make_progress_and_dram_serves() {
+        let cfg = SimConfig::paper(Mechanism::RefAb, Density::G8);
+        let mut sys = System::new(&cfg, &intensive_workload());
+        let stats = sys.run(20_000);
+        assert!(stats.total_ipc() > 0.1, "ipc = {}", stats.total_ipc());
+        assert!(stats.accesses() > 100, "accesses = {}", stats.accesses());
+        assert!(stats.refreshes() > 0);
+        assert!(stats.energy.total_nj() > 0.0);
+    }
+
+    #[test]
+    fn writes_eventually_drain() {
+        // A small LLC fills quickly, so dirty evictions (writebacks) start
+        // early and the drain machinery is exercised within the short run.
+        let mut cfg = SimConfig::paper(Mechanism::RefPb, Density::G8);
+        cfg.llc_capacity = Some(128 * 1024);
+        let mut sys = System::new(&cfg, &intensive_workload());
+        let stats = sys.run(50_000);
+        let writes: u64 = stats.ctrl.iter().map(|c| c.writes_done).sum();
+        assert!(writes > 0, "store-heavy workload must produce writebacks");
+        assert!(stats.llc.writebacks > 0);
+    }
+
+    #[test]
+    fn no_refresh_beats_refab_on_intensive_mix() {
+        let wl = intensive_workload();
+        let mut a = System::new(&SimConfig::paper(Mechanism::NoRefresh, Density::G32), &wl);
+        let mut b = System::new(&SimConfig::paper(Mechanism::RefAb, Density::G32), &wl);
+        let sa = a.run(40_000);
+        let sb = b.run(40_000);
+        assert!(
+            sa.total_ipc() > sb.total_ipc(),
+            "no-refresh {} must beat REFab {}",
+            sa.total_ipc(),
+            sb.total_ipc()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G16);
+        let wl = intensive_workload();
+        let s1 = System::new(&cfg, &wl).run(10_000);
+        let s2 = System::new(&cfg, &wl).run(10_000);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn retention_tracking_reports_gap() {
+        let cfg = SimConfig::paper(Mechanism::RefPb, Density::G8);
+        let mut sys = System::new(&cfg, &intensive_workload());
+        sys.enable_retention_tracking();
+        let stats = sys.run(10_000);
+        assert!(stats.max_refresh_gap.is_some());
+    }
+}

@@ -1,0 +1,13 @@
+//! Calibration tool: measured MPKI of every benchmark archetype against the
+//! paper's 512 KB LLC slice, with its designed intensity class
+//! (`cargo run --release -p dsarp-workloads --example mpki_check`).
+//!
+//! The catalogue test asserts each archetype lands in its designed class;
+//! this binary prints the raw numbers for retuning.
+
+fn main() {
+    for spec in dsarp_workloads::catalogue::all().iter() {
+        let mpki = dsarp_workloads::measured_mpki(spec, 400_000);
+        println!("{:18} {:?} MPKI={:.1}", spec.name, spec.class, mpki);
+    }
+}

@@ -1,0 +1,209 @@
+//! The statistical trace generator realizing a [`BenchmarkSpec`].
+
+use crate::spec::BenchmarkSpec;
+use dsarp_cpu::{MemKind, TraceOp, TraceSource};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Total physical address space of the paper's memory system (16 GiB:
+/// 2 channels × 2 ranks × 8 banks × 64 K rows × 8 KB).
+const CAPACITY: u64 = 16 * (1 << 30);
+
+/// log2 of the address span covered by one row index value (all banks,
+/// ranks, channels and columns below the row bits: 6+1+7+3+1 = 18 for the
+/// paper geometry).
+const ROW_SPAN_LOG: u64 = 18;
+
+/// An infinite synthetic instruction stream for one core.
+///
+/// Each core gets a disjoint `capacity / num_cores` slice of the physical
+/// address space, so multiprogrammed workloads do not share data — matching
+/// the paper's multiprogrammed (not multithreaded) setup. The slices are
+/// interleaved at *row* granularity (core `c` of `N` owns DRAM rows
+/// `r` with `r mod N == c`), which spreads every core across all banks
+/// **and all subarrays** the way OS page mapping does for real traces; a
+/// high-bits split would pin each core to a single subarray and distort
+/// SARP results.
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    spec: BenchmarkSpec,
+    rng: SmallRng,
+    core_id: u64,
+    num_cores: u64,
+    region: u64,
+    streams: Vec<u64>,
+    stream_left: Vec<u32>,
+}
+
+impl SyntheticTrace {
+    /// Creates the trace of `spec` for `core_id` of `num_cores`, seeded
+    /// deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_id >= num_cores` or `num_cores` is zero.
+    pub fn new(spec: &BenchmarkSpec, core_id: usize, num_cores: usize, seed: u64) -> Self {
+        assert!(num_cores > 0 && core_id < num_cores);
+        let region = CAPACITY / num_cores as u64;
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (core_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let streams = (0..spec.num_streams.max(1))
+            .map(|_| rng.gen_range(0..region / 2))
+            .collect();
+        let stream_left = vec![0; spec.num_streams.max(1)];
+        Self {
+            spec: *spec,
+            rng,
+            core_id: core_id as u64,
+            num_cores: num_cores as u64,
+            region,
+            streams,
+            stream_left,
+        }
+    }
+
+    /// Maps a flat per-core offset to a physical address in this core's
+    /// row-interleaved slice.
+    ///
+    /// Two transformations mimic OS physical-page placement:
+    /// * the row index is scrambled by a bijective odd-multiplier hash, so
+    ///   any contiguous working set spreads over all subarrays (real traces
+    ///   get this from page-granularity allocation);
+    /// * cores interleave at row granularity (core `c` owns rows ≡ c mod N).
+    ///
+    /// Bits below the row (bank/column/channel) are untouched, preserving
+    /// row-buffer locality.
+    fn clamp(&self, offset: u64) -> u64 {
+        let o = offset % self.region;
+        let rows_per_core = (self.region >> ROW_SPAN_LOG).max(1);
+        debug_assert!(rows_per_core.is_power_of_two());
+        let row_part = (o >> ROW_SPAN_LOG).wrapping_mul(0x2545) & (rows_per_core - 1);
+        let low = o & ((1 << ROW_SPAN_LOG) - 1);
+        ((row_part * self.num_cores + self.core_id) << ROW_SPAN_LOG) | low
+    }
+
+    fn next_addr(&mut self) -> (u64, bool) {
+        let spec = self.spec;
+        if self.rng.gen_bool(spec.stream_frac) {
+            // Sequential stream access.
+            let s = self.rng.gen_range(0..self.streams.len());
+            if self.stream_left[s] == 0 {
+                // Occasionally restart a stream elsewhere to bound footprint.
+                self.stream_left[s] = 4096;
+                self.streams[s] = self.rng.gen_range(0..self.region / 2);
+            }
+            self.stream_left[s] -= 1;
+            self.streams[s] = self.streams[s].wrapping_add(spec.stream_stride) % (self.region / 2);
+            (self.clamp(self.streams[s]), false)
+        } else if self.rng.gen_bool(spec.hot_frac) {
+            // Hot-set access (cache-resident).
+            let off = self.rng.gen_range(0..spec.hot_bytes.max(64));
+            (self.clamp(self.region / 2 + off), false)
+        } else {
+            // Cold random access over the working set.
+            let off = self.rng.gen_range(0..spec.working_set.max(64));
+            let dependent = self.rng.gen_bool(spec.dep_frac);
+            (self.clamp(self.region / 2 + spec.hot_bytes + off), dependent)
+        }
+    }
+}
+
+impl TraceSource for SyntheticTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let bubbles = self.rng.gen_range(0..=2 * self.spec.mem_interval);
+        let (addr, dependent) = self.next_addr();
+        let kind = if self.rng.gen_bool(self.spec.store_frac) {
+            MemKind::Store
+        } else {
+            MemKind::Load
+        };
+        // Dependence only makes sense for loads.
+        let dependent = dependent && kind == MemKind::Load;
+        TraceOp { bubbles, kind, addr, dependent }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalogue;
+
+    fn sample_ops(spec: &BenchmarkSpec, core: usize, n: usize, seed: u64) -> Vec<TraceOp> {
+        let mut t = SyntheticTrace::new(spec, core, 8, seed);
+        (0..n).map(|_| t.next_op()).collect()
+    }
+
+    #[test]
+    fn addresses_stay_in_core_rows() {
+        let spec = &catalogue::all()[0];
+        for core in [0usize, 3, 7] {
+            for op in sample_ops(spec, core, 5_000, 1) {
+                assert!(op.addr < CAPACITY);
+                let row = op.addr >> ROW_SPAN_LOG;
+                assert_eq!(row % 8, core as u64, "core {core} owns rows = core mod 8");
+            }
+        }
+    }
+
+    #[test]
+    fn cores_cover_many_subarrays() {
+        // Row-interleaving must spread each core across the whole row space
+        // (and therefore all 8 subarrays: subarray = row / 8192).
+        let spec = &catalogue::all()[2]; // random_access: wide working set
+        let mut subarrays = std::collections::HashSet::new();
+        for op in sample_ops(spec, 0, 20_000, 5) {
+            let row = (op.addr >> ROW_SPAN_LOG) & 0xFFFF;
+            subarrays.insert(row / 8_192);
+        }
+        assert!(subarrays.len() >= 6, "core 0 only touched {subarrays:?}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let spec = &catalogue::all()[2];
+        let a = sample_ops(spec, 1, 1_000, 99);
+        let b = sample_ops(spec, 1, 1_000, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = &catalogue::all()[2];
+        let a = sample_ops(spec, 1, 1_000, 1);
+        let b = sample_ops(spec, 1, 1_000, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn store_fraction_roughly_respected() {
+        let spec = catalogue::by_name("tpcc_like").unwrap();
+        let ops = sample_ops(spec, 0, 20_000, 7);
+        let stores = ops.iter().filter(|o| o.kind == MemKind::Store).count();
+        let frac = stores as f64 / ops.len() as f64;
+        assert!((frac - spec.store_frac).abs() < 0.02, "store frac = {frac}");
+    }
+
+    #[test]
+    fn mean_bubbles_matches_interval() {
+        let spec = &catalogue::all()[0];
+        let ops = sample_ops(spec, 0, 50_000, 13);
+        let mean =
+            ops.iter().map(|o| o.bubbles as f64).sum::<f64>() / ops.len() as f64;
+        assert!(
+            (mean - spec.mem_interval as f64).abs() < 0.2 * spec.mem_interval.max(1) as f64,
+            "mean bubbles {mean} vs interval {}",
+            spec.mem_interval
+        );
+    }
+
+    #[test]
+    fn dependent_ops_only_on_loads() {
+        for spec in catalogue::all().iter() {
+            for op in sample_ops(spec, 0, 2_000, 3) {
+                if op.dependent {
+                    assert_eq!(op.kind, MemKind::Load);
+                }
+            }
+        }
+    }
+}

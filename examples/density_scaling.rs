@@ -1,0 +1,56 @@
+//! Density scaling: how the refresh penalty grows from today's 8 Gb chips
+//! to projected 64 Gb chips, and how much of it each mechanism recovers —
+//! the motivation (Figures 5–7) and headline trend in one run.
+//!
+//! ```text
+//! cargo run --release -p dsarp-sim --example density_scaling
+//! ```
+
+use dsarp_core::Mechanism;
+use dsarp_dram::timing::{trfc_projection1_ns, trfc_projection2_ns};
+use dsarp_dram::Density;
+use dsarp_sim::{SimConfig, System};
+use dsarp_workloads::mixes;
+
+fn main() {
+    println!("tRFCab scaling (Figure 5):");
+    println!("  {:>8} {:>12} {:>14} {:>14}", "density", "present", "projection 1", "projection 2");
+    for gb in [1u32, 2, 4, 8, 16, 32, 64] {
+        let present = match gb {
+            1 => "110 ns",
+            2 => "160 ns",
+            4 => "260 ns",
+            8 => "350 ns",
+            _ => "-",
+        };
+        println!(
+            "  {gb:>6}Gb {present:>12} {:>11.0} ns {:>11.0} ns",
+            trfc_projection1_ns(gb as f64),
+            trfc_projection2_ns(gb as f64)
+        );
+    }
+
+    let workload = &mixes::intensive_mixes(8, 11)[0];
+    let cycles = 150_000;
+    println!("\nRefresh penalty and recovery on {} (memory-intensive):", workload.name);
+    println!(
+        "  {:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "density", "REFab", "REFpb", "DSARP", "No REF", "DSARP gap"
+    );
+    for density in [Density::G8, Density::G16, Density::G32, Density::G64] {
+        let ipc = |mech| {
+            System::new(&SimConfig::paper(mech, density), workload)
+                .run(cycles)
+                .total_ipc()
+        };
+        let refab = ipc(Mechanism::RefAb);
+        let refpb = ipc(Mechanism::RefPb);
+        let dsarp = ipc(Mechanism::Dsarp);
+        let ideal = ipc(Mechanism::NoRefresh);
+        println!(
+            "  {density:>8} {refab:>10.3} {refpb:>10.3} {dsarp:>10.3} {ideal:>10.3} {:>11.1}%",
+            (1.0 - dsarp / ideal) * 100.0
+        );
+    }
+    println!("\nThe REFab column collapses as density grows; DSARP stays near the ideal.");
+}

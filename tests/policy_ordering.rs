@@ -1,0 +1,106 @@
+//! The paper's headline qualitative results, asserted end-to-end at 32 Gb
+//! on memory-intensive mixes: who wins, and in roughly what order.
+//!
+//! Absolute numbers differ from the paper (different traces, shorter runs),
+//! but the *ordering* — the paper's Figure 13 at 32 Gb — must hold:
+//!
+//! `REFab  <  Elastic  <  REFpb  <  DARP, SARPab  <  SARPpb ≈ DSARP ≲ NoREF`
+
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use dsarp_sim::{SimConfig, System};
+use dsarp_workloads::mixes;
+
+const CYCLES: u64 = 60_000;
+
+/// Mean total IPC over a few intensive mixes (alone-IPC denominators cancel
+/// in ordering comparisons, so total IPC is an equivalent, cheaper proxy).
+fn mean_ipc(mech: Mechanism) -> f64 {
+    let wls = mixes::intensive_mixes(8, 1);
+    let mut total = 0.0;
+    let n = 4;
+    for wl in wls.iter().take(n) {
+        let cfg = SimConfig::paper(mech, Density::G32);
+        total += System::new(&cfg, wl).run(CYCLES).total_ipc();
+    }
+    total / n as f64
+}
+
+#[test]
+fn mechanism_ordering_at_32gb() {
+    let noref = mean_ipc(Mechanism::NoRefresh);
+    let refab = mean_ipc(Mechanism::RefAb);
+    let refpb = mean_ipc(Mechanism::RefPb);
+    let elastic = mean_ipc(Mechanism::Elastic);
+    let darp = mean_ipc(Mechanism::Darp);
+    let sarpab = mean_ipc(Mechanism::SarpAb);
+    let sarppb = mean_ipc(Mechanism::SarpPb);
+    let dsarp = mean_ipc(Mechanism::Dsarp);
+
+    let all = [
+        ("REFab", refab),
+        ("REFpb", refpb),
+        ("Elastic", elastic),
+        ("DARP", darp),
+        ("SARPab", sarpab),
+        ("SARPpb", sarppb),
+        ("DSARP", dsarp),
+    ];
+    println!("NoREF {noref:.4} | {all:?}");
+
+    // 1. The ideal bound: nothing beats no-refresh by more than noise.
+    for (name, v) in all {
+        assert!(v <= noref * 1.01, "{name} ({v}) above the no-refresh bound ({noref})");
+    }
+    // 2. REFab is the worst mechanism at 32 Gb.
+    for (name, v) in &all[1..] {
+        assert!(*v >= refab * 0.99, "{name} ({v}) should not lose to REFab ({refab})");
+    }
+    // 3. Per-bank refresh clearly beats all-bank at high density (paper §3).
+    assert!(refpb > refab * 1.02, "REFpb {refpb} vs REFab {refab}");
+    // 4. DARP improves on REFpb (paper Table 2: +3.8% gmean at 32 Gb).
+    assert!(darp > refpb * 1.005, "DARP {darp} vs REFpb {refpb}");
+    // 5. SARPpb improves on REFpb by even more (paper: +13.7%).
+    assert!(sarppb > refpb * 1.02, "SARPpb {sarppb} vs REFpb {refpb}");
+    // 6. DSARP lands within a few percent of the ideal (paper: 3.7%).
+    assert!(dsarp > noref * 0.93, "DSARP {dsarp} vs ideal {noref}");
+    // 7. Elastic refresh only mildly improves on REFab (paper: ~1.8%).
+    assert!(elastic > refab * 0.99 && elastic < refpb * 1.02);
+}
+
+#[test]
+fn fgr_and_ar_shape_at_32gb() {
+    let refab = mean_ipc(Mechanism::RefAb);
+    let fgr2 = mean_ipc(Mechanism::Fgr2x);
+    let fgr4 = mean_ipc(Mechanism::Fgr4x);
+    let ar = mean_ipc(Mechanism::AdaptiveRefresh);
+    let dsarp = mean_ipc(Mechanism::Dsarp);
+    // Paper Fig. 16: FGR hurts (4x worse than 2x), AR lands near REFab,
+    // DSARP beats them all.
+    assert!(fgr4 < fgr2, "FGR 4x {fgr4} must trail 2x {fgr2}");
+    assert!(fgr2 < refab * 1.01, "FGR 2x {fgr2} must not beat REFab {refab}");
+    assert!(ar > fgr4, "AR {ar} must improve on always-4x {fgr4}");
+    assert!(dsarp > refab && dsarp > ar, "DSARP dominates (got {dsarp})");
+}
+
+#[test]
+fn benefits_grow_with_density() {
+    // Paper: DSARP's advantage over REFab grows 8 -> 32 Gb.
+    let gain = |density| {
+        let wl = &mixes::intensive_mixes(8, 1)[0];
+        let base = System::new(&SimConfig::paper(Mechanism::RefAb, density), wl)
+            .run(CYCLES)
+            .total_ipc();
+        let dsarp = System::new(&SimConfig::paper(Mechanism::Dsarp, density), wl)
+            .run(CYCLES)
+            .total_ipc();
+        dsarp / base
+    };
+    let g8 = gain(Density::G8);
+    let g32 = gain(Density::G32);
+    assert!(
+        g32 > g8,
+        "DSARP gain must grow with density: 8Gb {g8:.4} vs 32Gb {g32:.4}"
+    );
+    assert!(g32 > 1.05, "32 Gb gain should be substantial, got {g32:.4}");
+}

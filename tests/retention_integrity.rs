@@ -1,0 +1,83 @@
+//! Data-integrity invariants: no matter how aggressively a policy reorders,
+//! postpones or pulls in refreshes, every bank keeps receiving them within
+//! the bound the erratum establishes (≤ 8 postponed ⇒ gap ≤ 9 periods).
+
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use dsarp_sim::{SimConfig, System};
+use dsarp_workloads::mixes;
+
+/// Per-bank refresh period: a bank's turn comes every 8 ticks of tREFIpb,
+/// i.e. every tREFIab = 2600 cycles at 32 ms retention.
+const PER_BANK_PERIOD: u64 = 2_600;
+
+fn max_gap(mech: Mechanism, cycles: u64) -> u64 {
+    let wl = &mixes::intensive_mixes(8, 3)[0];
+    let cfg = SimConfig::paper(mech, Density::G8);
+    let mut sys = System::new(&cfg, wl);
+    sys.enable_retention_tracking();
+    sys.run(cycles).max_refresh_gap.expect("tracking enabled")
+}
+
+#[test]
+fn baseline_refab_meets_schedule() {
+    // REFab refreshes each bank every tREFIab; small slack for precharge
+    // preparation under load.
+    let gap = max_gap(Mechanism::RefAb, 40_000);
+    assert!(
+        gap <= 2 * PER_BANK_PERIOD,
+        "REFab max bank gap {gap} cycles exceeds twice the period"
+    );
+}
+
+#[test]
+fn baseline_refpb_meets_schedule() {
+    let gap = max_gap(Mechanism::RefPb, 40_000);
+    assert!(gap <= 2 * PER_BANK_PERIOD, "REFpb max bank gap {gap}");
+}
+
+#[test]
+fn darp_respects_the_erratum_bound() {
+    // The erratum: at most 8 of a bank's refreshes may be postponed, so the
+    // gap between consecutive refreshes of one bank is bounded by 9 periods
+    // (plus scheduling slack).
+    let gap = max_gap(Mechanism::Darp, 120_000);
+    let bound = 9 * PER_BANK_PERIOD + 2 * PER_BANK_PERIOD;
+    assert!(gap <= bound, "DARP max bank gap {gap} exceeds erratum bound {bound}");
+}
+
+#[test]
+fn dsarp_respects_the_erratum_bound() {
+    let gap = max_gap(Mechanism::Dsarp, 120_000);
+    let bound = 9 * PER_BANK_PERIOD + 2 * PER_BANK_PERIOD;
+    assert!(gap <= bound, "DSARP max bank gap {gap} exceeds erratum bound {bound}");
+}
+
+#[test]
+fn elastic_respects_the_postponement_cap() {
+    // Elastic postpones up to 8 rank-level refreshes: same 9-period bound.
+    let gap = max_gap(Mechanism::Elastic, 120_000);
+    let bound = 9 * PER_BANK_PERIOD + 2 * PER_BANK_PERIOD;
+    assert!(gap <= bound, "Elastic max bank gap {gap} exceeds bound {bound}");
+}
+
+#[test]
+fn total_refresh_work_is_conserved_under_darp() {
+    // Reordering must not change the long-run refresh *rate*: after T
+    // cycles, total refreshes are within the schedule ± the flexibility
+    // window (8 per bank, pulled in or postponed).
+    let wl = &mixes::intensive_mixes(8, 3)[0];
+    let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G8);
+    let mut sys = System::new(&cfg, wl);
+    sys.enable_retention_tracking();
+    let cycles = 100_000;
+    let stats = sys.run(cycles);
+    let scheduled_per_rank = cycles / 325; // tREFIpb ticks
+    let scheduled = scheduled_per_rank * 4; // 2 channels x 2 ranks
+    let window = 8 * 8 * 4; // 8 per bank x 8 banks x 4 ranks
+    let got = stats.refreshes();
+    assert!(
+        got + window >= scheduled && got <= scheduled + window,
+        "refresh work drifted: {got} vs schedule {scheduled} ± {window}"
+    );
+}
