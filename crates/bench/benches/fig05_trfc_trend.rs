@@ -8,7 +8,13 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig05_trfc_trend", |b| {
         b.iter(|| {
             let rows = dsarp_sim::experiments::fig05::run();
-            assert_eq!(rows.iter().find(|r| r.gigabits == 32).unwrap().projection2_ns, 890.0);
+            assert_eq!(
+                rows.iter()
+                    .find(|r| r.gigabits == 32)
+                    .unwrap()
+                    .projection2_ns,
+                890.0
+            );
             black_box(rows)
         })
     });

@@ -15,13 +15,22 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_throughput");
     g.sample_size(10);
     g.throughput(Throughput::Elements(cycles));
-    for mech in [Mechanism::NoRefresh, Mechanism::RefAb, Mechanism::RefPb, Mechanism::Dsarp] {
-        g.bench_with_input(BenchmarkId::from_parameter(mech.label()), &mech, |b, &mech| {
-            b.iter(|| {
-                let cfg = SimConfig::paper(mech, Density::G32);
-                black_box(System::new(&cfg, &workload).run(cycles))
-            })
-        });
+    for mech in [
+        Mechanism::NoRefresh,
+        Mechanism::RefAb,
+        Mechanism::RefPb,
+        Mechanism::Dsarp,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(mech.label()),
+            &mech,
+            |b, &mech| {
+                b.iter(|| {
+                    let cfg = SimConfig::paper(mech, Density::G32);
+                    black_box(System::new(&cfg, &workload).run(cycles))
+                })
+            },
+        );
     }
     g.finish();
 }

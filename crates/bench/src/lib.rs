@@ -9,5 +9,11 @@ use dsarp_sim::experiments::Scale;
 
 /// The reduced scale used by all bench targets.
 pub fn bench_scale() -> Scale {
-    Scale { dram_cycles: 5_000, alone_cycles: 3_000, per_category: 1, threads: 0, warmup_ops: 8_000 }
+    Scale {
+        dram_cycles: 5_000,
+        alone_cycles: 3_000,
+        per_category: 1,
+        threads: 0,
+        warmup_ops: 8_000,
+    }
 }

@@ -1,0 +1,384 @@
+//! Regenerates every table and figure of the paper's evaluation through
+//! the campaign engine: all runs are content-addressed, cached under the
+//! campaign store, and resumable — re-running reuses every completed cell.
+//!
+//! ```text
+//! cargo run --release -p dsarp-campaign --bin experiments -- [--scale quick|full]
+//!     [--cycles N] [--per-category N] [--threads N] [--out DIR]
+//!     [--campaign DIR] [--fresh] [--exp NAME]
+//! ```
+//!
+//! Outputs one CSV per artifact under `--out` (default `results/`), a
+//! combined `EXPERIMENTS_RAW.md`, and `campaign_report.json` with cache
+//! statistics. The result store lives under `--campaign` (default
+//! `.campaign/`); `--fresh` wipes it first.
+
+use dsarp_campaign::{export, Campaign, CampaignReport, CampaignSpec};
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use dsarp_sim::experiments::{
+    ablations, chart, fig05, fig06_07, fig12_table2, fig13, fig14, fig15, fig16, harness::Scale,
+    overlap, report, table3, table4, table5, table6,
+};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct Args {
+    scale: Scale,
+    out: PathBuf,
+    campaign_dir: PathBuf,
+    fresh: bool,
+    only: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut scale = Scale::full();
+    // Individual knobs are collected separately and applied after the
+    // loop, so `--cycles 4000 --scale quick` and `--scale quick --cycles
+    // 4000` mean the same thing.
+    let mut cycles = None;
+    let mut per_category = None;
+    let mut threads = None;
+    let mut out = PathBuf::from("results");
+    let mut campaign_dir = PathBuf::from(".campaign");
+    let mut fresh = false;
+    let mut only = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let next = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| panic!("missing value for {}", argv[*i - 1]))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--scale" => {
+                scale = match next(&mut i).as_str() {
+                    "quick" => Scale::quick(),
+                    "full" => Scale::full(),
+                    other => panic!("unknown scale `{other}`"),
+                }
+            }
+            "--cycles" => cycles = Some(next(&mut i).parse().expect("--cycles")),
+            "--per-category" => per_category = Some(next(&mut i).parse().expect("--per-category")),
+            "--threads" => threads = Some(next(&mut i).parse().expect("--threads")),
+            "--out" => out = PathBuf::from(next(&mut i)),
+            "--campaign" => campaign_dir = PathBuf::from(next(&mut i)),
+            "--fresh" => fresh = true,
+            "--exp" => only = Some(next(&mut i)),
+            other => panic!("unknown argument `{other}` (see the module docs)"),
+        }
+        i += 1;
+    }
+    if let Some(c) = cycles {
+        scale.dram_cycles = c;
+    }
+    if let Some(p) = per_category {
+        scale.per_category = p;
+    }
+    if let Some(t) = threads {
+        scale.threads = t;
+    }
+    if let Some(name) = only.as_deref() {
+        const KNOWN: [&str; 15] = [
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig12",
+            "table2",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "overlap",
+            "ablations",
+        ];
+        assert!(
+            KNOWN.contains(&name),
+            "unknown experiment `{name}`; expected one of {KNOWN:?}"
+        );
+    }
+    Args {
+        scale,
+        out,
+        campaign_dir,
+        fresh,
+        only,
+    }
+}
+
+fn wanted(only: &Option<String>, name: &str) -> bool {
+    only.as_deref().is_none_or(|o| o == name)
+}
+
+/// Which sweep-name prefixes the requested artifacts need.
+fn required_sweeps(only: &Option<String>) -> Vec<&'static str> {
+    const MAIN_ARTIFACTS: [&str; 8] = [
+        "fig6", "fig7", "fig12", "table2", "fig13", "fig14", "fig15", "fig16",
+    ];
+    let mut prefixes = Vec::new();
+    if MAIN_ARTIFACTS.iter().any(|n| wanted(only, n)) {
+        prefixes.push("main");
+    }
+    for (artifact, prefix) in [
+        ("table3", "table3/"),
+        ("table4", "table4/"),
+        ("table5", "table5/"),
+        ("table6", "table6"),
+        ("overlap", "overlap"),
+        ("ablations", "ablations/"),
+    ] {
+        if wanted(only, artifact) {
+            prefixes.push(prefix);
+        }
+    }
+    prefixes
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = args.scale;
+    let out = &args.out;
+    std::fs::create_dir_all(out).expect("create output dir");
+    let mut md = String::from("# DSARP reproduction — raw experiment output\n\n");
+    md.push_str(&format!(
+        "Scale: {} DRAM cycles/run, {} workloads/category, {} threads.\n\n",
+        scale.dram_cycles,
+        scale.per_category,
+        scale.resolved_threads()
+    ));
+    let t0 = Instant::now();
+
+    // Figure 5 is analytic: no simulation, no campaign.
+    if wanted(&args.only, "fig5") {
+        let rows = fig05::run();
+        report::write_csv(out, "fig05_trfc_trend", &rows).unwrap();
+        md.push_str(&report::to_markdown("Figure 5: tRFCab trend (ns)", &rows));
+        println!("[{:>7.1?}] fig5 done", t0.elapsed());
+    }
+
+    // Everything else reduces from the paper campaign.
+    if args.fresh {
+        let store = args.campaign_dir.join("paper");
+        if store.exists() {
+            std::fs::remove_dir_all(&store).expect("wipe campaign store");
+        }
+    }
+    let prefixes = required_sweeps(&args.only);
+    if prefixes.is_empty() {
+        finish(out, &md, t0);
+        return;
+    }
+    let spec = CampaignSpec::paper(scale).filtered(&prefixes);
+    let mut campaign = Campaign::open(&args.campaign_dir, spec).expect("open campaign store");
+    campaign.verbose = true;
+    let result = campaign.run().expect("campaign execution");
+    println!(
+        "[{:>7.1?}] campaign done: {} cells, {} cached, {} simulated",
+        t0.elapsed(),
+        result.stats.cells,
+        result.stats.cache_hits,
+        result.stats.simulated
+    );
+    export::write_report_json(out, &result).unwrap();
+
+    if prefixes.contains(&"main") {
+        reduce_main_grid(&args, &result, &mut md, &t0, out);
+    }
+    if wanted(&args.only, "table3") {
+        let rows: Vec<table3::Table3Row> = table3::CORE_SWEEP
+            .iter()
+            .map(|&cores| table3::reduce(result.grid(&format!("table3/cores{cores}")), cores))
+            .collect();
+        report::write_csv(out, "table3_core_count", &rows).unwrap();
+        md.push_str(&report::to_markdown(
+            "Table 3: DSARP vs REFab by core count (32 Gb, intensive, %)",
+            &rows,
+        ));
+        println!("[{:>7.1?}] table3 done", t0.elapsed());
+    }
+    if wanted(&args.only, "table4") {
+        let rows: Vec<table4::Table4Row> = table4::SWEEP
+            .iter()
+            .map(|&(faw, rrd)| {
+                table4::reduce(result.grid(&format!("table4/faw{faw}-rrd{rrd}")), faw, rrd)
+            })
+            .collect();
+        report::write_csv(out, "table4_tfaw", &rows).unwrap();
+        md.push_str(&report::to_markdown(
+            "Table 4: SARPpb over REFpb vs tFAW/tRRD (32 Gb, %)",
+            &rows,
+        ));
+        println!("[{:>7.1?}] table4 done", t0.elapsed());
+    }
+    if wanted(&args.only, "table5") {
+        let rows: Vec<table5::Table5Row> = table5::SWEEP
+            .iter()
+            .map(|&n| table5::reduce(result.grid(&format!("table5/sub{n}")), n))
+            .collect();
+        report::write_csv(out, "table5_subarrays", &rows).unwrap();
+        md.push_str(&report::to_markdown(
+            "Table 5: SARPpb over REFpb vs subarrays/bank (32 Gb, %)",
+            &rows,
+        ));
+        println!("[{:>7.1?}] table5 done", t0.elapsed());
+    }
+    if wanted(&args.only, "ablations") {
+        let grids = ablations::AblationGrids {
+            throttle: result.grid("ablations/throttle").clone(),
+            unthrottled: result.grid("ablations/unthrottled").clone(),
+            darp: result.grid("ablations/darp").clone(),
+            watermarks: ablations::WATERMARK_SWEEP
+                .iter()
+                .map(|&(enter, exit)| {
+                    (
+                        enter,
+                        exit,
+                        result.grid(&format!("ablations/wm{enter}-{exit}")).clone(),
+                    )
+                })
+                .collect(),
+        };
+        let rows = ablations::reduce(&grids);
+        report::write_csv(out, "ablations", &rows).unwrap();
+        md.push_str(&report::to_markdown(
+            "Ablations (32 Gb, intensive, %)",
+            &rows,
+        ));
+        println!("[{:>7.1?}] ablations done", t0.elapsed());
+    }
+    if wanted(&args.only, "overlap") {
+        let rows = overlap::reduce(result.grid("overlap"), &overlap::OVERLAP_DENSITIES);
+        report::write_csv(out, "overlap_extension", &rows).unwrap();
+        md.push_str(&report::to_markdown(
+            "Extension: footnote-5 overlapped REFpb (% over REFpb)",
+            &rows,
+        ));
+        println!("[{:>7.1?}] overlap done", t0.elapsed());
+    }
+    if wanted(&args.only, "table6") {
+        let rows = table6::reduce(result.grid("table6"), &Density::evaluated());
+        report::write_csv(out, "table6_64ms", &rows).unwrap();
+        md.push_str(&report::to_markdown(
+            "Table 6: DSARP improvements at 64 ms retention (%)",
+            &rows,
+        ));
+        println!("[{:>7.1?}] table6 done", t0.elapsed());
+    }
+
+    finish(out, &md, t0);
+}
+
+fn reduce_main_grid(
+    args: &Args,
+    result: &CampaignReport,
+    md: &mut String,
+    t0: &Instant,
+    out: &Path,
+) {
+    let densities = Density::evaluated();
+    let grid = result.grid("main");
+    export::write_grid(out, "main_grid", grid).unwrap();
+
+    if wanted(&args.only, "fig6") || wanted(&args.only, "fig7") {
+        let (fig6, fig7) = fig06_07::reduce(grid, &densities);
+        report::write_csv(out, "fig06_refab_loss", &fig6).unwrap();
+        report::write_csv(out, "fig07_refab_refpb_loss", &fig7).unwrap();
+        md.push_str(&report::to_markdown(
+            "Figure 6: WS loss of REFab vs no-refresh (%)",
+            &fig6,
+        ));
+        md.push_str(&report::to_markdown(
+            "Figure 7: WS loss of REFab/REFpb vs no-refresh (%)",
+            &fig7,
+        ));
+    }
+
+    if wanted(&args.only, "fig12") || wanted(&args.only, "table2") {
+        let fig12 = fig12_table2::reduce_fig12(grid, &densities);
+        let table2 = fig12_table2::reduce_table2(grid, &densities);
+        report::write_csv(out, "fig12_sorted_ws", &fig12).unwrap();
+        let series: Vec<(&str, Vec<f64>)> = [Mechanism::RefPb, Mechanism::Darp, Mechanism::Dsarp]
+            .iter()
+            .map(|m| {
+                let mut pts: Vec<&fig12_table2::Fig12Point> = fig12
+                    .iter()
+                    .filter(|p| p.density == Density::G32 && p.mechanism == *m)
+                    .collect();
+                pts.sort_by_key(|p| p.sorted_index);
+                (m.label(), pts.iter().map(|p| p.ws_over_refab).collect())
+            })
+            .collect();
+        md.push_str(&chart::line_chart(
+            "Figure 12 at 32 Gb: WS over REFab, workloads sorted by DARP gain",
+            &series,
+            12,
+        ));
+        report::write_csv(out, "table2_ws_improvements", &table2).unwrap();
+        md.push_str(&report::to_markdown(
+            "Table 2: max / gmean WS improvement over REFpb and REFab (%)",
+            &table2,
+        ));
+    }
+
+    if wanted(&args.only, "fig13") {
+        let f13 = fig13::reduce(grid, &densities);
+        report::write_csv(out, "fig13_all_mechanisms", &f13).unwrap();
+        md.push_str(&report::to_markdown(
+            "Figure 13: gmean WS improvement over REFab (%)",
+            &f13,
+        ));
+        let bars: Vec<(String, f64)> = f13
+            .iter()
+            .filter(|r| r.density == Density::G32)
+            .map(|r| (r.mechanism.label().to_string(), r.gmean_over_refab_pct))
+            .collect();
+        md.push_str(&chart::bar_chart(
+            "Figure 13 at 32 Gb (% over REFab)",
+            &bars,
+            40,
+        ));
+    }
+
+    if wanted(&args.only, "fig14") {
+        let f14 = fig14::reduce(grid, &densities);
+        report::write_csv(out, "fig14_energy", &f14).unwrap();
+        md.push_str(&report::to_markdown(
+            "Figure 14: energy per access (nJ)",
+            &f14,
+        ));
+    }
+
+    if wanted(&args.only, "fig15") {
+        let f15 = fig15::reduce(grid, &densities);
+        report::write_csv(out, "fig15_intensity", &f15).unwrap();
+        md.push_str(&report::to_markdown(
+            "Figure 15: DSARP WS improvement by memory intensity (%)",
+            &f15,
+        ));
+    }
+
+    if wanted(&args.only, "fig16") {
+        let f16 = fig16::reduce(grid, &densities);
+        report::write_csv(out, "fig16_fgr_ar", &f16).unwrap();
+        md.push_str(&report::to_markdown(
+            "Figure 16: WS normalized to REFab",
+            &f16,
+        ));
+    }
+    println!("[{:>7.1?}] grid reductions done", t0.elapsed());
+}
+
+fn finish(out: &Path, md: &str, t0: Instant) {
+    std::fs::write(out.join("EXPERIMENTS_RAW.md"), md).expect("write markdown report");
+    println!(
+        "[{:>7.1?}] all requested experiments written to {}",
+        t0.elapsed(),
+        out.display()
+    );
+}

@@ -1,0 +1,114 @@
+//! Content fingerprints for campaign jobs.
+//!
+//! A job's fingerprint is a 128-bit FNV-1a hash of the *canonical* JSON
+//! rendering of its key — object keys sorted recursively, floats in
+//! shortest round-trip form — so any change to a [`dsarp_sim::SimConfig`]
+//! knob, a benchmark parameter, or the run length changes the fingerprint,
+//! while re-serializing an identical key always reproduces it.
+
+use serde_json::Value;
+use std::fmt;
+
+/// A 128-bit content hash identifying one simulation job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl Fingerprint {
+    /// Parses the 32-hex-digit form produced by `Display`.
+    pub fn parse(text: &str) -> Option<Self> {
+        (text.len() == 32)
+            .then(|| u128::from_str_radix(text, 16).ok())
+            .flatten()
+            .map(Fingerprint)
+    }
+}
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// Fingerprints a value tree via its canonical rendering.
+pub fn fingerprint_value(v: &Value) -> Fingerprint {
+    let mut text = String::new();
+    render_canonical(v, &mut text);
+    let mut h = FNV128_OFFSET;
+    for b in text.bytes() {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    Fingerprint(h)
+}
+
+/// Renders `v` as JSON with object keys sorted recursively, so field
+/// declaration order never leaks into fingerprints.
+fn render_canonical(v: &Value, out: &mut String) {
+    match v {
+        Value::Object(m) => {
+            let mut entries: Vec<(&String, &Value)> = m.iter().collect();
+            entries.sort_by_key(|(k, _)| k.as_str());
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&Value::String((*k).clone()).to_string());
+                out.push(':');
+                render_canonical(val, out);
+            }
+            out.push('}');
+        }
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_canonical(item, out);
+            }
+            out.push(']');
+        }
+        scalar => out.push_str(&scalar.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::Map;
+
+    fn obj(pairs: &[(&str, Value)]) -> Value {
+        let mut m = Map::new();
+        for (k, v) in pairs {
+            m.insert((*k).to_string(), v.clone());
+        }
+        Value::Object(m)
+    }
+
+    #[test]
+    fn key_order_does_not_matter() {
+        let a = obj(&[("x", Value::Bool(true)), ("y", Value::Null)]);
+        let b = obj(&[("y", Value::Null), ("x", Value::Bool(true))]);
+        assert_eq!(fingerprint_value(&a), fingerprint_value(&b));
+    }
+
+    #[test]
+    fn content_does_matter() {
+        let a = obj(&[("x", Value::Bool(true))]);
+        let b = obj(&[("x", Value::Bool(false))]);
+        let c = obj(&[("z", Value::Bool(true))]);
+        assert_ne!(fingerprint_value(&a), fingerprint_value(&b));
+        assert_ne!(fingerprint_value(&a), fingerprint_value(&c));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let fp = fingerprint_value(&Value::Null);
+        assert_eq!(Fingerprint::parse(&fp.to_string()), Some(fp));
+        assert_eq!(Fingerprint::parse("xyz"), None);
+    }
+}

@@ -1,0 +1,217 @@
+//! Individual simulation jobs: the unit of caching and execution.
+
+use crate::fingerprint::{fingerprint_value, Fingerprint};
+use dsarp_sim::{SimConfig, System};
+use dsarp_workloads::{BenchmarkSpec, IntensityCategory, Workload};
+use serde::{Deserialize, Serialize};
+use serde_json::{Map, Value};
+
+/// The raw, normalization-free result of one multiprogrammed run — enough
+/// to recompute every [`dsarp_sim::Metrics`] once alone-IPCs are known.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Per-core IPC.
+    pub ipc: Vec<f64>,
+    /// Energy per DRAM access (nJ).
+    pub energy_per_access_nj: f64,
+    /// Sum of per-core IPCs.
+    pub total_ipc: f64,
+}
+
+/// One schedulable simulation.
+#[derive(Debug, Clone)]
+pub enum Job {
+    /// Single-benchmark alone-IPC measurement.
+    Alone {
+        /// The (already `alone()`-projected) configuration.
+        cfg: SimConfig,
+        /// The benchmark under measurement.
+        bench: &'static BenchmarkSpec,
+        /// DRAM cycles to simulate.
+        cycles: u64,
+    },
+    /// One multiprogrammed grid cell.
+    Grid {
+        /// Full system configuration.
+        cfg: SimConfig,
+        /// The workload mix.
+        workload: Workload,
+        /// DRAM cycles to simulate.
+        cycles: u64,
+    },
+}
+
+/// What a job produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    /// Alone-IPC of the measured benchmark.
+    Alone(f64),
+    /// Raw stats of the multiprogrammed run.
+    Grid(RunSummary),
+}
+
+impl Job {
+    /// A human-readable label (for logs and store records).
+    pub fn label(&self) -> String {
+        match self {
+            Job::Alone { cfg, bench, .. } => {
+                format!("alone/{}@{}", bench.name, cfg.density)
+            }
+            Job::Grid { cfg, workload, .. } => {
+                format!(
+                    "{}/{}@{}",
+                    workload.name,
+                    cfg.mechanism.label(),
+                    cfg.density
+                )
+            }
+        }
+    }
+
+    /// The job's content key: everything that determines its result.
+    ///
+    /// Workload *names* are deliberately excluded — two mixes assembling
+    /// the same benchmarks in the same order onto the same configuration
+    /// are the same simulation, whatever they are called.
+    pub fn key_value(&self) -> Value {
+        let mut m = Map::new();
+        match self {
+            Job::Alone { cfg, bench, cycles } => {
+                m.insert("kind".into(), Value::String("alone".into()));
+                m.insert("cfg".into(), serde_json::to_value(cfg).expect("infallible"));
+                m.insert(
+                    "bench".into(),
+                    serde_json::to_value(bench).expect("infallible"),
+                );
+                m.insert(
+                    "cycles".into(),
+                    serde_json::to_value(cycles).expect("infallible"),
+                );
+            }
+            Job::Grid {
+                cfg,
+                workload,
+                cycles,
+            } => {
+                m.insert("kind".into(), Value::String("grid".into()));
+                m.insert("cfg".into(), serde_json::to_value(cfg).expect("infallible"));
+                m.insert(
+                    "benchmarks".into(),
+                    serde_json::to_value(&workload.benchmarks).expect("infallible"),
+                );
+                m.insert(
+                    "cycles".into(),
+                    serde_json::to_value(cycles).expect("infallible"),
+                );
+            }
+        }
+        Value::Object(m)
+    }
+
+    /// The job's content fingerprint.
+    pub fn fingerprint(&self) -> Fingerprint {
+        fingerprint_value(&self.key_value())
+    }
+
+    /// Runs the simulation.
+    pub fn execute(&self) -> JobOutput {
+        match self {
+            Job::Alone { cfg, bench, cycles } => {
+                let wl = Workload {
+                    name: format!("alone-{}", bench.name),
+                    category: IntensityCategory::P100,
+                    benchmarks: vec![bench],
+                };
+                JobOutput::Alone(System::new(cfg, &wl).run(*cycles).ipc[0].max(1e-9))
+            }
+            Job::Grid {
+                cfg,
+                workload,
+                cycles,
+            } => {
+                let stats = System::new(cfg, workload).run(*cycles);
+                JobOutput::Grid(RunSummary {
+                    energy_per_access_nj: stats.energy_per_access_nj(),
+                    total_ipc: stats.total_ipc(),
+                    ipc: stats.ipc,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsarp_core::Mechanism;
+    use dsarp_dram::Density;
+
+    fn workload() -> Workload {
+        dsarp_workloads::mixes::intensive_mixes(4, 1)[0].clone()
+    }
+
+    fn grid_job(cfg: SimConfig, cycles: u64) -> Job {
+        Job::Grid {
+            cfg,
+            workload: workload(),
+            cycles,
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G32).with_cores(4);
+        let base = grid_job(cfg, 10_000);
+        assert_eq!(base.fingerprint(), grid_job(cfg, 10_000).fingerprint());
+
+        let other_density = SimConfig::paper(Mechanism::Dsarp, Density::G8).with_cores(4);
+        let other_mech = SimConfig::paper(Mechanism::RefAb, Density::G32).with_cores(4);
+        let more_subarrays = cfg.with_subarrays(64);
+        let other_seed = cfg.with_seed(99);
+        let mut fps = vec![
+            base.fingerprint(),
+            grid_job(other_density, 10_000).fingerprint(),
+            grid_job(other_mech, 10_000).fingerprint(),
+            grid_job(more_subarrays, 10_000).fingerprint(),
+            grid_job(other_seed, 10_000).fingerprint(),
+            grid_job(cfg, 20_000).fingerprint(),
+        ];
+        fps.sort();
+        fps.dedup();
+        assert_eq!(
+            fps.len(),
+            6,
+            "every knob change must change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn workload_name_does_not_affect_fingerprint() {
+        let cfg = SimConfig::paper(Mechanism::RefPb, Density::G16).with_cores(4);
+        let mut renamed = workload();
+        renamed.name = "other-name".into();
+        let a = Job::Grid {
+            cfg,
+            workload: workload(),
+            cycles: 5_000,
+        };
+        let b = Job::Grid {
+            cfg,
+            workload: renamed,
+            cycles: 5_000,
+        };
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn alone_and_grid_kinds_do_not_collide() {
+        let cfg = SimConfig::paper(Mechanism::NoRefresh, Density::G8);
+        let alone = Job::Alone {
+            cfg: cfg.alone(),
+            bench: workload().benchmarks[0],
+            cycles: 5_000,
+        };
+        let grid = grid_job(cfg, 5_000);
+        assert_ne!(alone.fingerprint(), grid.fingerprint());
+    }
+}

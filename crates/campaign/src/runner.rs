@@ -1,0 +1,260 @@
+//! The campaign executor: expand → dedupe → consult cache → simulate the
+//! misses in parallel (flushing each completed job to its shard) →
+//! assemble per-sweep [`Grid`]s.
+//!
+//! Properties the tests pin down:
+//!
+//! * **Zero re-simulation**: re-running an identical campaign performs no
+//!   simulation at all — every job is a cache hit.
+//! * **Resumable**: a run killed part-way leaves a prefix of records on
+//!   disk; the next run simulates only the remainder and produces results
+//!   identical to an uninterrupted run.
+//! * **In-flight dedup**: jobs shared between sweeps (including every
+//!   repeated alone-IPC measurement) are simulated once per campaign, not
+//!   once per cell.
+
+use crate::fingerprint::Fingerprint;
+use crate::job::{Job, JobOutput};
+use crate::spec::{CampaignSpec, SweepSpec};
+use crate::store::{Record, Store};
+use dsarp_sim::experiments::harness::{parallel_map, Grid, WsRow};
+use dsarp_sim::Metrics;
+use std::collections::{BTreeMap, HashSet};
+use std::path::Path;
+use std::time::Instant;
+
+/// Cache behaviour of one campaign run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Expanded cells across all sweeps (before any deduplication).
+    pub cells: usize,
+    /// Distinct fingerprints after in-flight dedup.
+    pub unique_jobs: usize,
+    /// Unique jobs answered from the store.
+    pub cache_hits: usize,
+    /// Unique jobs actually simulated this run.
+    pub simulated: usize,
+    /// Freshly simulated results whose shard append failed (kept in memory
+    /// for this run; they will re-simulate next time instead of resuming).
+    pub persist_failures: usize,
+}
+
+impl CacheStats {
+    /// Cells that reused another cell's simulation within this campaign.
+    pub fn deduped_in_flight(&self) -> usize {
+        self.cells - self.unique_jobs
+    }
+}
+
+/// The outcome of [`Campaign::run`].
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// One assembled grid per sweep, keyed by sweep name.
+    pub grids: BTreeMap<String, Grid>,
+    /// Cache behaviour of this run.
+    pub stats: CacheStats,
+}
+
+impl CampaignReport {
+    /// The grid for `sweep`, panicking with a clear message if the campaign
+    /// did not contain it (reducers depend on their sweeps being present).
+    pub fn grid(&self, sweep: &str) -> &Grid {
+        self.grids
+            .get(sweep)
+            .unwrap_or_else(|| panic!("campaign report has no sweep `{sweep}`"))
+    }
+}
+
+/// An open campaign: a spec bound to its result store.
+#[derive(Debug)]
+pub struct Campaign {
+    spec: CampaignSpec,
+    store: Store,
+    /// Print progress lines to stdout while running.
+    pub verbose: bool,
+}
+
+impl Campaign {
+    /// Opens the campaign's store under `root` and loads cached results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(root: &Path, spec: CampaignSpec) -> std::io::Result<Self> {
+        let manifest = serde_json::to_value(&spec).expect("specs serialize");
+        let store = Store::open(root, &spec.name, &manifest)?;
+        Ok(Campaign {
+            spec,
+            store,
+            verbose: false,
+        })
+    }
+
+    /// The campaign spec.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Executes every sweep (simulating only uncached jobs) and assembles
+    /// the per-sweep grids.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from shard appends.
+    pub fn run(&mut self) -> std::io::Result<CampaignReport> {
+        let t0 = Instant::now();
+        let scale = self.spec.scale;
+        let seed = self.spec.workload_seed;
+
+        // 1. Expand every sweep and dedupe identical jobs in flight.
+        let mut cells = 0;
+        let mut seen = HashSet::new();
+        let mut unique: Vec<(Fingerprint, Job)> = Vec::new();
+        for sweep in &self.spec.sweeps {
+            for job in sweep.jobs(&scale, seed) {
+                cells += 1;
+                let fp = job.fingerprint();
+                if seen.insert(fp) {
+                    unique.push((fp, job));
+                }
+            }
+        }
+
+        // 2. Partition against the store.
+        let missing: Vec<(Fingerprint, Job)> = unique
+            .iter()
+            .filter(|(fp, _)| !self.store.contains(*fp))
+            .cloned()
+            .collect();
+        let mut stats = CacheStats {
+            cells,
+            unique_jobs: unique.len(),
+            cache_hits: unique.len() - missing.len(),
+            simulated: missing.len(),
+            persist_failures: 0,
+        };
+        if self.verbose {
+            println!(
+                "campaign `{}`: {} cells -> {} unique jobs ({} deduped in flight), \
+                 {} cached, {} to simulate on {} threads",
+                self.spec.name,
+                stats.cells,
+                stats.unique_jobs,
+                stats.deduped_in_flight(),
+                stats.cache_hits,
+                stats.simulated,
+                scale.resolved_threads(),
+            );
+        }
+
+        // 3. Simulate the misses; every completed job is appended to its
+        //    shard and flushed before the worker picks up the next one, so
+        //    progress survives kill/restart.
+        let store = &self.store;
+        let append_errors = std::sync::atomic::AtomicUsize::new(0);
+        let records = parallel_map(&missing, scale.resolved_threads(), |(fp, job)| {
+            let record = match job.execute() {
+                JobOutput::Alone(ipc) => Record::alone(*fp, job.label(), ipc),
+                JobOutput::Grid(summary) => Record::grid(*fp, job.label(), summary),
+            };
+            if let Err(e) = store.append(*fp, &record) {
+                // Still usable in memory this run; it will re-simulate next
+                // time instead of resuming.
+                eprintln!("campaign store: append failed for {}: {e}", record.label);
+                append_errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            record
+        });
+        for ((fp, _), record) in missing.iter().zip(records) {
+            self.store.absorb(*fp, record);
+        }
+        stats.persist_failures = append_errors.load(std::sync::atomic::Ordering::Relaxed);
+        if stats.persist_failures > 0 {
+            eprintln!(
+                "campaign `{}`: {} results could not be persisted and will \
+                 re-simulate on the next run",
+                self.spec.name, stats.persist_failures
+            );
+        }
+        if self.verbose && stats.simulated > 0 {
+            println!(
+                "campaign `{}`: simulated {} jobs in {:.1?}",
+                self.spec.name,
+                stats.simulated,
+                t0.elapsed()
+            );
+        }
+
+        // 4. Assemble per-sweep grids from the (now complete) store.
+        let mut grids = BTreeMap::new();
+        for sweep in &self.spec.sweeps {
+            grids.insert(sweep.name.clone(), self.assemble(sweep));
+        }
+        Ok(CampaignReport { grids, stats })
+    }
+
+    /// Builds one sweep's [`Grid`] purely from cached records.
+    fn assemble(&self, sweep: &SweepSpec) -> Grid {
+        let scale = self.spec.scale;
+        let workloads = sweep.workloads.resolve(&scale, self.spec.workload_seed);
+        let mut rows = Vec::new();
+        for &d in &sweep.densities {
+            // Alone-IPC lookups once per (benchmark, density), not per cell:
+            // fingerprinting renders canonical JSON, so hashing per cell per
+            // core would dominate warm-cache replays.
+            let mut alone: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
+            for wl in &workloads {
+                for b in &wl.benchmarks {
+                    if !alone.contains_key(b.name) {
+                        let job = sweep.alone_job(d, b, &scale);
+                        let ipc = self
+                            .store
+                            .get(job.fingerprint())
+                            .and_then(|r| r.alone_ipc)
+                            .unwrap_or_else(|| {
+                                panic!("missing alone record for {} after execution", job.label())
+                            });
+                        alone.insert(b.name, ipc);
+                    }
+                }
+            }
+            for &m in &sweep.mechanisms {
+                for wl in &workloads {
+                    let job = sweep.grid_job(m, d, wl, &scale);
+                    let summary = self
+                        .store
+                        .get(job.fingerprint())
+                        .and_then(|r| r.summary.clone())
+                        .unwrap_or_else(|| {
+                            panic!("missing grid record for {} after execution", job.label())
+                        });
+                    let alone_ipcs: Vec<f64> = wl
+                        .benchmarks
+                        .iter()
+                        .take(sweep.cores)
+                        .map(|b| alone[b.name])
+                        .collect();
+                    let metrics =
+                        Metrics::from_ipcs(&summary.ipc, &alone_ipcs, summary.energy_per_access_nj);
+                    rows.push(WsRow {
+                        workload: wl.name.clone(),
+                        category: wl.category.percent(),
+                        mechanism: m,
+                        density: d,
+                        ws: metrics.weighted_speedup,
+                        hs: metrics.harmonic_speedup,
+                        max_slowdown: metrics.max_slowdown,
+                        energy_nj: metrics.energy_per_access_nj,
+                        total_ipc: summary.total_ipc,
+                    });
+                }
+            }
+        }
+        Grid::from_rows(rows)
+    }
+}

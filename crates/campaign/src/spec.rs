@@ -1,0 +1,427 @@
+//! Declarative campaign descriptions.
+//!
+//! A [`CampaignSpec`] names a set of [`SweepSpec`]s, each of which spans
+//! the axes the paper sweeps — workload set, mechanisms, densities, core
+//! count, subarrays per bank, retention, `tFAW`/`tRRD`, drain watermarks,
+//! seeds — and expands into concrete [`Job`]s. Identical cells across
+//! sweeps expand to identical fingerprints, so the executor simulates them
+//! once and the store caches them forever.
+
+use crate::job::Job;
+use dsarp_core::Mechanism;
+use dsarp_dram::{Density, Retention};
+use dsarp_sim::experiments::{harness::WORKLOAD_SEED, Scale};
+use dsarp_sim::SimConfig;
+use dsarp_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Which workload pool a sweep runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadSet {
+    /// The paper's 100-workload evaluation set (5 categories ×
+    /// `Scale::per_category`), on 8-core mixes.
+    Paper,
+    /// The memory-intensive sensitivity mixes for `cores`-core systems.
+    Intensive {
+        /// Cores per workload.
+        cores: usize,
+    },
+}
+
+impl WorkloadSet {
+    /// Resolves the concrete workload list at `scale`, deterministically in
+    /// `seed`, through the same `Scale` selection rules the experiment
+    /// modules' direct `run()` paths use.
+    pub fn resolve(&self, scale: &Scale, seed: u64) -> Vec<Workload> {
+        match *self {
+            WorkloadSet::Paper => scale.workloads_with_seed(seed),
+            WorkloadSet::Intensive { cores } => scale.intensive_workloads_with_seed(cores, seed),
+        }
+    }
+}
+
+/// One rectangular sweep: `workloads × mechanisms × densities` under a
+/// shared configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Unique name within the campaign (also the grid's key in the report).
+    pub name: String,
+    /// Workload pool.
+    pub workloads: WorkloadSet,
+    /// Mechanisms evaluated.
+    pub mechanisms: Vec<Mechanism>,
+    /// Densities evaluated.
+    pub densities: Vec<Density>,
+    /// Core count (and workload width).
+    pub cores: usize,
+    /// Retention time.
+    pub retention: Retention,
+    /// Subarrays per bank.
+    pub subarrays: usize,
+    /// Optional `(tFAW, tRRD)` override.
+    pub faw_rrd: Option<(u64, u64)>,
+    /// Optional write-drain watermark override.
+    pub drain_watermarks: Option<(usize, usize)>,
+    /// Ablate SARP's power throttle (physically impossible; studies only).
+    pub ablate_sarp_throttle: bool,
+    /// Simulator seed override (`None` = the paper's).
+    pub sim_seed: Option<u64>,
+}
+
+impl SweepSpec {
+    /// A sweep of `mechanisms × densities` on the paper's defaults.
+    pub fn new(
+        name: impl Into<String>,
+        workloads: WorkloadSet,
+        mechanisms: &[Mechanism],
+        densities: &[Density],
+    ) -> Self {
+        let cores = match workloads {
+            WorkloadSet::Paper => 8,
+            WorkloadSet::Intensive { cores } => cores,
+        };
+        SweepSpec {
+            name: name.into(),
+            workloads,
+            mechanisms: mechanisms.to_vec(),
+            densities: densities.to_vec(),
+            cores,
+            retention: Retention::Ms32,
+            subarrays: 8,
+            faw_rrd: None,
+            drain_watermarks: None,
+            ablate_sarp_throttle: false,
+            sim_seed: None,
+        }
+    }
+
+    /// The cell configuration for one (mechanism, density).
+    pub fn make_cfg(&self, mechanism: Mechanism, density: Density) -> SimConfig {
+        let mut cfg = SimConfig::paper(mechanism, density)
+            .with_cores(self.cores)
+            .with_retention(self.retention)
+            .with_subarrays(self.subarrays);
+        if let Some((faw, rrd)) = self.faw_rrd {
+            cfg = cfg.with_faw_rrd(faw, rrd);
+        }
+        if let Some((enter, exit)) = self.drain_watermarks {
+            cfg = cfg.with_drain_watermarks(enter, exit);
+        }
+        if self.ablate_sarp_throttle {
+            cfg = cfg.with_sarp_throttle_ablated();
+        }
+        if let Some(seed) = self.sim_seed {
+            cfg = cfg.with_seed(seed);
+        }
+        cfg
+    }
+
+    /// The alone-IPC configuration for one density (mirrors
+    /// `Grid::compute_with`: the sweep's own geometry/retention, no
+    /// refresh, single core, shared-LLC capacity).
+    pub fn alone_cfg(&self, density: Density, scale: &Scale) -> SimConfig {
+        self.make_cfg(Mechanism::NoRefresh, density)
+            .with_warmup_ops(scale.warmup_ops)
+            .alone()
+    }
+
+    /// The alone-IPC job for one benchmark at one density. Job expansion
+    /// and grid assembly both build cells through this and [`Self::grid_job`],
+    /// so their fingerprints cannot drift apart.
+    pub fn alone_job(
+        &self,
+        density: Density,
+        bench: &'static dsarp_workloads::BenchmarkSpec,
+        scale: &Scale,
+    ) -> Job {
+        Job::Alone {
+            cfg: self.alone_cfg(density, scale),
+            bench,
+            cycles: scale.alone_cycles,
+        }
+    }
+
+    /// The grid-cell job for one (mechanism, density, workload).
+    pub fn grid_job(
+        &self,
+        mechanism: Mechanism,
+        density: Density,
+        workload: &Workload,
+        scale: &Scale,
+    ) -> Job {
+        Job::Grid {
+            cfg: self
+                .make_cfg(mechanism, density)
+                .with_warmup_ops(scale.warmup_ops),
+            workload: workload.clone(),
+            cycles: scale.dram_cycles,
+        }
+    }
+
+    /// Expands this sweep into jobs: deduplicated alone-IPC measurements
+    /// first, then every grid cell.
+    pub fn jobs(&self, scale: &Scale, workload_seed: u64) -> Vec<Job> {
+        let workloads = self.workloads.resolve(scale, workload_seed);
+        let mut out = Vec::new();
+        for &d in &self.densities {
+            let mut seen = std::collections::HashSet::new();
+            for wl in &workloads {
+                for b in &wl.benchmarks {
+                    if seen.insert(b.name) {
+                        out.push(self.alone_job(d, b, scale));
+                    }
+                }
+            }
+        }
+        for &d in &self.densities {
+            for &m in &self.mechanisms {
+                for wl in &workloads {
+                    out.push(self.grid_job(m, d, wl, scale));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A full campaign: a scale plus the sweeps to run at it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name; also the store subdirectory.
+    pub name: String,
+    /// Run lengths, workload counts and thread budget.
+    pub scale: Scale,
+    /// Seed for workload-mix selection (the paper's by default).
+    pub workload_seed: u64,
+    /// The sweeps.
+    pub sweeps: Vec<SweepSpec>,
+}
+
+impl CampaignSpec {
+    /// An empty campaign at `scale`.
+    pub fn new(name: impl Into<String>, scale: Scale) -> Self {
+        CampaignSpec {
+            name: name.into(),
+            scale,
+            workload_seed: WORKLOAD_SEED,
+            sweeps: Vec::new(),
+        }
+    }
+
+    /// Adds a sweep.
+    #[must_use]
+    pub fn with_sweep(mut self, sweep: SweepSpec) -> Self {
+        assert!(
+            self.sweeps.iter().all(|s| s.name != sweep.name),
+            "duplicate sweep name `{}`",
+            sweep.name
+        );
+        self.sweeps.push(sweep);
+        self
+    }
+
+    /// The sweep named `name`, if present.
+    pub fn sweep(&self, name: &str) -> Option<&SweepSpec> {
+        self.sweeps.iter().find(|s| s.name == name)
+    }
+
+    /// The full paper evaluation: the main 12-mechanism grid plus every
+    /// sensitivity sweep (Tables 3–6, the footnote-5 overlap study and the
+    /// design ablations). Artifact reducers expect these sweep names.
+    pub fn paper(scale: Scale) -> Self {
+        use dsarp_sim::experiments::harness::MAIN_GRID_MECHS;
+        use dsarp_sim::experiments::{ablations, overlap, table3, table4, table5, table6};
+
+        let densities = Density::evaluated();
+        let g32 = [Density::G32];
+        let intensive8 = WorkloadSet::Intensive { cores: 8 };
+        let mut spec = CampaignSpec::new("paper", scale).with_sweep(SweepSpec::new(
+            "main",
+            WorkloadSet::Paper,
+            &MAIN_GRID_MECHS,
+            &densities,
+        ));
+        for cores in table3::CORE_SWEEP {
+            spec = spec.with_sweep(SweepSpec::new(
+                format!("table3/cores{cores}"),
+                WorkloadSet::Intensive { cores },
+                &table3::MECHS,
+                &g32,
+            ));
+        }
+        for (faw, rrd) in table4::SWEEP {
+            let mut s = SweepSpec::new(
+                format!("table4/faw{faw}-rrd{rrd}"),
+                intensive8,
+                &table4::MECHS,
+                &g32,
+            );
+            s.faw_rrd = Some((faw, rrd));
+            spec = spec.with_sweep(s);
+        }
+        for n in table5::SWEEP {
+            let mut s = SweepSpec::new(format!("table5/sub{n}"), intensive8, &table5::MECHS, &g32);
+            s.subarrays = n;
+            spec = spec.with_sweep(s);
+        }
+        let mut t6 = SweepSpec::new("table6", intensive8, &table6::MECHS, &densities);
+        t6.retention = table6::RETENTION;
+        spec = spec.with_sweep(t6);
+        let mut overlap_mechs = vec![Mechanism::RefPb];
+        overlap_mechs.extend(overlap::OVERLAP_MECHS);
+        spec = spec.with_sweep(SweepSpec::new(
+            "overlap",
+            intensive8,
+            &overlap_mechs,
+            &overlap::OVERLAP_DENSITIES,
+        ));
+        spec = spec.with_sweep(SweepSpec::new(
+            "ablations/throttle",
+            intensive8,
+            &ablations::THROTTLE_MECHS,
+            &g32,
+        ));
+        let mut unthrottled = SweepSpec::new(
+            "ablations/unthrottled",
+            intensive8,
+            &[Mechanism::SarpPb],
+            &g32,
+        );
+        unthrottled.ablate_sarp_throttle = true;
+        spec = spec.with_sweep(unthrottled);
+        spec = spec.with_sweep(SweepSpec::new(
+            "ablations/darp",
+            intensive8,
+            &ablations::DARP_MECHS,
+            &g32,
+        ));
+        for (enter, exit) in ablations::WATERMARK_SWEEP {
+            let mut s = SweepSpec::new(
+                format!("ablations/wm{enter}-{exit}"),
+                intensive8,
+                &ablations::WATERMARK_MECHS,
+                &g32,
+            );
+            s.drain_watermarks = Some((enter, exit));
+            spec = spec.with_sweep(s);
+        }
+        spec
+    }
+
+    /// Keeps only the sweeps whose name starts with one of `prefixes`
+    /// (used by the experiments binary's `--exp` filter).
+    #[must_use]
+    pub fn filtered(mut self, prefixes: &[&str]) -> Self {
+        self.sweeps
+            .retain(|s| prefixes.iter().any(|p| s.name.starts_with(p)));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            dram_cycles: 2_000,
+            alone_cycles: 1_000,
+            per_category: 1,
+            threads: 2,
+            warmup_ops: 500,
+        }
+    }
+
+    #[test]
+    fn paper_campaign_has_all_sweeps() {
+        let spec = CampaignSpec::paper(tiny_scale());
+        for name in [
+            "main",
+            "table3/cores2",
+            "table4/faw5-rrd1",
+            "table5/sub64",
+            "table6",
+            "overlap",
+            "ablations/throttle",
+            "ablations/wm48-32",
+        ] {
+            assert!(spec.sweep(name).is_some(), "missing sweep {name}");
+        }
+        assert_eq!(spec.sweeps.len(), 1 + 3 + 6 + 7 + 1 + 1 + 3 + 3);
+    }
+
+    #[test]
+    fn sweep_expansion_counts() {
+        let scale = tiny_scale();
+        let spec = CampaignSpec::paper(scale);
+        let main = spec.sweep("main").unwrap();
+        let jobs = main.jobs(&scale, spec.workload_seed);
+        let grids = jobs
+            .iter()
+            .filter(|j| matches!(j, Job::Grid { .. }))
+            .count();
+        // 5 workloads (1/category) x 12 mechanisms x 3 densities.
+        assert_eq!(grids, 5 * 12 * 3);
+        let alones = jobs.len() - grids;
+        assert!(alones > 0, "alone jobs must be expanded");
+        // Alone jobs are unique per (benchmark, density) within the sweep.
+        let mut fps: Vec<_> = jobs
+            .iter()
+            .filter(|j| matches!(j, Job::Alone { .. }))
+            .map(Job::fingerprint)
+            .collect();
+        fps.sort();
+        fps.dedup();
+        assert_eq!(fps.len(), alones);
+    }
+
+    #[test]
+    fn identical_cells_share_fingerprints_across_sweeps() {
+        let scale = tiny_scale();
+        let spec = CampaignSpec::paper(scale);
+        // overlap (at G32) and ablations/throttle share RefPb and SarpPb
+        // cells on the same workloads, so their job sets must intersect.
+        let fp = |name: &str| -> std::collections::HashSet<_> {
+            spec.sweep(name)
+                .unwrap()
+                .jobs(&scale, spec.workload_seed)
+                .iter()
+                .map(Job::fingerprint)
+                .collect()
+        };
+        let overlap = fp("overlap");
+        let throttle = fp("ablations/throttle");
+        assert!(
+            throttle.iter().filter(|f| overlap.contains(f)).count() > 0,
+            "cross-sweep dedup opportunity must exist"
+        );
+        // The ablated SARP sweep shares nothing with the plain one except
+        // alone jobs (its config differs).
+        let unthrottled = fp("ablations/unthrottled");
+        let shared_grids = spec
+            .sweep("ablations/unthrottled")
+            .unwrap()
+            .jobs(&scale, spec.workload_seed)
+            .iter()
+            .filter(|j| matches!(j, Job::Grid { .. }))
+            .map(Job::fingerprint)
+            .filter(|f| throttle.contains(f))
+            .count();
+        assert_eq!(shared_grids, 0);
+        assert!(!unthrottled.is_empty());
+    }
+
+    #[test]
+    fn workload_resolution_is_deterministic() {
+        let scale = tiny_scale();
+        let a = WorkloadSet::Paper.resolve(&scale, 1);
+        let b = WorkloadSet::Paper.resolve(&scale, 1);
+        let c = WorkloadSet::Paper.resolve(&scale, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 5);
+        let i = WorkloadSet::Intensive { cores: 4 }.resolve(&scale, 1);
+        assert_eq!(i.len(), 2);
+        assert!(i.iter().all(|w| w.cores() == 4));
+    }
+}

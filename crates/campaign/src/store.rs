@@ -1,0 +1,325 @@
+//! The on-disk result store: content-addressed JSON-lines shards.
+//!
+//! Layout under the store root (default `.campaign/`):
+//!
+//! ```text
+//! .campaign/<campaign-name>/
+//! ├── manifest.json          # spec echo + format version (debugging aid)
+//! └── shards/
+//!     ├── shard-00.jsonl     # one record per line: {"fp","kind","label",...}
+//!     ├── shard-01.jsonl
+//!     └── ...
+//! ```
+//!
+//! Records are routed to `shard-(fp % SHARDS)` and appended with an
+//! immediate flush, so a killed run loses at most the record being
+//! written. On open, every parseable line is loaded; a torn final line
+//! (from a crash mid-append) is skipped with a warning and its job simply
+//! re-runs. Duplicate fingerprints keep the first record, so re-appends
+//! after a partial flush are harmless.
+
+use crate::fingerprint::Fingerprint;
+use crate::job::RunSummary;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Number of shard files a store splits its records across.
+pub const SHARDS: usize = 8;
+
+/// Store format version, bumped on incompatible record changes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// One cached result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Job fingerprint (32 hex digits).
+    pub fp: String,
+    /// `"alone"` or `"grid"`.
+    pub kind: String,
+    /// Human-readable job label (not part of the key).
+    pub label: String,
+    /// Alone-IPC payload.
+    pub alone_ipc: Option<f64>,
+    /// Grid payload.
+    pub summary: Option<RunSummary>,
+}
+
+impl Record {
+    /// Builds an alone-IPC record.
+    pub fn alone(fp: Fingerprint, label: String, ipc: f64) -> Self {
+        Record {
+            fp: fp.to_string(),
+            kind: "alone".into(),
+            label,
+            alone_ipc: Some(ipc),
+            summary: None,
+        }
+    }
+
+    /// Builds a grid-cell record.
+    pub fn grid(fp: Fingerprint, label: String, summary: RunSummary) -> Self {
+        Record {
+            fp: fp.to_string(),
+            kind: "grid".into(),
+            label,
+            alone_ipc: None,
+            summary: Some(summary),
+        }
+    }
+}
+
+/// An open campaign store.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    records: HashMap<u128, Record>,
+    /// Per-shard append handles, lazily opened; mutexed so executor worker
+    /// threads can flush completed jobs concurrently.
+    writers: Vec<Mutex<Option<File>>>,
+    loaded: usize,
+    skipped_lines: usize,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store for `campaign_name` under
+    /// `root`, loading every existing record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors. Unparseable shard *lines* are skipped,
+    /// not errors: they re-run.
+    pub fn open(root: &Path, campaign_name: &str, manifest: &Value) -> std::io::Result<Self> {
+        let dir = root.join(campaign_name);
+        std::fs::create_dir_all(dir.join("shards"))?;
+        let mut store = Store {
+            dir,
+            records: HashMap::new(),
+            writers: (0..SHARDS).map(|_| Mutex::new(None)).collect(),
+            loaded: 0,
+            skipped_lines: 0,
+        };
+        for shard in 0..SHARDS {
+            let path = store.shard_path(shard);
+            if !path.exists() {
+                continue;
+            }
+            let reader = BufReader::new(File::open(&path)?);
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<Record>(&line)
+                    .ok()
+                    .and_then(|r| Fingerprint::parse(&r.fp).map(|fp| (fp, r)))
+                {
+                    Some((fp, record)) => {
+                        store.records.entry(fp.0).or_insert(record);
+                        store.loaded += 1;
+                    }
+                    None => {
+                        // Torn append from a killed run: drop it, the job
+                        // will simply be simulated again.
+                        store.skipped_lines += 1;
+                        eprintln!(
+                            "campaign store: skipping unparseable line in {}",
+                            path.display()
+                        );
+                    }
+                }
+            }
+        }
+        let mut manifest_doc = serde_json::Map::new();
+        manifest_doc.insert(
+            "format_version".into(),
+            serde_json::to_value(FORMAT_VERSION).expect("infallible"),
+        );
+        manifest_doc.insert("campaign".into(), Value::String(campaign_name.into()));
+        manifest_doc.insert("spec".into(), manifest.clone());
+        std::fs::write(
+            store.dir.join("manifest.json"),
+            format!("{}\n", Value::Object(manifest_doc)),
+        )?;
+        Ok(store)
+    }
+
+    fn shard_path(&self, shard: usize) -> PathBuf {
+        self.dir
+            .join("shards")
+            .join(format!("shard-{shard:02}.jsonl"))
+    }
+
+    /// Which shard `fp` routes to.
+    pub fn shard_of(fp: Fingerprint) -> usize {
+        (fp.0 % SHARDS as u128) as usize
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of records loaded from disk at open.
+    pub fn loaded(&self) -> usize {
+        self.loaded
+    }
+
+    /// Number of unparseable (torn) lines skipped at open.
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped_lines
+    }
+
+    /// Looks up a cached record.
+    pub fn get(&self, fp: Fingerprint) -> Option<&Record> {
+        self.records.get(&fp.0)
+    }
+
+    /// Whether `fp` is cached.
+    pub fn contains(&self, fp: Fingerprint) -> bool {
+        self.records.contains_key(&fp.0)
+    }
+
+    /// Appends `record` to its shard and flushes immediately. Safe to call
+    /// from executor worker threads (`&self`); the in-memory map is updated
+    /// separately by [`Store::absorb`] on the coordinating thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&self, fp: Fingerprint, record: &Record) -> std::io::Result<()> {
+        let shard = Self::shard_of(fp);
+        let mut guard = self.writers[shard].lock().expect("shard writer lock");
+        if guard.is_none() {
+            *guard = Some(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(self.shard_path(shard))?,
+            );
+        }
+        let file = guard.as_mut().expect("just opened");
+        let line = format!(
+            "{}\n",
+            serde_json::to_string(record).expect("records serialize")
+        );
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+
+    /// Inserts a freshly computed record into the in-memory map (first
+    /// record per fingerprint wins, matching load semantics).
+    pub fn absorb(&mut self, fp: Fingerprint, record: Record) {
+        self.records.entry(fp.0).or_insert(record);
+    }
+
+    /// Total records known (disk + absorbed).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("dsarp-campaign-store-tests")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_summary() -> RunSummary {
+        RunSummary {
+            ipc: vec![0.5, 1.25],
+            energy_per_access_nj: 17.375,
+            total_ipc: 1.75,
+        }
+    }
+
+    #[test]
+    fn append_reopen_roundtrip() {
+        let root = tmpdir("roundtrip");
+        let manifest = Value::Null;
+        let mut store = Store::open(&root, "c", &manifest).unwrap();
+        assert!(store.is_empty());
+
+        let fp_a = Fingerprint(1);
+        let fp_g = Fingerprint(2);
+        let a = Record::alone(fp_a, "alone/x".into(), 1.5);
+        let g = Record::grid(fp_g, "w0/DSARP".into(), sample_summary());
+        store.append(fp_a, &a).unwrap();
+        store.append(fp_g, &g).unwrap();
+        store.absorb(fp_a, a.clone());
+        store.absorb(fp_g, g.clone());
+        assert_eq!(store.len(), 2);
+
+        let reopened = Store::open(&root, "c", &manifest).unwrap();
+        assert_eq!(reopened.loaded(), 2);
+        assert_eq!(reopened.get(fp_a), Some(&a));
+        assert_eq!(reopened.get(fp_g), Some(&g));
+        assert!(reopened.get(Fingerprint(3)).is_none());
+        assert!(root.join("c").join("manifest.json").exists());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped() {
+        let root = tmpdir("torn");
+        let manifest = Value::Null;
+        let store = Store::open(&root, "c", &manifest).unwrap();
+        let fp = Fingerprint(7);
+        store
+            .append(fp, &Record::alone(fp, "ok".into(), 2.0))
+            .unwrap();
+        // Simulate a kill mid-append: a truncated record on the same shard.
+        let shard = root
+            .join("c/shards")
+            .join(format!("shard-{:02}.jsonl", Store::shard_of(fp)));
+        let mut f = OpenOptions::new().append(true).open(shard).unwrap();
+        write!(f, "{{\"fp\":\"dead").unwrap();
+        drop(f);
+
+        let reopened = Store::open(&root, "c", &manifest).unwrap();
+        assert_eq!(reopened.loaded(), 1);
+        assert_eq!(reopened.skipped_lines(), 1);
+        assert!(reopened.contains(fp));
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn records_spread_across_shards() {
+        let root = tmpdir("spread");
+        let store = Store::open(&root, "c", &Value::Null).unwrap();
+        for i in 0..64u128 {
+            let fp = Fingerprint(i * 0x9E37_79B9_7F4A_7C15);
+            store
+                .append(fp, &Record::alone(fp, format!("r{i}"), i as f64))
+                .unwrap();
+        }
+        let shard_files = std::fs::read_dir(root.join("c/shards"))
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "jsonl"))
+            .count();
+        assert!(
+            shard_files > 1,
+            "records must shard across files, got {shard_files}"
+        );
+        let reopened = Store::open(&root, "c", &Value::Null).unwrap();
+        assert_eq!(reopened.loaded(), 64);
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

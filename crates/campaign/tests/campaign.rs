@@ -1,0 +1,193 @@
+//! End-to-end properties of the campaign engine, including the acceptance
+//! criteria: an identical re-run performs zero simulation, and a campaign
+//! killed mid-run resumes to results byte-identical to an uninterrupted
+//! run.
+
+use dsarp_campaign::{Campaign, CampaignReport, CampaignSpec, SweepSpec, WorkloadSet};
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use dsarp_sim::experiments::harness::{Grid, Scale};
+use dsarp_sim::experiments::report;
+use dsarp_sim::SimConfig;
+use std::path::PathBuf;
+
+fn tiny_scale() -> Scale {
+    Scale {
+        dram_cycles: 2_000,
+        alone_cycles: 1_000,
+        per_category: 1,
+        threads: 2,
+        warmup_ops: 500,
+    }
+}
+
+fn tiny_spec() -> CampaignSpec {
+    CampaignSpec::new("tiny", tiny_scale())
+        .with_sweep(SweepSpec::new(
+            "demo",
+            WorkloadSet::Intensive { cores: 2 },
+            &[Mechanism::RefAb, Mechanism::Dsarp],
+            &[Density::G8],
+        ))
+        .with_sweep(SweepSpec::new(
+            "demo-extended",
+            WorkloadSet::Intensive { cores: 2 },
+            &[Mechanism::RefAb, Mechanism::RefPb],
+            &[Density::G8],
+        ))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("dsarp-campaign-int-tests")
+        .join(format!("{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Renders every grid of a report to one comparable CSV blob.
+fn render(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    for (name, grid) in &report.grids {
+        out.push_str(name);
+        out.push('\n');
+        out.push_str(&report::to_csv(grid.rows()));
+    }
+    out
+}
+
+#[test]
+fn rerun_performs_zero_simulation_and_is_byte_identical() {
+    let dir = tmpdir("rerun");
+    let first = Campaign::open(&dir, tiny_spec()).unwrap().run().unwrap();
+    assert!(first.stats.simulated > 0, "cold run must simulate");
+    assert_eq!(first.stats.cache_hits, 0);
+    // The two sweeps share the RefAb cells and all alone jobs.
+    assert!(
+        first.stats.deduped_in_flight() > 0,
+        "in-flight dedup must kick in"
+    );
+
+    let second = Campaign::open(&dir, tiny_spec()).unwrap().run().unwrap();
+    assert_eq!(
+        second.stats.simulated, 0,
+        "warm re-run must not simulate at all"
+    );
+    assert_eq!(second.stats.cache_hits, second.stats.unique_jobs);
+    assert_eq!(
+        render(&first),
+        render(&second),
+        "artifacts must be byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn killed_run_resumes_byte_identical() {
+    // Reference: one uninterrupted run.
+    let ref_dir = tmpdir("kill-ref");
+    let reference = Campaign::open(&ref_dir, tiny_spec())
+        .unwrap()
+        .run()
+        .unwrap();
+
+    // "Killed" run: complete store, then destroy part of it — delete one
+    // whole shard and tear the final line of another, exactly what a
+    // mid-append kill leaves behind.
+    let dir = tmpdir("kill");
+    Campaign::open(&dir, tiny_spec()).unwrap().run().unwrap();
+    let shards_dir = dir.join("tiny").join("shards");
+    let mut shard_files: Vec<PathBuf> = std::fs::read_dir(&shards_dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    shard_files.sort();
+    assert!(
+        shard_files.len() >= 2,
+        "need >= 2 shards to damage, got {}",
+        shard_files.len()
+    );
+    std::fs::remove_file(&shard_files[0]).unwrap();
+    let torn = std::fs::read_to_string(&shard_files[1]).unwrap();
+    let keep = torn.len() / 2; // cuts mid-line
+    std::fs::write(&shard_files[1], &torn[..keep.max(1)]).unwrap();
+
+    let resumed = Campaign::open(&dir, tiny_spec()).unwrap().run().unwrap();
+    assert!(resumed.stats.simulated > 0, "damaged records must re-run");
+    assert!(
+        resumed.stats.simulated < resumed.stats.unique_jobs,
+        "surviving records must be reused"
+    );
+    assert_eq!(
+        render(&reference),
+        render(&resumed),
+        "resumed campaign must equal an uninterrupted one"
+    );
+    let _ = std::fs::remove_dir_all(ref_dir);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn partial_campaign_then_full_reuses_overlap() {
+    let dir = tmpdir("partial");
+    // First a narrower campaign (as if the box went down before the
+    // remaining sweeps were added), then the full one.
+    let narrow = tiny_spec().filtered(&["demo-extended"]);
+    let narrow_report = Campaign::open(&dir, {
+        let mut n = narrow;
+        n.name = "tiny".into(); // same store
+        n
+    })
+    .unwrap()
+    .run()
+    .unwrap();
+    let full = Campaign::open(&dir, tiny_spec()).unwrap().run().unwrap();
+    assert!(full.stats.cache_hits >= narrow_report.stats.unique_jobs);
+    assert!(full.stats.simulated > 0, "the new sweep's cells still run");
+
+    // And the combined result matches a from-scratch full run.
+    let fresh_dir = tmpdir("partial-fresh");
+    let fresh = Campaign::open(&fresh_dir, tiny_spec())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(render(&fresh), render(&full));
+    let _ = std::fs::remove_dir_all(dir);
+    let _ = std::fs::remove_dir_all(fresh_dir);
+}
+
+#[test]
+fn campaign_grid_matches_direct_grid_compute() {
+    let scale = tiny_scale();
+    let spec = CampaignSpec::new("parity", scale).with_sweep(SweepSpec::new(
+        "demo",
+        WorkloadSet::Intensive { cores: 2 },
+        &[Mechanism::RefAb, Mechanism::Dsarp],
+        &[Density::G8],
+    ));
+    let dir = tmpdir("parity");
+    let report = Campaign::open(&dir, spec).unwrap().run().unwrap();
+    let campaign_grid = report.grid("demo");
+
+    let workloads = WorkloadSet::Intensive { cores: 2 }.resolve(&scale, spec_seed());
+    let direct = Grid::compute_with(
+        &workloads,
+        &[Mechanism::RefAb, Mechanism::Dsarp],
+        &[Density::G8],
+        &scale,
+        |m, d| SimConfig::paper(*m, *d).with_cores(2),
+    );
+    assert_eq!(campaign_grid.rows().len(), direct.rows().len());
+    for row in direct.rows() {
+        let got = campaign_grid
+            .get(&row.workload, row.mechanism, row.density)
+            .unwrap_or_else(|| panic!("campaign grid missing {}", row.workload));
+        assert_eq!(got, row, "campaign cell must equal the direct computation");
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+fn spec_seed() -> u64 {
+    dsarp_sim::experiments::harness::WORKLOAD_SEED
+}

@@ -37,7 +37,12 @@ pub struct RequestQueues {
 impl RequestQueues {
     /// Queues with the paper's capacities and watermarks.
     pub fn paper_default() -> Self {
-        Self::new(READ_QUEUE_CAP, WRITE_QUEUE_CAP, DRAIN_HIGH_WATERMARK, DRAIN_LOW_WATERMARK)
+        Self::new(
+            READ_QUEUE_CAP,
+            WRITE_QUEUE_CAP,
+            DRAIN_HIGH_WATERMARK,
+            DRAIN_LOW_WATERMARK,
+        )
     }
 
     /// Queues with explicit capacities and watermarks.
@@ -46,7 +51,10 @@ impl RequestQueues {
     ///
     /// Panics unless `low < high <= write_cap`.
     pub fn new(read_cap: usize, write_cap: usize, high: usize, low: usize) -> Self {
-        assert!(low < high && high <= write_cap, "watermarks must satisfy low < high <= cap");
+        assert!(
+            low < high && high <= write_cap,
+            "watermarks must satisfy low < high <= cap"
+        );
         Self {
             reads: Vec::with_capacity(read_cap),
             writes: Vec::with_capacity(write_cap),
@@ -124,8 +132,15 @@ impl RequestQueues {
     /// Pending demand requests (reads + writes) for one bank — the occupancy
     /// DARP's bank-selection logic monitors.
     pub fn demand_count(&self, rank: usize, bank: usize) -> usize {
-        self.reads.iter().filter(|r| r.targets_bank(rank, bank)).count()
-            + self.writes.iter().filter(|r| r.targets_bank(rank, bank)).count()
+        self.reads
+            .iter()
+            .filter(|r| r.targets_bank(rank, bank))
+            .count()
+            + self
+                .writes
+                .iter()
+                .filter(|r| r.targets_bank(rank, bank))
+                .count()
     }
 
     /// Whether any demand request targets the bank.
@@ -152,11 +167,12 @@ impl RequestQueues {
         in_drain: bool,
         skip_idx: Option<usize>,
     ) -> bool {
-        let same_row = |r: &Request| {
-            r.loc.rank == loc.rank && r.loc.bank == loc.bank && r.loc.row == loc.row
-        };
+        let same_row =
+            |r: &Request| r.loc.rank == loc.rank && r.loc.bank == loc.bank && r.loc.row == loc.row;
         let q = if in_drain { &self.writes } else { &self.reads };
-        q.iter().enumerate().any(|(i, r)| Some(i) != skip_idx && same_row(r))
+        q.iter()
+            .enumerate()
+            .any(|(i, r)| Some(i) != skip_idx && same_row(r))
     }
 
     /// Searches the write queue for a pending write to the same line
@@ -191,7 +207,13 @@ mod tests {
     use super::*;
 
     fn loc(rank: usize, bank: usize, row: u32) -> Location {
-        Location { channel: 0, rank, bank, row, col: 0 }
+        Location {
+            channel: 0,
+            rank,
+            bank,
+            row,
+            col: 0,
+        }
     }
 
     fn wreq(id: u64, rank: usize, bank: usize) -> Request {
@@ -241,7 +263,7 @@ mod tests {
         assert!(q.bank_has_demand(0, 3));
         assert!(!q.bank_has_demand(0, 4));
         assert!(q.rank_has_demand(1));
-        assert!(!q.rank_has_demand(2).then_some(true).unwrap_or(false));
+        assert!(!q.rank_has_demand(2));
     }
 
     #[test]

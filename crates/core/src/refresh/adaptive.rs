@@ -68,8 +68,8 @@ impl RefreshPolicy for AdaptiveRefresh {
             if ctx.chan.rank(r).is_refab_busy(ctx.now) {
                 continue;
             }
-            let idle_long = self.idle_since[r]
-                .is_some_and(|since| ctx.now - since >= self.idle_window);
+            let idle_long =
+                self.idle_since[r].is_some_and(|since| ctx.now - since >= self.idle_window);
             // 4x commands retire 1 quarter; 1x commands retire 4. Choose 4x
             // when the rank looks idle and a single quarter is due; fall
             // back to 1x when work has piled up (a busy rank defers until
@@ -98,8 +98,7 @@ impl RefreshPolicy for AdaptiveRefresh {
             FgrMode::X2 => 2,
             FgrMode::X1 => 4,
         };
-        self.owed_quarters[target.rank] =
-            self.owed_quarters[target.rank].saturating_sub(quarters);
+        self.owed_quarters[target.rank] = self.owed_quarters[target.rank].saturating_sub(quarters);
         self.last_mode[target.rank] = mode;
     }
 }
@@ -122,9 +121,17 @@ mod tests {
         let (chan, mut p, t) = setup();
         let q = RequestQueues::paper_default();
         // Observe idleness early, then hit a quarter-due time much later.
-        let ctx0 = PolicyContext { now: 1, queues: &q, chan: &chan };
+        let ctx0 = PolicyContext {
+            now: 1,
+            queues: &q,
+            chan: &chan,
+        };
         let _ = p.decide(&ctx0);
-        let ctx = PolicyContext { now: t.refi_ab / 4 + 1, queues: &q, chan: &chan };
+        let ctx = PolicyContext {
+            now: t.refi_ab / 4 + 1,
+            queues: &q,
+            chan: &chan,
+        };
         match p.decide(&ctx) {
             RefreshDirective::Urgent(target) => {
                 assert_eq!(target.kind, RefreshKind::AllBank(FgrMode::X4));
@@ -141,15 +148,29 @@ mod tests {
         let mut q = RequestQueues::paper_default();
         q.try_push_read(Request::read(
             1,
-            Location { channel: 0, rank: 0, bank: 0, row: 0, col: 0 },
+            Location {
+                channel: 0,
+                rank: 0,
+                bank: 0,
+                row: 0,
+                col: 0,
+            },
             0,
             0,
         ));
         // One quarter owed: busy rank does not refresh yet.
-        let ctx = PolicyContext { now: t.refi_ab / 4 + 1, queues: &q, chan: &chan };
+        let ctx = PolicyContext {
+            now: t.refi_ab / 4 + 1,
+            queues: &q,
+            chan: &chan,
+        };
         assert_eq!(p.decide(&ctx), RefreshDirective::None);
         // Four quarters owed: busy rank issues a 1x refresh.
-        let ctx4 = PolicyContext { now: t.refi_ab + 1, queues: &q, chan: &chan };
+        let ctx4 = PolicyContext {
+            now: t.refi_ab + 1,
+            queues: &q,
+            chan: &chan,
+        };
         match p.decide(&ctx4) {
             RefreshDirective::Urgent(target) => {
                 assert_eq!(target.kind, RefreshKind::AllBank(FgrMode::X1));
@@ -166,7 +187,11 @@ mod tests {
         let mut now = 0;
         while now < 10 * t.refi_ab {
             now += 97;
-            let ctx = PolicyContext { now, queues: &q, chan: &chan };
+            let ctx = PolicyContext {
+                now,
+                queues: &q,
+                chan: &chan,
+            };
             if let RefreshDirective::Urgent(target) = p.decide(&ctx) {
                 p.refresh_issued(&target, now);
                 issued_quarters += match target.kind {

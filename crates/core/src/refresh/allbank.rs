@@ -18,7 +18,11 @@ impl AllBankRefresh {
     /// Creates the policy for `ranks` ranks.
     pub fn new(ranks: usize, timing: &TimingParams) -> Self {
         let refi = timing.refi_ab;
-        Self { next_due: vec![refi; ranks], pending: vec![0; ranks], refi }
+        Self {
+            next_due: vec![refi; ranks],
+            pending: vec![0; ranks],
+            refi,
+        }
     }
 
     /// Outstanding (accrued, unissued) refreshes for `rank` (for tests).
@@ -78,8 +82,7 @@ mod tests {
 
     fn setup() -> (DramChannel, RequestQueues, AllBankRefresh, TimingParams) {
         let t = TimingParams::ddr3_1333(Density::G8, Retention::Ms32);
-        let chan =
-            DramChannel::new(Geometry::paper_default(), t, SarpSupport::Disabled);
+        let chan = DramChannel::new(Geometry::paper_default(), t, SarpSupport::Disabled);
         let q = RequestQueues::paper_default();
         let p = AllBankRefresh::new(2, &t);
         (chan, q, p, t)
@@ -88,14 +91,22 @@ mod tests {
     #[test]
     fn quiet_before_first_interval() {
         let (chan, q, mut p, t) = setup();
-        let ctx = PolicyContext { now: t.refi_ab - 1, queues: &q, chan: &chan };
+        let ctx = PolicyContext {
+            now: t.refi_ab - 1,
+            queues: &q,
+            chan: &chan,
+        };
         assert_eq!(p.decide(&ctx), RefreshDirective::None);
     }
 
     #[test]
     fn urgent_at_interval_and_cleared_on_issue() {
         let (chan, q, mut p, t) = setup();
-        let ctx = PolicyContext { now: t.refi_ab, queues: &q, chan: &chan };
+        let ctx = PolicyContext {
+            now: t.refi_ab,
+            queues: &q,
+            chan: &chan,
+        };
         let d = p.decide(&ctx);
         let target = match d {
             RefreshDirective::Urgent(t) => t,
@@ -114,7 +125,11 @@ mod tests {
     #[test]
     fn obligations_accumulate_if_unserved() {
         let (chan, q, mut p, t) = setup();
-        let ctx = PolicyContext { now: 3 * t.refi_ab + 1, queues: &q, chan: &chan };
+        let ctx = PolicyContext {
+            now: 3 * t.refi_ab + 1,
+            queues: &q,
+            chan: &chan,
+        };
         let _ = p.decide(&ctx);
         assert_eq!(p.pending(0), 3);
         assert_eq!(p.pending(1), 3);
@@ -123,9 +138,19 @@ mod tests {
     #[test]
     fn not_rerequested_while_in_flight() {
         let (mut chan, q, mut p, t) = setup();
-        chan.issue(dsarp_dram::Command::RefreshAllBank { rank: 0, fgr: FgrMode::X1 }, 0)
-            .unwrap();
-        let ctx = PolicyContext { now: t.refi_ab, queues: &q, chan: &chan };
+        chan.issue(
+            dsarp_dram::Command::RefreshAllBank {
+                rank: 0,
+                fgr: FgrMode::X1,
+            },
+            0,
+        )
+        .unwrap();
+        let ctx = PolicyContext {
+            now: t.refi_ab,
+            queues: &q,
+            chan: &chan,
+        };
         // refi_ab (2600) > rfc_ab (234), so the refresh finished: rank 0 ok.
         match p.decide(&ctx) {
             RefreshDirective::Urgent(_) => {}
@@ -139,11 +164,18 @@ mod tests {
         );
         chan2
             .issue(
-                dsarp_dram::Command::RefreshAllBank { rank: 0, fgr: FgrMode::X1 },
+                dsarp_dram::Command::RefreshAllBank {
+                    rank: 0,
+                    fgr: FgrMode::X1,
+                },
                 t.refi_ab - 1,
             )
             .unwrap();
-        let ctx2 = PolicyContext { now: t.refi_ab, queues: &q, chan: &chan2 };
+        let ctx2 = PolicyContext {
+            now: t.refi_ab,
+            queues: &q,
+            chan: &chan2,
+        };
         match p.decide(&ctx2) {
             RefreshDirective::Urgent(t2) => {
                 assert_eq!(t2.rank, 1, "rank 0 is busy; rank 1 serves its debt")

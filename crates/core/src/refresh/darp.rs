@@ -75,7 +75,11 @@ impl Darp {
         let refi_pb = timing.refi_pb;
         Self {
             ranks: (0..ranks)
-                .map(|_| RankState { next_tick: refi_pb, rr: 0, debt: vec![0; banks] })
+                .map(|_| RankState {
+                    next_tick: refi_pb,
+                    rr: 0,
+                    debt: vec![0; banks],
+                })
                 .collect(),
             refi_pb,
             wrp,
@@ -145,8 +149,10 @@ impl RefreshPolicy for Darp {
                 .map(|(b, &d)| (b, d))
                 .max_by_key(|&(_, d)| d)
             {
-                let target =
-                    RefreshTarget { rank: r, kind: RefreshKind::PerBank { bank } };
+                let target = RefreshTarget {
+                    rank: r,
+                    kind: RefreshKind::PerBank { bank },
+                };
                 self.proposal = Some((target, Source::Forced));
                 return RefreshDirective::Urgent(target);
             }
@@ -163,8 +169,10 @@ impl RefreshPolicy for Darp {
                     .filter(|&b| st.debt[b] > -MAX_DEBT && Self::bank_refreshable(ctx, r, b))
                     .min_by_key(|&b| ctx.queues.demand_count(r, b));
                 if let Some(bank) = candidate {
-                    let target =
-                        RefreshTarget { rank: r, kind: RefreshKind::PerBank { bank } };
+                    let target = RefreshTarget {
+                        rank: r,
+                        kind: RefreshKind::PerBank { bank },
+                    };
                     self.proposal = Some((target, Source::WriteParallelized));
                     return RefreshDirective::Urgent(target);
                 }
@@ -194,12 +202,19 @@ impl RefreshPolicy for Darp {
                 }
             }
         }
-        let pool = if !postponed.is_empty() { &postponed } else { &pullable };
+        let pool = if !postponed.is_empty() {
+            &postponed
+        } else {
+            &pullable
+        };
         if pool.is_empty() {
             return RefreshDirective::None;
         }
         let (rank, bank) = pool[self.rng.gen_range(0..pool.len())];
-        let target = RefreshTarget { rank, kind: RefreshKind::PerBank { bank } };
+        let target = RefreshTarget {
+            rank,
+            kind: RefreshKind::PerBank { bank },
+        };
         self.proposal = Some((target, Source::Opportunistic));
         RefreshDirective::Relaxed(target)
     }
@@ -228,9 +243,7 @@ mod tests {
     use super::*;
     use crate::queues::RequestQueues;
     use crate::request::Request;
-    use dsarp_dram::{
-        Density, DramChannel, Geometry, Location, Retention, SarpSupport,
-    };
+    use dsarp_dram::{Density, DramChannel, Geometry, Location, Retention, SarpSupport};
 
     fn timing() -> TimingParams {
         TimingParams::ddr3_1333(Density::G8, Retention::Ms32)
@@ -241,7 +254,18 @@ mod tests {
     }
 
     fn req(rank: usize, bank: usize) -> Request {
-        Request::read(1, Location { channel: 0, rank, bank, row: 0, col: 0 }, 0, 0)
+        Request::read(
+            1,
+            Location {
+                channel: 0,
+                rank,
+                bank,
+                row: 0,
+                col: 0,
+            },
+            0,
+            0,
+        )
     }
 
     #[test]
@@ -256,7 +280,11 @@ mod tests {
         for b in 0..8 {
             q_busy.try_push_read(req(0, b));
         }
-        let ctx = PolicyContext { now: 3 * t.refi_pb, queues: &q_busy, chan: &c };
+        let ctx = PolicyContext {
+            now: 3 * t.refi_pb,
+            queues: &q_busy,
+            chan: &c,
+        };
         let _ = p.decide(&ctx);
         assert_eq!(p.debt(0, 0), 1);
         assert_eq!(p.debt(0, 1), 1);
@@ -274,8 +302,16 @@ mod tests {
             q.try_push_read(req(0, b));
         }
         // 24 ticks = 3 full rounds; every bank postponed 3 times.
-        let ctx = PolicyContext { now: 24 * t.refi_pb, queues: &q, chan: &c };
-        assert_eq!(p.decide(&ctx), RefreshDirective::None, "all banks busy, none forced yet");
+        let ctx = PolicyContext {
+            now: 24 * t.refi_pb,
+            queues: &q,
+            chan: &c,
+        };
+        assert_eq!(
+            p.decide(&ctx),
+            RefreshDirective::None,
+            "all banks busy, none forced yet"
+        );
         for b in 0..8 {
             assert_eq!(p.debt(0, b), 3);
         }
@@ -291,7 +327,11 @@ mod tests {
             q.try_push_read(req(0, b));
         }
         // 64 ticks = 8 rounds → every bank at the +8 limit.
-        let ctx = PolicyContext { now: 64 * t.refi_pb, queues: &q, chan: &c };
+        let ctx = PolicyContext {
+            now: 64 * t.refi_pb,
+            queues: &q,
+            chan: &c,
+        };
         match p.decide(&ctx) {
             RefreshDirective::Urgent(target) => {
                 assert_eq!(target.rank, 0);
@@ -313,7 +353,11 @@ mod tests {
         for b in 0..7 {
             q.try_push_read(req(0, b));
         }
-        let ctx = PolicyContext { now: 1, queues: &q, chan: &c };
+        let ctx = PolicyContext {
+            now: 1,
+            queues: &q,
+            chan: &c,
+        };
         match p.decide(&ctx) {
             RefreshDirective::Relaxed(target) => {
                 assert_eq!(target.kind, RefreshKind::PerBank { bank: 7 });
@@ -323,12 +367,19 @@ mod tests {
         // Drive bank 7 to the pull-in floor.
         for _ in 0..MAX_DEBT {
             p.refresh_issued(
-                &RefreshTarget { rank: 0, kind: RefreshKind::PerBank { bank: 7 } },
+                &RefreshTarget {
+                    rank: 0,
+                    kind: RefreshKind::PerBank { bank: 7 },
+                },
                 1,
             );
         }
         assert_eq!(p.debt(0, 7), -MAX_DEBT);
-        let ctx2 = PolicyContext { now: 2, queues: &q, chan: &c };
+        let ctx2 = PolicyContext {
+            now: 2,
+            queues: &q,
+            chan: &c,
+        };
         assert_eq!(
             p.decide(&ctx2),
             RefreshDirective::None,
@@ -344,13 +395,21 @@ mod tests {
         // Make bank 0 postponed (debt > 0) while it is busy...
         let mut q = RequestQueues::paper_default();
         q.try_push_read(req(0, 0));
-        let ctx = PolicyContext { now: t.refi_pb, queues: &q, chan: &c };
+        let ctx = PolicyContext {
+            now: t.refi_pb,
+            queues: &q,
+            chan: &c,
+        };
         let _ = p.decide(&ctx);
         assert_eq!(p.debt(0, 0), 1);
         // ...then it goes idle: the postponed bank must be chosen over
         // random zero-debt banks.
         let q_idle = RequestQueues::paper_default();
-        let ctx2 = PolicyContext { now: t.refi_pb + 1, queues: &q_idle, chan: &c };
+        let ctx2 = PolicyContext {
+            now: t.refi_pb + 1,
+            queues: &q_idle,
+            chan: &c,
+        };
         match p.decide(&ctx2) {
             RefreshDirective::Relaxed(target) => {
                 assert_eq!(target.kind, RefreshKind::PerBank { bank: 0 });
@@ -371,17 +430,29 @@ mod tests {
             let bank = [0usize, 0, 1, 3][i as usize];
             q.try_push_write(Request::write(
                 i,
-                Location { channel: 0, rank: 0, bank, row: 0, col: 0 },
+                Location {
+                    channel: 0,
+                    rank: 0,
+                    bank,
+                    row: 0,
+                    col: 0,
+                },
                 0,
                 0,
             ));
         }
         q.update_drain_mode();
         assert!(q.in_drain_mode());
-        let ctx = PolicyContext { now: 5, queues: &q, chan: &c };
+        let ctx = PolicyContext {
+            now: 5,
+            queues: &q,
+            chan: &c,
+        };
         match p.decide(&ctx) {
             RefreshDirective::Urgent(target) => {
-                let RefreshKind::PerBank { bank } = target.kind else { unreachable!() };
+                let RefreshKind::PerBank { bank } = target.kind else {
+                    unreachable!()
+                };
                 assert_eq!(q.demand_count(0, bank), 0, "min-demand bank selected");
                 p.refresh_issued(&target, 5);
                 assert_eq!(p.stats().write_parallelized, 1);
@@ -398,19 +469,35 @@ mod tests {
         let mut q = RequestQueues::new(64, 64, 2, 1);
         q.try_push_write(Request::write(
             0,
-            Location { channel: 0, rank: 0, bank: 0, row: 0, col: 0 },
+            Location {
+                channel: 0,
+                rank: 0,
+                bank: 0,
+                row: 0,
+                col: 0,
+            },
             0,
             0,
         ));
         q.try_push_write(Request::write(
             1,
-            Location { channel: 0, rank: 0, bank: 1, row: 0, col: 0 },
+            Location {
+                channel: 0,
+                rank: 0,
+                bank: 1,
+                row: 0,
+                col: 0,
+            },
             0,
             0,
         ));
         q.update_drain_mode();
         assert!(q.in_drain_mode());
-        let ctx = PolicyContext { now: 5, queues: &q, chan: &c };
+        let ctx = PolicyContext {
+            now: 5,
+            queues: &q,
+            chan: &c,
+        };
         // Without WRP the drain mode does not produce urgent refreshes; the
         // idle banks still get relaxed pull-ins.
         match p.decide(&ctx) {
@@ -429,7 +516,11 @@ mod tests {
         let mut now = 0;
         for step in 0..5_000u64 {
             now += 13;
-            let ctx = PolicyContext { now, queues: &q, chan: &c };
+            let ctx = PolicyContext {
+                now,
+                queues: &q,
+                chan: &c,
+            };
             match p.decide(&ctx) {
                 RefreshDirective::Urgent(target) | RefreshDirective::Relaxed(target) => {
                     if step % 3 != 0 {
@@ -441,7 +532,10 @@ mod tests {
             for r in 0..2 {
                 for b in 0..8 {
                     let d = p.debt(r, b);
-                    assert!((-MAX_DEBT..=MAX_DEBT + 1).contains(&d), "debt {d} out of range");
+                    assert!(
+                        (-MAX_DEBT..=MAX_DEBT + 1).contains(&d),
+                        "debt {d} out of range"
+                    );
                 }
             }
         }

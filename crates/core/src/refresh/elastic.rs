@@ -101,8 +101,10 @@ impl RefreshPolicy for ElasticRefresh {
             if pending == 0 || ctx.chan.rank(r).is_refab_busy(ctx.now) {
                 continue;
             }
-            let target =
-                RefreshTarget { rank: r, kind: RefreshKind::AllBank(FgrMode::X1) };
+            let target = RefreshTarget {
+                rank: r,
+                kind: RefreshKind::AllBank(FgrMode::X1),
+            };
             if pending >= MAX_POSTPONED {
                 return RefreshDirective::Urgent(target);
             }
@@ -136,7 +138,13 @@ mod tests {
 
     fn busy_queues(rank: usize) -> RequestQueues {
         let mut q = RequestQueues::paper_default();
-        let loc = Location { channel: 0, rank, bank: 0, row: 0, col: 0 };
+        let loc = Location {
+            channel: 0,
+            rank,
+            bank: 0,
+            row: 0,
+            col: 0,
+        };
         q.try_push_read(Request::read(1, loc, 0, 0));
         q
     }
@@ -146,14 +154,22 @@ mod tests {
         let (chan, mut p, t) = setup();
         let q = busy_queues(0);
         // Rank 0 busy: its refresh is postponed. Rank 1 idle: issued.
-        let ctx = PolicyContext { now: t.refi_ab + 1, queues: &q, chan: &chan };
+        let ctx = PolicyContext {
+            now: t.refi_ab + 1,
+            queues: &q,
+            chan: &chan,
+        };
         // First decide observes idleness start for rank 1; idle threshold
         // not yet met, so nothing fires immediately...
         let _ = p.decide(&ctx);
         assert_eq!(p.pending(0), 1);
         // ...but after a long idle stretch rank 1 fires.
         let later = t.refi_ab + 1 + 10 * t.rfc_ab;
-        let ctx2 = PolicyContext { now: later, queues: &q, chan: &chan };
+        let ctx2 = PolicyContext {
+            now: later,
+            queues: &q,
+            chan: &chan,
+        };
         match p.decide(&ctx2) {
             RefreshDirective::Urgent(target) => assert_eq!(target.rank, 1),
             other => panic!("expected rank 1 refresh, got {other:?}"),
@@ -165,7 +181,11 @@ mod tests {
         let (chan, mut p, t) = setup();
         let q = busy_queues(0);
         let now = 9 * t.refi_ab;
-        let ctx = PolicyContext { now, queues: &q, chan: &chan };
+        let ctx = PolicyContext {
+            now,
+            queues: &q,
+            chan: &chan,
+        };
         // Rank 0 has been busy for 9 intervals: pending caps at 8 => forced
         // even though the rank is busy.
         match p.decide(&ctx) {
@@ -192,11 +212,18 @@ mod tests {
         let (chan, mut p, t) = setup();
         let q = RequestQueues::paper_default();
         let now = 3 * t.refi_ab;
-        let ctx = PolicyContext { now, queues: &q, chan: &chan };
+        let ctx = PolicyContext {
+            now,
+            queues: &q,
+            chan: &chan,
+        };
         let _ = p.decide(&ctx);
         let before = p.pending(0);
         p.refresh_issued(
-            &RefreshTarget { rank: 0, kind: RefreshKind::AllBank(FgrMode::X1) },
+            &RefreshTarget {
+                rank: 0,
+                kind: RefreshKind::AllBank(FgrMode::X1),
+            },
             now,
         );
         assert_eq!(p.pending(0), before - 1);

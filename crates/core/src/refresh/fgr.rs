@@ -22,7 +22,12 @@ impl FgrRefresh {
     /// Creates the policy for `ranks` ranks in `mode`.
     pub fn new(ranks: usize, timing: &TimingParams, mode: FgrMode) -> Self {
         let refi = timing.refi_ab_for(mode);
-        Self { mode, next_due: vec![refi; ranks], pending: vec![0; ranks], refi }
+        Self {
+            mode,
+            next_due: vec![refi; ranks],
+            pending: vec![0; ranks],
+            refi,
+        }
     }
 
     /// The configured mode.
@@ -73,7 +78,11 @@ mod tests {
         let chan = DramChannel::new(Geometry::paper_default(), t, SarpSupport::Disabled);
         let q = RequestQueues::paper_default();
         let mut p = FgrRefresh::new(1, &t, FgrMode::X4);
-        let ctx = PolicyContext { now: t.refi_ab, queues: &q, chan: &chan };
+        let ctx = PolicyContext {
+            now: t.refi_ab,
+            queues: &q,
+            chan: &chan,
+        };
         let _ = p.decide(&ctx);
         assert_eq!(p.pending[0], 4);
         assert_eq!(p.mode(), FgrMode::X4);

@@ -222,7 +222,10 @@ mod tests {
         assert_eq!(Mechanism::SarpPb.sarp_support(), SarpSupport::Enabled);
         assert_eq!(Mechanism::Dsarp.sarp_support(), SarpSupport::Enabled);
         assert_eq!(Mechanism::Darp.sarp_support(), SarpSupport::Disabled);
-        assert_eq!(Mechanism::DsarpOverlapped.sarp_support(), SarpSupport::Enabled);
+        assert_eq!(
+            Mechanism::DsarpOverlapped.sarp_support(),
+            SarpSupport::Enabled
+        );
     }
 
     #[test]

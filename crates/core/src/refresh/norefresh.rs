@@ -37,7 +37,11 @@ mod tests {
         let q = RequestQueues::paper_default();
         let mut p = NoRefresh;
         for now in [0u64, 10_000, 1_000_000] {
-            let ctx = PolicyContext { now, queues: &q, chan: &chan };
+            let ctx = PolicyContext {
+                now,
+                queues: &q,
+                chan: &chan,
+            };
             assert_eq!(p.decide(&ctx), RefreshDirective::None);
         }
     }

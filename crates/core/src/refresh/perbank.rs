@@ -70,7 +70,10 @@ impl RefreshPolicy for PerBankRefresh {
         let RefreshKind::PerBank { bank } = target.kind else {
             panic!("per-bank policy issued a non-per-bank refresh");
         };
-        debug_assert_eq!(bank, self.rr[target.rank], "baseline must follow round-robin");
+        debug_assert_eq!(
+            bank, self.rr[target.rank],
+            "baseline must follow round-robin"
+        );
         self.pending[target.rank] = self.pending[target.rank].saturating_sub(1);
         self.rr[target.rank] = (self.rr[target.rank] + 1) % self.banks;
     }
@@ -95,17 +98,27 @@ mod tests {
         let (chan, q, mut p, t) = setup();
         for i in 0..10u64 {
             let now = t.refi_pb * (i + 1);
-            let ctx = PolicyContext { now, queues: &q, chan: &chan };
+            let ctx = PolicyContext {
+                now,
+                queues: &q,
+                chan: &chan,
+            };
             match p.decide(&ctx) {
                 RefreshDirective::Urgent(target) => {
                     assert_eq!(target.rank, 0, "rank 0 due first each tick");
                     assert_eq!(
                         target.kind,
-                        RefreshKind::PerBank { bank: (i % 8) as usize }
+                        RefreshKind::PerBank {
+                            bank: (i % 8) as usize
+                        }
                     );
                     p.refresh_issued(&target, now);
                     // Serve rank 1's tick too so it does not back up.
-                    let ctx2 = PolicyContext { now: now + 1, queues: &q, chan: &chan };
+                    let ctx2 = PolicyContext {
+                        now: now + 1,
+                        queues: &q,
+                        chan: &chan,
+                    };
                     if let RefreshDirective::Urgent(t1) = p.decide(&ctx2) {
                         assert_eq!(t1.rank, 1);
                         p.refresh_issued(&t1, now + 1);
@@ -126,10 +139,17 @@ mod tests {
     #[test]
     fn waits_out_inflight_refpb() {
         let (mut chan, q, mut p, t) = setup();
-        chan.issue(dsarp_dram::Command::RefreshPerBank { rank: 0, bank: 0 }, t.refi_pb - 10)
-            .unwrap();
+        chan.issue(
+            dsarp_dram::Command::RefreshPerBank { rank: 0, bank: 0 },
+            t.refi_pb - 10,
+        )
+        .unwrap();
         // While rank 0's REFpb is in flight, rank 0 is skipped even if due.
-        let ctx = PolicyContext { now: t.refi_pb, queues: &q, chan: &chan };
+        let ctx = PolicyContext {
+            now: t.refi_pb,
+            queues: &q,
+            chan: &chan,
+        };
         match p.decide(&ctx) {
             RefreshDirective::Urgent(target) => assert_eq!(target.rank, 1),
             RefreshDirective::None => {}
@@ -142,7 +162,11 @@ mod tests {
         let (mut chan, q, mut p, t) = setup();
         for i in 1..=20u64 {
             let now = t.refi_pb * i;
-            let ctx = PolicyContext { now, queues: &q, chan: &chan };
+            let ctx = PolicyContext {
+                now,
+                queues: &q,
+                chan: &chan,
+            };
             if let RefreshDirective::Urgent(target) = p.decide(&ctx) {
                 assert_eq!(
                     match target.kind {
@@ -152,9 +176,14 @@ mod tests {
                     chan.next_rr_bank(target.rank),
                     "policy mirror diverged from the in-DRAM counter"
                 );
-                let RefreshKind::PerBank { bank } = target.kind else { unreachable!() };
+                let RefreshKind::PerBank { bank } = target.kind else {
+                    unreachable!()
+                };
                 chan.issue(
-                    dsarp_dram::Command::RefreshPerBank { rank: target.rank, bank },
+                    dsarp_dram::Command::RefreshPerBank {
+                        rank: target.rank,
+                        bank,
+                    },
                     now,
                 )
                 .unwrap();

@@ -22,12 +22,24 @@ pub struct Request {
 impl Request {
     /// Creates a read (line-fill) request.
     pub fn read(id: u64, loc: Location, core: usize, arrival: Cycle) -> Self {
-        Self { id, loc, is_write: false, core, arrival }
+        Self {
+            id,
+            loc,
+            is_write: false,
+            core,
+            arrival,
+        }
     }
 
     /// Creates a writeback request.
     pub fn write(id: u64, loc: Location, core: usize, arrival: Cycle) -> Self {
-        Self { id, loc, is_write: true, core, arrival }
+        Self {
+            id,
+            loc,
+            is_write: true,
+            core,
+            arrival,
+        }
     }
 
     /// Whether this request targets the given (rank, bank).

@@ -64,7 +64,11 @@ fn drive(mech: Mechanism, arrivals: &[(u16, u8, bool)], cycles: u64, seed: u64) 
         completions.clear();
         mc.step(&mut chan, now, &mut completions);
         for c in &completions {
-            assert!(outstanding.remove(&c.id), "completion for unknown/duplicate id {}", c.id);
+            assert!(
+                outstanding.remove(&c.id),
+                "completion for unknown/duplicate id {}",
+                c.id
+            );
             assert!(c.ready_at <= now, "completion from the future");
         }
     }
@@ -77,8 +81,14 @@ fn drive(mech: Mechanism, arrivals: &[(u16, u8, bool)], cycles: u64, seed: u64) 
     // the delivered set.
     let delivered = accepted_reads - outstanding.len() as u64;
     let counted = stats.reads_done + stats.forwarded_reads;
-    assert!(counted >= delivered, "counted {counted} < delivered {delivered}");
-    assert!(counted <= delivered + 32, "counted {counted} vs delivered {delivered}");
+    assert!(
+        counted >= delivered,
+        "counted {counted} < delivered {delivered}"
+    );
+    assert!(
+        counted <= delivered + 32,
+        "counted {counted} vs delivered {delivered}"
+    );
     assert!(
         outstanding.len() <= 64 + 16,
         "{} reads stuck (queue cap is 64): starvation?",
@@ -136,7 +146,7 @@ fn write_heavy_traffic_drains() {
         let mut id = 0u64;
         for now in 0..30_000u64 {
             if now % 13 == 0 {
-                let mut loc = geom.decode((id * 6_400) % geom.capacity_bytes() & !63);
+                let mut loc = geom.decode(((id * 6_400) % geom.capacity_bytes()) & !63);
                 loc.channel = 0;
                 id += 1;
                 let _ = mc.try_enqueue_write(Request::write(id, loc, 0, now));

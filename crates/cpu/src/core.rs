@@ -31,7 +31,12 @@ pub struct CoreParams {
 impl CoreParams {
     /// The paper's configuration: 3-wide, 128-entry window, 8 MSHRs.
     pub fn paper_default() -> Self {
-        Self { issue_width: 3, window_size: 128, mshrs: 8, llc_hit_latency: 24 }
+        Self {
+            issue_width: 3,
+            window_size: 128,
+            mshrs: 8,
+            llc_hit_latency: 24,
+        }
     }
 }
 
@@ -193,7 +198,9 @@ impl Core {
                 issued += 1;
                 continue;
             }
-            let op = self.staged.expect("staged op present when bubbles are drained");
+            let op = self
+                .staged
+                .expect("staged op present when bubbles are drained");
 
             // Load-to-load dependence: wait for the previous load's data.
             if op.dependent {
@@ -207,7 +214,14 @@ impl Core {
             let is_store = op.kind == MemKind::Store;
             let line = op.addr & !63u64;
             if self.mshrs.merge(line, (!is_store).then_some(self.next_seq)) {
-                self.commit_mem_op(op, if is_store { Slot::DoneAt(now) } else { Slot::WaitMem });
+                self.commit_mem_op(
+                    op,
+                    if is_store {
+                        Slot::DoneAt(now)
+                    } else {
+                        Slot::WaitMem
+                    },
+                );
                 issued += 1;
                 continue;
             }
@@ -226,10 +240,18 @@ impl Core {
                     issued += 1;
                 }
                 AccessResult::Miss(token) => {
-                    let ok =
-                        self.mshrs.allocate(line, token, (!is_store).then_some(self.next_seq));
+                    let ok = self
+                        .mshrs
+                        .allocate(line, token, (!is_store).then_some(self.next_seq));
                     debug_assert!(ok, "allocate after is_full check cannot fail");
-                    self.commit_mem_op(op, if is_store { Slot::DoneAt(now) } else { Slot::WaitMem });
+                    self.commit_mem_op(
+                        op,
+                        if is_store {
+                            Slot::DoneAt(now)
+                        } else {
+                            Slot::WaitMem
+                        },
+                    );
                     issued += 1;
                 }
                 AccessResult::Busy => {
@@ -284,7 +306,14 @@ mod tests {
     impl Recorder {
         fn new() -> (Self, Rc<RefCell<Vec<ReqToken>>>) {
             let tokens = Rc::new(RefCell::new(Vec::new()));
-            (Self { next_token: 1, tokens: Rc::clone(&tokens), busy: false }, tokens)
+            (
+                Self {
+                    next_token: 1,
+                    tokens: Rc::clone(&tokens),
+                    busy: false,
+                },
+                tokens,
+            )
         }
     }
 
@@ -308,13 +337,20 @@ mod tests {
     }
 
     fn load(addr: u64) -> TraceOp {
-        TraceOp { bubbles: 0, kind: MemKind::Load, addr, dependent: false }
+        TraceOp {
+            bubbles: 0,
+            kind: MemKind::Load,
+            addr,
+            dependent: false,
+        }
     }
 
     #[test]
     fn pure_compute_reaches_issue_width() {
-        let trace =
-            CyclicTrace::new(vec![TraceOp { bubbles: 1_000_000, ..load(0) }]);
+        let trace = CyclicTrace::new(vec![TraceOp {
+            bubbles: 1_000_000,
+            ..load(0)
+        }]);
         let mut core = Core::new(0, CoreParams::paper_default(), Box::new(trace));
         let mut mem = AlwaysHit;
         for _ in 0..1_000 {
@@ -388,10 +424,18 @@ mod tests {
 
     #[test]
     fn stores_do_not_block_retirement() {
-        let ops = vec![TraceOp { bubbles: 0, kind: MemKind::Store, addr: 0, dependent: false }];
+        let ops = vec![TraceOp {
+            bubbles: 0,
+            kind: MemKind::Store,
+            addr: 0,
+            dependent: false,
+        }];
         let trace = CyclicTrace::new(ops);
         // Small MSHR count: stores allocate MSHRs on miss, but retire anyway.
-        let params = CoreParams { mshrs: 2, ..CoreParams::paper_default() };
+        let params = CoreParams {
+            mshrs: 2,
+            ..CoreParams::paper_default()
+        };
         let mut core = Core::new(0, params, Box::new(trace));
         let (mut mem, _tokens) = Recorder::new();
         for _ in 0..10 {
@@ -405,7 +449,12 @@ mod tests {
     #[test]
     fn dependent_loads_serialize() {
         let ops: Vec<TraceOp> = (0..8)
-            .map(|i| TraceOp { bubbles: 0, kind: MemKind::Load, addr: i * 64, dependent: true })
+            .map(|i| TraceOp {
+                bubbles: 0,
+                kind: MemKind::Load,
+                addr: i * 64,
+                dependent: true,
+            })
             .collect();
         let trace = CyclicTrace::new(ops);
         let mut core = Core::new(0, CoreParams::paper_default(), Box::new(trace));
@@ -435,12 +484,22 @@ mod tests {
         assert!(core.stats().mem_busy_stall_cycles >= 5);
         mem.busy = false;
         core.step(&mut mem);
-        assert_eq!(tokens.borrow().len(), 1, "request issued after backpressure clears");
+        assert_eq!(
+            tokens.borrow().len(),
+            1,
+            "request issued after backpressure clears"
+        );
     }
 
     #[test]
     fn window_fills_behind_stalled_head() {
-        let ops = vec![load(0), TraceOp { bubbles: 1_000, ..load(64) }];
+        let ops = vec![
+            load(0),
+            TraceOp {
+                bubbles: 1_000,
+                ..load(64)
+            },
+        ];
         let trace = CyclicTrace::new(ops);
         let mut core = Core::new(0, CoreParams::paper_default(), Box::new(trace));
         let (mut mem, _tokens) = Recorder::new();

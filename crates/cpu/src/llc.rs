@@ -20,7 +20,11 @@ pub struct LlcParams {
 impl LlcParams {
     /// The paper's LLC for `cores` cores: 512 KB 16-way slice per core.
     pub fn paper_default(cores: usize) -> Self {
-        Self { capacity_bytes: 512 * 1024 * cores, assoc: 16, line_bytes: 64 }
+        Self {
+            capacity_bytes: 512 * 1024 * cores,
+            assoc: 16,
+            line_bytes: 64,
+        }
     }
 
     /// Number of sets.
@@ -93,8 +97,16 @@ impl Llc {
     /// Panics if the parameters do not describe a power-of-two set count.
     pub fn new(params: LlcParams) -> Self {
         let sets = params.sets();
-        assert!(sets.is_power_of_two(), "LLC set count must be a power of two, got {sets}");
-        Self { params, ways: vec![Way::default(); sets * params.assoc], stats: LlcStats::default(), tick: 0 }
+        assert!(
+            sets.is_power_of_two(),
+            "LLC set count must be a power of two, got {sets}"
+        );
+        Self {
+            params,
+            ways: vec![Way::default(); sets * params.assoc],
+            stats: LlcStats::default(),
+            tick: 0,
+        }
     }
 
     /// Shape parameters.
@@ -146,7 +158,12 @@ impl Llc {
         } else {
             None
         };
-        *victim = Way { tag: line, valid: true, dirty: is_store, lru: self.tick };
+        *victim = Way {
+            tag: line,
+            valid: true,
+            dirty: is_store,
+            lru: self.tick,
+        };
         LlcResult::Miss { writeback }
     }
 
@@ -167,13 +184,20 @@ mod tests {
 
     fn small() -> Llc {
         // 4 sets x 2 ways x 64B = 512B.
-        Llc::new(LlcParams { capacity_bytes: 512, assoc: 2, line_bytes: 64 })
+        Llc::new(LlcParams {
+            capacity_bytes: 512,
+            assoc: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
     fn hit_after_fill() {
         let mut c = small();
-        assert!(matches!(c.access(0x1000, false), LlcResult::Miss { writeback: None }));
+        assert!(matches!(
+            c.access(0x1000, false),
+            LlcResult::Miss { writeback: None }
+        ));
         assert_eq!(c.access(0x1000, false), LlcResult::Hit);
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
@@ -208,7 +232,9 @@ mod tests {
         c.access(same_set[1], false);
         // Third fill to the same set evicts the LRU (the dirty first line).
         match c.access(same_set[2], false) {
-            LlcResult::Miss { writeback: Some(addr) } => assert_eq!(addr, same_set[0]),
+            LlcResult::Miss {
+                writeback: Some(addr),
+            } => assert_eq!(addr, same_set[0]),
             other => panic!("expected dirty writeback, got {other:?}"),
         }
         assert_eq!(c.stats().writebacks, 1);
@@ -219,7 +245,7 @@ mod tests {
         let mut c = small();
         c.access(0x2000, false);
         c.access(0x2000, true); // hit, now dirty
-        // Evict it by filling the set.
+                                // Evict it by filling the set.
         let set = {
             let probe = Llc::new(*c.params());
             probe.set_of(0x2000 / 64)
@@ -266,7 +292,11 @@ mod tests {
 
     #[test]
     fn miss_ratio_math() {
-        let s = LlcStats { hits: 3, misses: 1, writebacks: 0 };
+        let s = LlcStats {
+            hits: 3,
+            misses: 1,
+            writebacks: 0,
+        };
         assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
         assert_eq!(LlcStats::default().miss_ratio(), 0.0);
     }

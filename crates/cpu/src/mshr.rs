@@ -22,7 +22,9 @@ pub struct MshrTable {
 impl MshrTable {
     /// Creates a table with `n` registers.
     pub fn new(n: usize) -> Self {
-        Self { entries: vec![None; n] }
+        Self {
+            entries: vec![None; n],
+        }
     }
 
     /// Number of allocated registers.

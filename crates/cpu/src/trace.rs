@@ -73,8 +73,18 @@ mod tests {
 
     #[test]
     fn cyclic_trace_wraps() {
-        let a = TraceOp { bubbles: 1, kind: MemKind::Load, addr: 0, dependent: false };
-        let b = TraceOp { bubbles: 2, kind: MemKind::Store, addr: 64, dependent: false };
+        let a = TraceOp {
+            bubbles: 1,
+            kind: MemKind::Load,
+            addr: 0,
+            dependent: false,
+        };
+        let b = TraceOp {
+            bubbles: 2,
+            kind: MemKind::Store,
+            addr: 64,
+            dependent: false,
+        };
         let mut t = CyclicTrace::new(vec![a, b]);
         assert_eq!(t.next_op(), a);
         assert_eq!(t.next_op(), b);

@@ -86,13 +86,26 @@ impl FileTrace {
                 continue;
             }
             let mut toks = text.split_whitespace();
-            let err = || TraceFileError::Parse { line: i + 1, text: text.to_string() };
+            let err = || TraceFileError::Parse {
+                line: i + 1,
+                text: text.to_string(),
+            };
             let bubbles: u32 = toks.next().and_then(|t| t.parse().ok()).ok_or_else(err)?;
             let rd = toks.next().and_then(parse_addr).ok_or_else(err)?;
-            ops.push(TraceOp { bubbles, kind: MemKind::Load, addr: rd, dependent: false });
+            ops.push(TraceOp {
+                bubbles,
+                kind: MemKind::Load,
+                addr: rd,
+                dependent: false,
+            });
             if let Some(tok) = toks.next() {
                 let wr = parse_addr(tok).ok_or_else(err)?;
-                ops.push(TraceOp { bubbles: 0, kind: MemKind::Store, addr: wr, dependent: false });
+                ops.push(TraceOp {
+                    bubbles: 0,
+                    kind: MemKind::Store,
+                    addr: wr,
+                    dependent: false,
+                });
             }
             if toks.next().is_some() {
                 return Err(err());
@@ -133,28 +146,50 @@ impl TraceSource for FileTrace {
     }
 }
 
-/// Writes `n` entries of any [`TraceSource`] in the Ramulator text format
-/// (stores are attached to the preceding load line when adjacent, matching
-/// the format's two-address convention; standalone stores get a zero-bubble
-/// load line of their own address first).
+/// Writes `n` entries of any [`TraceSource`] in the Ramulator text format.
+///
+/// A zero-bubble store directly following a load is attached to that
+/// load's line as the third column (the format's two-address convention),
+/// so streams produced by [`FileTrace::parse`] round-trip to an identical
+/// op stream. A store that cannot be attached (leading, repeated, or
+/// carrying bubbles) has no exact representation and is written as a
+/// self-addressed load+store line, which parses back as a zero-bubble
+/// load/store pair at its address.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
-pub fn export(
-    source: &mut dyn TraceSource,
-    n: usize,
-    mut out: impl Write,
-) -> std::io::Result<()> {
-    writeln!(out, "# dsarp trace export, Ramulator CPU format: bubbles rd_addr [wr_addr]")?;
-    let mut i = 0;
-    while i < n {
+pub fn export(source: &mut dyn TraceSource, n: usize, mut out: impl Write) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "# dsarp trace export, Ramulator CPU format: bubbles rd_addr [wr_addr]"
+    )?;
+    let mut pending: Option<TraceOp> = None;
+    for _ in 0..n {
         let op = source.next_op();
-        i += 1;
         match op.kind {
-            MemKind::Load => writeln!(out, "{} 0x{:x}", op.bubbles, op.addr)?,
-            MemKind::Store => writeln!(out, "{} 0x{:x} 0x{:x}", op.bubbles, op.addr, op.addr)?,
+            MemKind::Load => {
+                if let Some(ld) = pending.take() {
+                    writeln!(out, "{} 0x{:x}", ld.bubbles, ld.addr)?;
+                }
+                pending = Some(op);
+            }
+            MemKind::Store => {
+                if op.bubbles == 0 {
+                    if let Some(ld) = pending.take() {
+                        writeln!(out, "{} 0x{:x} 0x{:x}", ld.bubbles, ld.addr, op.addr)?;
+                        continue;
+                    }
+                }
+                if let Some(ld) = pending.take() {
+                    writeln!(out, "{} 0x{:x}", ld.bubbles, ld.addr)?;
+                }
+                writeln!(out, "{} 0x{:x} 0x{:x}", op.bubbles, op.addr, op.addr)?;
+            }
         }
+    }
+    if let Some(ld) = pending.take() {
+        writeln!(out, "{} 0x{:x}", ld.bubbles, ld.addr)?;
     }
     Ok(())
 }
@@ -185,7 +220,10 @@ mod tests {
     fn rejects_malformed_lines() {
         for bad in ["xyz 0x10", "3", "1 0x10 0x20 0x30", "1 zz"] {
             let e = FileTrace::parse(std::io::Cursor::new(bad)).unwrap_err();
-            assert!(matches!(e, TraceFileError::Parse { line: 1, .. }), "{bad}: {e}");
+            assert!(
+                matches!(e, TraceFileError::Parse { line: 1, .. }),
+                "{bad}: {e}"
+            );
         }
     }
 
@@ -195,23 +233,103 @@ mod tests {
         assert!(matches!(e, TraceFileError::Empty));
     }
 
-    #[test]
-    fn export_import_roundtrip() {
-        let ops = vec![
-            TraceOp { bubbles: 5, kind: MemKind::Load, addr: 0x100, dependent: false },
-            TraceOp { bubbles: 2, kind: MemKind::Store, addr: 0x200, dependent: false },
-        ];
-        let mut src = crate::trace::CyclicTrace::new(ops);
+    fn ld(bubbles: u32, addr: u64) -> TraceOp {
+        TraceOp {
+            bubbles,
+            kind: MemKind::Load,
+            addr,
+            dependent: false,
+        }
+    }
+
+    fn st(bubbles: u32, addr: u64) -> TraceOp {
+        TraceOp {
+            bubbles,
+            kind: MemKind::Store,
+            addr,
+            dependent: false,
+        }
+    }
+
+    fn collect(t: &mut FileTrace) -> Vec<TraceOp> {
+        (0..t.len()).map(|_| t.next_op()).collect()
+    }
+
+    fn roundtrip(ops: &[TraceOp]) -> Vec<TraceOp> {
+        let mut src = crate::trace::CyclicTrace::new(ops.to_vec());
         let mut buf = Vec::new();
-        export(&mut src, 2, &mut buf).unwrap();
-        let mut t = FileTrace::parse(std::io::Cursor::new(buf)).unwrap();
-        let a = t.next_op();
-        assert_eq!((a.bubbles, a.addr, a.kind), (5, 0x100, MemKind::Load));
-        // The standalone store became a load+store pair at the same line.
-        let b = t.next_op();
-        assert_eq!((b.addr, b.kind), (0x200, MemKind::Load));
-        let c = t.next_op();
-        assert_eq!((c.addr, c.kind), (0x200, MemKind::Store));
+        export(&mut src, ops.len(), &mut buf).unwrap();
+        collect(&mut FileTrace::parse(std::io::Cursor::new(buf)).unwrap())
+    }
+
+    #[test]
+    fn export_import_roundtrip_is_identity_for_conforming_streams() {
+        // Zero-bubble stores following loads are exactly the streams the
+        // Ramulator format can express; write -> read must be identical.
+        let ops = vec![
+            ld(5, 0x100),
+            st(0, 0x200),
+            ld(0, 0x40),
+            ld(9, 0x1000),
+            st(0, 0x1040),
+            ld(2, 0x80),
+        ];
+        assert_eq!(roundtrip(&ops), ops);
+    }
+
+    #[test]
+    fn export_import_roundtrip_long_synthetic_stream() {
+        // A deterministic pseudo-random format-conforming stream.
+        let mut state = 0x2014_5EEDu64;
+        let mut ops = Vec::new();
+        for _ in 0..500 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = (state >> 20) & !63;
+            let bubbles = (state >> 7) as u32 % 50;
+            ops.push(ld(bubbles, addr));
+            if state.is_multiple_of(3) {
+                ops.push(st(0, addr ^ 0x40));
+            }
+        }
+        assert_eq!(roundtrip(&ops), ops);
+    }
+
+    #[test]
+    fn parse_export_parse_is_idempotent() {
+        // Arbitrary parsed streams re-export to the same stream even when
+        // the original text used mixed radix and comments.
+        let text = "# header\n3 0x1000 4096\n0 512\n7 0x40 0x80\n1 0x99\n";
+        let mut first = FileTrace::parse(std::io::Cursor::new(text)).unwrap();
+        let ops = collect(&mut first);
+        assert_eq!(roundtrip(&ops), ops);
+    }
+
+    #[test]
+    fn unattachable_stores_fall_back_to_paired_lines() {
+        // A leading store and a store with bubbles cannot be represented
+        // exactly; they become zero-bubble load+store pairs at their
+        // address.
+        let ops = vec![st(0, 0x200), ld(1, 0x40), st(3, 0x300)];
+        let got = roundtrip(&ops);
+        assert_eq!(
+            got,
+            vec![
+                ld(0, 0x200),
+                st(0, 0x200),
+                ld(1, 0x40),
+                ld(3, 0x300),
+                st(0, 0x300)
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_zero_byte_file() {
+        let e = FileTrace::parse(std::io::Cursor::new("")).unwrap_err();
+        assert!(matches!(e, TraceFileError::Empty));
+        assert!(e.to_string().contains("no entries"));
     }
 
     #[test]

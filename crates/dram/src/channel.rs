@@ -174,7 +174,10 @@ impl DramChannel {
     /// The subarray currently being refreshed in (rank, bank) under SARP, or
     /// `None` when no SARP refresh is in flight there.
     pub fn refreshing_subarray(&self, rank: usize, bank: usize, now: Cycle) -> Option<usize> {
-        self.ranks[rank].bank(bank).sarp_refresh(now).map(|r| r.subarray)
+        self.ranks[rank]
+            .bank(bank)
+            .sarp_refresh(now)
+            .map(|r| r.subarray)
     }
 
     /// Whether (rank, bank) is unavailable due to a blocking refresh.
@@ -349,11 +352,16 @@ impl DramChannel {
             log.push((now, cmd));
         }
         let timing = self.timing;
-        let mut receipt = Receipt { data_ready: None, refresh_done: None };
+        let mut receipt = Receipt {
+            data_ready: None,
+            refresh_done: None,
+        };
         match cmd {
             Command::Activate { rank, bank, row } => {
                 let was_all_closed = self.ranks[rank].all_banks_closed();
-                self.ranks[rank].bank_mut(bank).do_activate(now, row, &timing);
+                self.ranks[rank]
+                    .bank_mut(bank)
+                    .do_activate(now, row, &timing);
                 self.ranks[rank].record_act(now);
                 self.energy.record_act();
                 if was_all_closed {
@@ -375,7 +383,12 @@ impl DramChannel {
                 }
                 self.energy.rank_goes_idle(rank, now);
             }
-            Command::Read { rank, bank, auto_precharge, .. } => {
+            Command::Read {
+                rank,
+                bank,
+                auto_precharge,
+                ..
+            } => {
                 self.next_rd = now + timing.ccd;
                 self.next_wr = self.next_wr.max(now + timing.rtw());
                 self.ranks[rank].bank_mut(bank).do_column(
@@ -389,7 +402,12 @@ impl DramChannel {
                     self.energy.rank_goes_idle(rank, now);
                 }
             }
-            Command::Write { rank, bank, auto_precharge, .. } => {
+            Command::Write {
+                rank,
+                bank,
+                auto_precharge,
+                ..
+            } => {
                 self.next_wr = now + timing.ccd;
                 self.next_rd = self.next_rd.max(now + timing.cwl + timing.bl + timing.wtr);
                 self.ranks[rank].bank_mut(bank).do_column(
@@ -426,7 +444,9 @@ impl DramChannel {
             };
             self.ranks[rank].start_sarp_window(done, factor);
             for b in 0..num_banks {
-                let first = self.ranks[rank].bank_mut(b).advance_ref_counter(rows, rows_per_bank);
+                let first = self.ranks[rank]
+                    .bank_mut(b)
+                    .advance_ref_counter(rows, rows_per_bank);
                 let sub = self.geom.subarray_of_row(first);
                 self.ranks[rank].bank_mut(b).do_refresh_sarp(sub, done);
                 if let Some(rt) = &mut self.retention {
@@ -436,7 +456,9 @@ impl DramChannel {
         } else {
             self.ranks[rank].start_refab_blocking(done);
             for b in 0..num_banks {
-                let first = self.ranks[rank].bank_mut(b).advance_ref_counter(rows, rows_per_bank);
+                let first = self.ranks[rank]
+                    .bank_mut(b)
+                    .advance_ref_counter(rows, rows_per_bank);
                 self.ranks[rank].bank_mut(b).do_refresh_blocking(done);
                 if let Some(rt) = &mut self.retention {
                     rt.record(rank, b, first, rows, now);
@@ -451,7 +473,9 @@ impl DramChannel {
         let done = now + self.timing.rfc_pb;
         let rows = self.refresh_unit.rows_per_command(FgrMode::X1);
         let rows_per_bank = self.refresh_unit.rows_per_bank();
-        let first = self.ranks[rank].bank_mut(bank).advance_ref_counter(rows, rows_per_bank);
+        let first = self.ranks[rank]
+            .bank_mut(bank)
+            .advance_ref_counter(rows, rows_per_bank);
         if self.sarp.is_enabled() {
             let factor = if self.power_throttle {
                 sarp_inflation(&self.idd, RefreshScope::PerBank)
@@ -498,7 +522,12 @@ mod tests {
     fn activate_then_read_respects_trcd() {
         let mut c = chan(SarpSupport::Disabled);
         c.issue(act(0, 0, 5), 0).unwrap();
-        let rd = Command::Read { rank: 0, bank: 0, col: 0, auto_precharge: false };
+        let rd = Command::Read {
+            rank: 0,
+            bank: 0,
+            col: 0,
+            auto_precharge: false,
+        };
         assert_eq!(c.check(&rd, 8), Err(IssueError::TooEarly));
         let r = c.issue(rd, 9).unwrap();
         assert_eq!(r.data_ready, Some(9 + 9 + 4));
@@ -507,7 +536,12 @@ mod tests {
     #[test]
     fn read_before_activate_is_illegal() {
         let c = chan(SarpSupport::Disabled);
-        let rd = Command::Read { rank: 0, bank: 0, col: 0, auto_precharge: false };
+        let rd = Command::Read {
+            rank: 0,
+            bank: 0,
+            col: 0,
+            auto_precharge: false,
+        };
         assert_eq!(c.check(&rd, 100), Err(IssueError::NoOpenRow));
     }
 
@@ -553,9 +587,19 @@ mod tests {
         let t = *c.timing();
         c.issue(act(0, 0, 1), 0).unwrap();
         c.issue(act(0, 1, 1), t.rrd).unwrap();
-        let wr = Command::Write { rank: 0, bank: 0, col: 0, auto_precharge: false };
+        let wr = Command::Write {
+            rank: 0,
+            bank: 0,
+            col: 0,
+            auto_precharge: false,
+        };
         c.issue(wr, t.rcd).unwrap();
-        let rd = Command::Read { rank: 0, bank: 1, col: 0, auto_precharge: false };
+        let rd = Command::Read {
+            rank: 0,
+            bank: 1,
+            col: 0,
+            auto_precharge: false,
+        };
         let earliest = t.rcd + t.cwl + t.bl + t.wtr;
         assert_eq!(c.check(&rd, earliest - 1), Err(IssueError::TooEarly));
         assert!(c.can_issue(&rd, earliest));
@@ -565,7 +609,10 @@ mod tests {
     fn refab_requires_all_banks_closed() {
         let mut c = chan(SarpSupport::Disabled);
         c.issue(act(0, 3, 9), 0).unwrap();
-        let refab = Command::RefreshAllBank { rank: 0, fgr: FgrMode::X1 };
+        let refab = Command::RefreshAllBank {
+            rank: 0,
+            fgr: FgrMode::X1,
+        };
         assert_eq!(c.check(&refab, 100), Err(IssueError::BankNotClosed));
         c.issue(Command::PrechargeAll { rank: 0 }, 24).unwrap();
         // tRP after precharge.
@@ -577,10 +624,16 @@ mod tests {
     #[test]
     fn refab_blocks_whole_rank_without_sarp() {
         let mut c = chan(SarpSupport::Disabled);
-        let refab = Command::RefreshAllBank { rank: 0, fgr: FgrMode::X1 };
+        let refab = Command::RefreshAllBank {
+            rank: 0,
+            fgr: FgrMode::X1,
+        };
         c.issue(refab, 0).unwrap();
         let rfc = c.timing().rfc_ab;
-        assert_eq!(c.check(&act(0, 0, 1), rfc - 1), Err(IssueError::RefreshBusy));
+        assert_eq!(
+            c.check(&act(0, 0, 1), rfc - 1),
+            Err(IssueError::RefreshBusy)
+        );
         assert!(c.can_issue(&act(0, 0, 1), rfc));
         // Other rank unaffected.
         assert!(c.can_issue(&act(1, 0, 1), 5));
@@ -589,9 +642,13 @@ mod tests {
     #[test]
     fn refpb_blocks_only_its_bank_without_sarp() {
         let mut c = chan(SarpSupport::Disabled);
-        c.issue(Command::RefreshPerBank { rank: 0, bank: 2 }, 0).unwrap();
+        c.issue(Command::RefreshPerBank { rank: 0, bank: 2 }, 0)
+            .unwrap();
         let rfc_pb = c.timing().rfc_pb;
-        assert_eq!(c.check(&act(0, 2, 1), rfc_pb - 1), Err(IssueError::RefreshBusy));
+        assert_eq!(
+            c.check(&act(0, 2, 1), rfc_pb - 1),
+            Err(IssueError::RefreshBusy)
+        );
         // Another bank in the same rank is accessible (after tRRD, since a
         // refresh is internally an activation).
         assert!(c.can_issue(&act(0, 3, 1), c.timing().rrd));
@@ -600,9 +657,13 @@ mod tests {
     #[test]
     fn refpb_no_overlap_within_rank() {
         let mut c = chan(SarpSupport::Disabled);
-        c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, 0).unwrap();
+        c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, 0)
+            .unwrap();
         let next = Command::RefreshPerBank { rank: 0, bank: 1 };
-        assert_eq!(c.check(&next, c.timing().rrd), Err(IssueError::RefpbOverlap));
+        assert_eq!(
+            c.check(&next, c.timing().rrd),
+            Err(IssueError::RefpbOverlap)
+        );
         assert!(c.can_issue(&next, c.timing().rfc_pb));
         // A REFpb in the *other* rank may overlap freely.
         assert!(c.can_issue(&Command::RefreshPerBank { rank: 1, bank: 0 }, 4));
@@ -611,13 +672,17 @@ mod tests {
     #[test]
     fn sarp_allows_access_to_other_subarray_during_refpb() {
         let mut c = chan(SarpSupport::Enabled);
-        c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, 0).unwrap();
+        c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, 0)
+            .unwrap();
         // Bank 0 is refreshing subarray 0 (counter starts at row 0).
         assert_eq!(c.refreshing_subarray(0, 0, 1), Some(0));
         // Row in subarray 0 conflicts...
         let conflict = act(0, 0, 5);
         let inflated_rrd = c.rank(0).effective_rrd(5, c.timing());
-        assert_eq!(c.check(&conflict, inflated_rrd), Err(IssueError::SubarrayConflict));
+        assert_eq!(
+            c.check(&conflict, inflated_rrd),
+            Err(IssueError::SubarrayConflict)
+        );
         // ...but a row in subarray 1 is accessible while refreshing.
         let ok = act(0, 0, 8_192);
         assert!(c.can_issue(&ok, inflated_rrd));
@@ -628,7 +693,8 @@ mod tests {
     fn sarp_inflates_trrd_during_refresh_only() {
         let mut c = chan(SarpSupport::Enabled);
         let t = *c.timing();
-        c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, 0).unwrap();
+        c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, 0)
+            .unwrap();
         // Effective tRRD = ceil(4 * 1.1375) = 5 during the refresh.
         assert_eq!(c.check(&act(0, 1, 0), t.rrd), Err(IssueError::TooEarly));
         assert!(c.can_issue(&act(0, 1, 0), 5));
@@ -642,11 +708,24 @@ mod tests {
     #[test]
     fn sarp_allbank_refresh_keeps_rank_accessible() {
         let mut c = chan(SarpSupport::Enabled);
-        c.issue(Command::RefreshAllBank { rank: 0, fgr: FgrMode::X1 }, 0).unwrap();
+        c.issue(
+            Command::RefreshAllBank {
+                rank: 0,
+                fgr: FgrMode::X1,
+            },
+            0,
+        )
+        .unwrap();
         // Every bank refreshes subarray 0; rows in other subarrays work.
         let inflated_rrd = c.rank(0).effective_rrd(0, c.timing());
-        assert!(inflated_rrd >= 8, "2.1x inflation expected, got {inflated_rrd}");
-        assert_eq!(c.check(&act(0, 0, 0), inflated_rrd), Err(IssueError::SubarrayConflict));
+        assert!(
+            inflated_rrd >= 8,
+            "2.1x inflation expected, got {inflated_rrd}"
+        );
+        assert_eq!(
+            c.check(&act(0, 0, 0), inflated_rrd),
+            Err(IssueError::SubarrayConflict)
+        );
         assert!(c.can_issue(&act(0, 0, 8_192), inflated_rrd));
     }
 
@@ -656,10 +735,12 @@ mod tests {
         let mut t = 0;
         // 1024 REFpb commands cover subarray 0 (8192 rows / 8 rows each).
         for _ in 0..1024 {
-            c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, t).unwrap();
+            c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, t)
+                .unwrap();
             t += c.timing().rfc_pb;
         }
-        c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, t).unwrap();
+        c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, t)
+            .unwrap();
         assert_eq!(c.refreshing_subarray(0, 0, t + 1), Some(1));
     }
 
@@ -668,7 +749,16 @@ mod tests {
         let mut c = chan(SarpSupport::Disabled);
         c.enable_command_log();
         c.issue(act(0, 0, 5), 0).unwrap();
-        c.issue(Command::Read { rank: 0, bank: 0, col: 1, auto_precharge: true }, 9).unwrap();
+        c.issue(
+            Command::Read {
+                rank: 0,
+                bank: 0,
+                col: 1,
+                auto_precharge: true,
+            },
+            9,
+        )
+        .unwrap();
         let log = c.take_command_log();
         assert_eq!(log.len(), 2);
         assert_eq!(log[0].0, 0);
@@ -681,7 +771,12 @@ mod tests {
         assert_eq!(c.check(&act(9, 0, 0), 0), Err(IssueError::BadAddress));
         assert_eq!(c.check(&act(0, 99, 0), 0), Err(IssueError::BadAddress));
         assert_eq!(c.check(&act(0, 0, 1 << 20), 0), Err(IssueError::BadAddress));
-        let rd = Command::Read { rank: 0, bank: 0, col: 400, auto_precharge: false };
+        let rd = Command::Read {
+            rank: 0,
+            bank: 0,
+            col: 400,
+            auto_precharge: false,
+        };
         assert_eq!(c.check(&rd, 0), Err(IssueError::BadAddress));
     }
 
@@ -690,8 +785,16 @@ mod tests {
         let mut c = chan(SarpSupport::Disabled);
         let t = *c.timing();
         c.issue(act(0, 0, 1), 0).unwrap();
-        c.issue(Command::Read { rank: 0, bank: 0, col: 0, auto_precharge: true }, t.rcd)
-            .unwrap();
+        c.issue(
+            Command::Read {
+                rank: 0,
+                bank: 0,
+                col: 0,
+                auto_precharge: true,
+            },
+            t.rcd,
+        )
+        .unwrap();
         // Row closed by auto-precharge; re-activate after tRAS+tRP (>= tRC).
         let ready = (t.ras + t.rp).max(t.rc);
         assert_eq!(c.check(&act(0, 0, 2), ready - 1), Err(IssueError::TooEarly));

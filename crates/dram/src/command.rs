@@ -99,7 +99,10 @@ impl Command {
 
     /// Whether this is a refresh command (either granularity).
     pub fn is_refresh(&self) -> bool {
-        matches!(self, Command::RefreshAllBank { .. } | Command::RefreshPerBank { .. })
+        matches!(
+            self,
+            Command::RefreshAllBank { .. } | Command::RefreshPerBank { .. }
+        )
     }
 
     /// Whether this is a column (data-transferring) command.
@@ -113,10 +116,22 @@ impl Command {
             Command::Activate { .. } => "ACT",
             Command::Precharge { .. } => "PRE",
             Command::PrechargeAll { .. } => "PREA",
-            Command::Read { auto_precharge: false, .. } => "RD",
-            Command::Read { auto_precharge: true, .. } => "RDA",
-            Command::Write { auto_precharge: false, .. } => "WR",
-            Command::Write { auto_precharge: true, .. } => "WRA",
+            Command::Read {
+                auto_precharge: false,
+                ..
+            } => "RD",
+            Command::Read {
+                auto_precharge: true,
+                ..
+            } => "RDA",
+            Command::Write {
+                auto_precharge: false,
+                ..
+            } => "WR",
+            Command::Write {
+                auto_precharge: true,
+                ..
+            } => "WRA",
             Command::RefreshAllBank { .. } => "REFab",
             Command::RefreshPerBank { .. } => "REFpb",
         }
@@ -131,11 +146,29 @@ impl std::fmt::Display for Command {
             }
             Command::Precharge { rank, bank } => write!(f, "PRE r{rank} b{bank}"),
             Command::PrechargeAll { rank } => write!(f, "PREA r{rank}"),
-            Command::Read { rank, bank, col, auto_precharge } => {
-                write!(f, "RD{} r{rank} b{bank} col{col}", if auto_precharge { "A" } else { "" })
+            Command::Read {
+                rank,
+                bank,
+                col,
+                auto_precharge,
+            } => {
+                write!(
+                    f,
+                    "RD{} r{rank} b{bank} col{col}",
+                    if auto_precharge { "A" } else { "" }
+                )
             }
-            Command::Write { rank, bank, col, auto_precharge } => {
-                write!(f, "WR{} r{rank} b{bank} col{col}", if auto_precharge { "A" } else { "" })
+            Command::Write {
+                rank,
+                bank,
+                col,
+                auto_precharge,
+            } => {
+                write!(
+                    f,
+                    "WR{} r{rank} b{bank} col{col}",
+                    if auto_precharge { "A" } else { "" }
+                )
             }
             Command::RefreshAllBank { rank, fgr } => write!(f, "REFab r{rank} ({fgr})"),
             Command::RefreshPerBank { rank, bank } => write!(f, "REFpb r{rank} b{bank}"),
@@ -149,21 +182,33 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let c = Command::Read { rank: 1, bank: 3, col: 9, auto_precharge: true };
+        let c = Command::Read {
+            rank: 1,
+            bank: 3,
+            col: 9,
+            auto_precharge: true,
+        };
         assert_eq!(c.rank(), 1);
         assert_eq!(c.bank(), Some(3));
         assert!(c.is_column());
         assert!(!c.is_refresh());
         assert_eq!(c.mnemonic(), "RDA");
 
-        let r = Command::RefreshAllBank { rank: 0, fgr: FgrMode::X1 };
+        let r = Command::RefreshAllBank {
+            rank: 0,
+            fgr: FgrMode::X1,
+        };
         assert!(r.is_refresh());
         assert_eq!(r.bank(), None);
     }
 
     #[test]
     fn display_is_compact() {
-        let c = Command::Activate { rank: 0, bank: 7, row: 42 };
+        let c = Command::Activate {
+            rank: 0,
+            bank: 7,
+            row: 42,
+        };
         assert_eq!(c.to_string(), "ACT r0 b7 row42");
         let r = Command::RefreshPerBank { rank: 1, bank: 2 };
         assert_eq!(r.to_string(), "REFpb r1 b2");

@@ -99,10 +99,10 @@ impl Geometry {
         pow2(rows_per_bank, "rows_per_bank")?;
         pow2(row_bytes, "row_bytes")?;
         pow2(line_bytes, "line_bytes")?;
-        if rows_per_bank % subarrays_per_bank != 0 {
+        if !rows_per_bank.is_multiple_of(subarrays_per_bank) {
             return Err(GeometryError::SubarraysDontDivideRows);
         }
-        if row_bytes % line_bytes != 0 {
+        if !row_bytes.is_multiple_of(line_bytes) {
             return Err(GeometryError::LinesDontDivideRow);
         }
         Ok(Self {
@@ -226,7 +226,13 @@ impl Geometry {
         let rank = (a & (self.ranks_per_channel as u64 - 1)) as usize;
         a >>= self.ranks_per_channel.trailing_zeros();
         let row = (a & (self.rows_per_bank as u64 - 1)) as u32;
-        Location { channel, rank, bank, row, col }
+        Location {
+            channel,
+            rank,
+            bank,
+            row,
+            col,
+        }
     }
 
     /// Encodes a DRAM location back into the (line-aligned) physical address.

@@ -253,8 +253,14 @@ impl PowerModel {
     /// * background: `IDD3N` over active rank-cycles, `IDD2N` over the rest.
     pub fn energy(&self, c: &EnergyCounters, timing: &crate::TimingParams) -> EnergyBreakdown {
         let act_pre_nj = self.nj(self.idd.activate_ma(), (c.acts * timing.rc) as f64);
-        let read_nj = self.nj(self.idd.idd4r - self.idd.idd3n, (c.reads * timing.bl) as f64);
-        let write_nj = self.nj(self.idd.idd4w - self.idd.idd3n, (c.writes * timing.bl) as f64);
+        let read_nj = self.nj(
+            self.idd.idd4r - self.idd.idd3n,
+            (c.reads * timing.bl) as f64,
+        );
+        let write_nj = self.nj(
+            self.idd.idd4w - self.idd.idd3n,
+            (c.writes * timing.bl) as f64,
+        );
         let refresh_nj = self.nj(self.idd.refresh_ma(), c.refab_cycles as f64)
             + self.nj(self.idd.refresh_ma() / 8.0, c.refpb_cycles as f64);
         let total_rank_cycles = c.finalized_at * self.ranks as u64;

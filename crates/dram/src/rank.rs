@@ -159,7 +159,11 @@ impl Rank {
     /// Overlapping windows keep the later deadline and the larger factor.
     pub(crate) fn start_sarp_window(&mut self, until: Cycle, factor: f64) {
         self.sarp_until = self.sarp_until.max(until);
-        self.sarp_factor = if factor > self.sarp_factor { factor } else { self.sarp_factor };
+        self.sarp_factor = if factor > self.sarp_factor {
+            factor
+        } else {
+            self.sarp_factor
+        };
         // Reset the factor lazily when the window expires: approximated by
         // keeping the max factor; windows of different scopes never overlap
         // in practice because a policy uses a single refresh granularity.

@@ -182,6 +182,9 @@ mod tests {
         let mut s = spd();
         s.subarrays_per_bank = 3; // not a power of two
         let img = s.encode();
-        assert_eq!(SpdData::decode(&img), Err(SpdError::BadField("subarrays_per_bank")));
+        assert_eq!(
+            SpdData::decode(&img),
+            Err(SpdError::BadField("subarrays_per_bank"))
+        );
     }
 }

@@ -318,7 +318,7 @@ mod tests {
         let t32 = TimingParams::ddr3_1333(Density::G32, Retention::Ms32);
         assert_eq!(t16.rfc_ab, 354); // 530 ns
         assert_eq!(t32.rfc_ab, 594); // 890 ns
-        // Paper §6.1: 8 * tRFCpb ~= 3.5 * tRFCab (the REFpb pathology).
+                                     // Paper §6.1: 8 * tRFCpb ~= 3.5 * tRFCab (the REFpb pathology).
         let ratio = (8 * t32.rfc_pb) as f64 / t32.rfc_ab as f64;
         assert!((ratio - 3.48).abs() < 0.05, "ratio = {ratio}");
     }

@@ -47,7 +47,7 @@ proptest! {
         let g = Geometry::paper_default().with_subarrays(n).unwrap();
         let s = g.subarray_of_row(row);
         prop_assert!(s < n);
-        if (row as usize + 1) % g.rows_per_subarray() != 0 && row < 65_535 {
+        if !(row as usize + 1).is_multiple_of(g.rows_per_subarray()) && row < 65_535 {
             prop_assert_eq!(g.subarray_of_row(row + 1), s);
         }
     }
@@ -68,13 +68,28 @@ fn fuzz_channel(sarp: SarpSupport, seed_cmds: Vec<(u8, u8, u8, u16, u8)>) {
         let cmd = match kind % 6 {
             0 => Command::Activate { rank, bank, row },
             1 => Command::Precharge { rank, bank },
-            2 => Command::Read { rank, bank, col: (row % 128), auto_precharge: kind % 2 == 0 },
-            3 => Command::Write { rank, bank, col: (row % 128), auto_precharge: kind % 2 == 1 },
+            2 => Command::Read {
+                rank,
+                bank,
+                col: (row % 128),
+                auto_precharge: kind % 2 == 0,
+            },
+            3 => Command::Write {
+                rank,
+                bank,
+                col: (row % 128),
+                auto_precharge: kind % 2 == 1,
+            },
             4 => Command::RefreshPerBank { rank, bank },
-            _ => Command::RefreshAllBank { rank, fgr: FgrMode::X1 },
+            _ => Command::RefreshAllBank {
+                rank,
+                fgr: FgrMode::X1,
+            },
         };
         if chan.can_issue(&cmd, now) {
-            let receipt = chan.issue(cmd, now).expect("can_issue admitted the command");
+            let receipt = chan
+                .issue(cmd, now)
+                .expect("can_issue admitted the command");
             if let Command::RefreshPerBank { rank, .. } = cmd {
                 let end = receipt.refresh_done.unwrap();
                 // JEDEC non-overlap: no other REFpb window in this rank may

@@ -31,10 +31,16 @@ fn main() {
                 .iter()
                 .take(n)
                 .map(|wl| {
-                    System::new(&SimConfig::paper(mech, density), wl).run(100_000).total_ipc()
+                    System::new(&SimConfig::paper(mech, density), wl)
+                        .run(100_000)
+                        .total_ipc()
                 })
                 .sum();
-            println!("{:16} mean total IPC = {:.4}", mech.label(), total / n as f64);
+            println!(
+                "{:16} mean total IPC = {:.4}",
+                mech.label(),
+                total / n as f64
+            );
         }
     }
 }

@@ -18,12 +18,24 @@ fn main() {
         "sim speed: {:.1} K DRAM cycles/s ({dt:?} for {cycles} cycles)",
         cycles as f64 / dt.as_secs_f64() / 1e3
     );
-    println!("ipc = {:?}", stats.ipc.iter().map(|x| format!("{x:.2}")).collect::<Vec<_>>());
+    println!(
+        "ipc = {:?}",
+        stats
+            .ipc
+            .iter()
+            .map(|x| format!("{x:.2}"))
+            .collect::<Vec<_>>()
+    );
     println!("llc = {:?}", stats.llc);
     for (i, c) in stats.ctrl.iter().enumerate() {
         println!(
             "ch{i}: reads={} writes={} acts={} refpb={} refab={} row_hits={} avg_lat={:.0}",
-            c.reads_done, c.writes_done, c.acts, c.refpb_issued, c.refab_issued, c.row_hits,
+            c.reads_done,
+            c.writes_done,
+            c.acts,
+            c.refpb_issued,
+            c.refab_issued,
+            c.row_hits,
             c.avg_read_latency()
         );
     }

@@ -29,66 +29,79 @@ pub struct AblationRow {
     pub ws_improvement_pct: f64,
 }
 
-/// Runs all three ablations at 32 Gb on memory-intensive workloads.
-pub fn run(scale: &Scale) -> Vec<AblationRow> {
+/// Mechanisms of the throttle study (study 1) — also reused as the plain
+/// baseline grid the unthrottled variant is compared against.
+pub const THROTTLE_MECHS: [Mechanism; 2] = [Mechanism::RefPb, Mechanism::SarpPb];
+
+/// Mechanisms of the DARP component study (study 2).
+pub const DARP_MECHS: [Mechanism; 3] = [Mechanism::RefPb, Mechanism::DarpOooOnly, Mechanism::Darp];
+
+/// Mechanisms of the watermark study (study 3).
+pub const WATERMARK_MECHS: [Mechanism; 2] = [Mechanism::RefPb, Mechanism::Darp];
+
+/// The watermark pairs swept by ablation 3.
+pub const WATERMARK_SWEEP: [(usize, usize); 3] = [(40, 24), (48, 32), (56, 40)];
+
+/// The grids the three ablations reduce from. The campaign engine computes
+/// these from cached sweeps; [`run`] computes them directly.
+#[derive(Debug, Clone, Default)]
+pub struct AblationGrids {
+    /// `RefPb` + `SarpPb` under the paper's real (throttled) device.
+    pub throttle: Grid,
+    /// `SarpPb` with the power throttle ablated.
+    pub unthrottled: Grid,
+    /// `RefPb` + `DarpOooOnly` + `Darp`.
+    pub darp: Grid,
+    /// Per `(enter, exit)` watermark pair: `RefPb` + `Darp` grids.
+    pub watermarks: Vec<(usize, usize, Grid)>,
+}
+
+/// Reduces the ablation grids to the result rows.
+pub fn reduce(grids: &AblationGrids) -> Vec<AblationRow> {
     let density = Density::G32;
-    let workloads = scale.intensive_workloads(8);
     let mut out = Vec::new();
 
     // 1. SARP power throttle: REFpb vs SARPpb vs unthrottled SARPpb.
-    {
-        let grid = Grid::compute(&workloads, &[Mechanism::RefPb, Mechanism::SarpPb], &[density], scale);
-        let unthrottled = Grid::compute_with(
-            &workloads,
-            &[Mechanism::SarpPb],
-            &[density],
-            scale,
-            |m, d| SimConfig::paper(*m, *d).with_sarp_throttle_ablated(),
-        );
-        out.push(AblationRow {
-            study: "sarp_power_throttle".into(),
-            variant: "throttled (real device)".into(),
-            ws_improvement_pct: grid.gmean_improvement(Mechanism::SarpPb, Mechanism::RefPb, density),
-        });
-        // Merge the REFpb baseline rows so the ratio can be formed.
-        let mut merged = unthrottled;
-        merged.merge(Grid::compute(&workloads, &[Mechanism::RefPb], &[density], scale));
-        out.push(AblationRow {
-            study: "sarp_power_throttle".into(),
-            variant: "unthrottled (ablation)".into(),
-            ws_improvement_pct: merged.gmean_improvement(Mechanism::SarpPb, Mechanism::RefPb, density),
-        });
-    }
+    out.push(AblationRow {
+        study: "sarp_power_throttle".into(),
+        variant: "throttled (real device)".into(),
+        ws_improvement_pct: grids.throttle.gmean_improvement(
+            Mechanism::SarpPb,
+            Mechanism::RefPb,
+            density,
+        ),
+    });
+    // Merge the plain REFpb baseline rows so the ratio can be formed.
+    let mut merged = grids.unthrottled.clone();
+    merged.merge(Grid::from_rows(
+        grids
+            .throttle
+            .rows()
+            .iter()
+            .filter(|r| r.mechanism == Mechanism::RefPb)
+            .cloned()
+            .collect(),
+    ));
+    out.push(AblationRow {
+        study: "sarp_power_throttle".into(),
+        variant: "unthrottled (ablation)".into(),
+        ws_improvement_pct: merged.gmean_improvement(Mechanism::SarpPb, Mechanism::RefPb, density),
+    });
 
     // 2. DARP components vs REFpb.
-    {
-        let grid = Grid::compute(
-            &workloads,
-            &[Mechanism::RefPb, Mechanism::DarpOooOnly, Mechanism::Darp],
-            &[density],
-            scale,
-        );
-        for (m, label) in [
-            (Mechanism::DarpOooOnly, "out-of-order only"),
-            (Mechanism::Darp, "out-of-order + write-refresh"),
-        ] {
-            out.push(AblationRow {
-                study: "darp_components".into(),
-                variant: label.into(),
-                ws_improvement_pct: grid.gmean_improvement(m, Mechanism::RefPb, density),
-            });
-        }
+    for (m, label) in [
+        (Mechanism::DarpOooOnly, "out-of-order only"),
+        (Mechanism::Darp, "out-of-order + write-refresh"),
+    ] {
+        out.push(AblationRow {
+            study: "darp_components".into(),
+            variant: label.into(),
+            ws_improvement_pct: grids.darp.gmean_improvement(m, Mechanism::RefPb, density),
+        });
     }
 
     // 3. Drain watermarks under DARP (vs the same watermark's REFpb).
-    for (enter, exit) in [(40usize, 24usize), (48, 32), (56, 40)] {
-        let grid = Grid::compute_with(
-            &workloads,
-            &[Mechanism::RefPb, Mechanism::Darp],
-            &[density],
-            scale,
-            |m, d| SimConfig::paper(*m, *d).with_drain_watermarks(enter, exit),
-        );
+    for (enter, exit, grid) in &grids.watermarks {
         out.push(AblationRow {
             study: "drain_watermarks".into(),
             variant: format!("enter {enter} / exit {exit}"),
@@ -98,13 +111,47 @@ pub fn run(scale: &Scale) -> Vec<AblationRow> {
     out
 }
 
+/// Runs all three ablations at 32 Gb on memory-intensive workloads.
+pub fn run(scale: &Scale) -> Vec<AblationRow> {
+    let density = Density::G32;
+    let workloads = scale.intensive_workloads(8);
+    let grids = AblationGrids {
+        throttle: Grid::compute(&workloads, &THROTTLE_MECHS, &[density], scale),
+        unthrottled: Grid::compute_with(
+            &workloads,
+            &[Mechanism::SarpPb],
+            &[density],
+            scale,
+            |m, d| SimConfig::paper(*m, *d).with_sarp_throttle_ablated(),
+        ),
+        darp: Grid::compute(&workloads, &DARP_MECHS, &[density], scale),
+        watermarks: WATERMARK_SWEEP
+            .iter()
+            .map(|&(enter, exit)| {
+                let grid =
+                    Grid::compute_with(&workloads, &WATERMARK_MECHS, &[density], scale, |m, d| {
+                        SimConfig::paper(*m, *d).with_drain_watermarks(enter, exit)
+                    });
+                (enter, exit, grid)
+            })
+            .collect(),
+    };
+    reduce(&grids)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn throttle_costs_something_but_not_everything() {
-        let scale = Scale { dram_cycles: 25_000, alone_cycles: 12_000, per_category: 1, threads: 0, warmup_ops: 20_000 };
+        let scale = Scale {
+            dram_cycles: 25_000,
+            alone_cycles: 12_000,
+            per_category: 1,
+            threads: 0,
+            warmup_ops: 20_000,
+        };
         let rows = run(&scale);
         let get = |study: &str, variant_prefix: &str| {
             rows.iter()
@@ -122,7 +169,12 @@ mod tests {
         );
         // All drain-watermark variants keep DARP ahead of REFpb.
         for r in rows.iter().filter(|r| r.study == "drain_watermarks") {
-            assert!(r.ws_improvement_pct > -2.0, "{}: {}", r.variant, r.ws_improvement_pct);
+            assert!(
+                r.ws_improvement_pct > -2.0,
+                "{}: {}",
+                r.variant,
+                r.ws_improvement_pct
+            );
         }
     }
 }

@@ -10,7 +10,11 @@ pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
         out.push_str("(no data)\n```\n");
         return out;
     }
-    let max = rows.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max).max(1e-12);
+    let max = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
     let min = rows.iter().map(|(_, v)| *v).fold(0.0_f64, f64::min);
     let span = (max - min).max(1e-12);
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);

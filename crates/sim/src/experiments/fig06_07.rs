@@ -40,12 +40,11 @@ fn loss_pct(grid: &Grid, mech: Mechanism, density: Density, category: Option<u32
         .rows()
         .iter()
         .filter(|r| {
-            r.mechanism == mech
-                && r.density == density
-                && category.map_or(true, |c| r.category == c)
+            r.mechanism == mech && r.density == density && category.is_none_or(|c| r.category == c)
         })
         .filter_map(|r| {
-            grid.get(&r.workload, Mechanism::NoRefresh, density).map(|ideal| r.ws / ideal.ws)
+            grid.get(&r.workload, Mechanism::NoRefresh, density)
+                .map(|ideal| r.ws / ideal.ws)
         })
         .collect();
     (1.0 - gmean(&ratios)) * 100.0
@@ -97,7 +96,13 @@ mod tests {
 
     #[test]
     fn quick_run_shows_refresh_hurting_more_at_high_density() {
-        let scale = Scale { dram_cycles: 25_000, alone_cycles: 15_000, per_category: 1, threads: 0, warmup_ops: 20_000 };
+        let scale = Scale {
+            dram_cycles: 25_000,
+            alone_cycles: 15_000,
+            per_category: 1,
+            threads: 0,
+            warmup_ops: 20_000,
+        };
         let (_fig6, fig7) = run(&scale);
         assert_eq!(fig7.len(), 3);
         let loss8 = fig7.iter().find(|r| r.density == Density::G8).unwrap();

@@ -12,8 +12,12 @@ use dsarp_dram::Density;
 use serde::{Deserialize, Serialize};
 
 /// Mechanisms plotted in Figure 12 (over the `REFab` baseline).
-pub const FIG12_MECHS: [Mechanism; 4] =
-    [Mechanism::RefPb, Mechanism::Darp, Mechanism::SarpPb, Mechanism::Dsarp];
+pub const FIG12_MECHS: [Mechanism; 4] = [
+    Mechanism::RefPb,
+    Mechanism::Darp,
+    Mechanism::SarpPb,
+    Mechanism::Dsarp,
+];
 
 /// One plotted point of Figure 12.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -67,8 +71,12 @@ pub fn reduce_fig12(grid: &Grid, densities: &[Density]) -> Vec<Fig12Point> {
         order.sort_by(|a, b| a.2.total_cmp(&b.2));
         for (idx, (wl, cat, _)) in order.iter().enumerate() {
             for m in FIG12_MECHS {
-                let Some(row) = grid.get(wl, m, d) else { continue };
-                let Some(base) = grid.get(wl, Mechanism::RefAb, d) else { continue };
+                let Some(row) = grid.get(wl, m, d) else {
+                    continue;
+                };
+                let Some(base) = grid.get(wl, Mechanism::RefAb, d) else {
+                    continue;
+                };
                 out.push(Fig12Point {
                     density: d,
                     sorted_index: idx,
@@ -113,7 +121,10 @@ pub fn run(scale: &Scale) -> (Vec<Fig12Point>, Vec<Table2Row>) {
         Mechanism::Dsarp,
     ];
     let grid = Grid::compute(&workloads, &mechs, &densities, scale);
-    (reduce_fig12(&grid, &densities), reduce_table2(&grid, &densities))
+    (
+        reduce_fig12(&grid, &densities),
+        reduce_table2(&grid, &densities),
+    )
 }
 
 #[cfg(test)]
@@ -122,7 +133,13 @@ mod tests {
 
     #[test]
     fn quick_run_reproduces_headline_shape() {
-        let scale = Scale { dram_cycles: 30_000, alone_cycles: 15_000, per_category: 1, threads: 0, warmup_ops: 20_000 };
+        let scale = Scale {
+            dram_cycles: 30_000,
+            alone_cycles: 15_000,
+            per_category: 1,
+            threads: 0,
+            warmup_ops: 20_000,
+        };
         let (fig12, table2) = run(&scale);
         assert!(!fig12.is_empty());
         // Fig 12 sorted curves: DARP series is non-decreasing in index.

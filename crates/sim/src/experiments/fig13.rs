@@ -61,7 +61,13 @@ mod tests {
 
     #[test]
     fn quick_run_ideal_dominates_and_dsarp_tracks_it() {
-        let scale = Scale { dram_cycles: 30_000, alone_cycles: 15_000, per_category: 1, threads: 0, warmup_ops: 20_000 };
+        let scale = Scale {
+            dram_cycles: 30_000,
+            alone_cycles: 15_000,
+            per_category: 1,
+            threads: 0,
+            warmup_ops: 20_000,
+        };
         let rows = run(&scale);
         let get = |m: Mechanism, d: Density| {
             rows.iter()
@@ -72,7 +78,10 @@ mod tests {
         for d in Density::evaluated() {
             let ideal = get(Mechanism::NoRefresh, d);
             let dsarp = get(Mechanism::Dsarp, d);
-            assert!(ideal >= dsarp - 1.0, "ideal {ideal} vs dsarp {dsarp} at {d}");
+            assert!(
+                ideal >= dsarp - 1.0,
+                "ideal {ideal} vs dsarp {dsarp} at {d}"
+            );
             // DSARP captures most of the ideal gain (paper: within 0.9-3.7%).
             assert!(
                 dsarp > 0.3 * ideal,

@@ -55,7 +55,11 @@ pub fn reduce(grid: &Grid, densities: &[Density]) -> Vec<Fig14Row> {
                 density: d,
                 mechanism: m,
                 energy_nj: e,
-                reduction_vs_refab_pct: if base > 0.0 { (1.0 - e / base) * 100.0 } else { 0.0 },
+                reduction_vs_refab_pct: if base > 0.0 {
+                    (1.0 - e / base) * 100.0
+                } else {
+                    0.0
+                },
             });
         }
     }
@@ -76,11 +80,20 @@ mod tests {
 
     #[test]
     fn dsarp_reduces_energy_per_access() {
-        let scale = Scale { dram_cycles: 30_000, alone_cycles: 15_000, per_category: 1, threads: 0, warmup_ops: 20_000 };
+        let scale = Scale {
+            dram_cycles: 30_000,
+            alone_cycles: 15_000,
+            per_category: 1,
+            threads: 0,
+            warmup_ops: 20_000,
+        };
         let rows = run(&scale);
         for d in Density::evaluated() {
             let get = |m: Mechanism| {
-                rows.iter().find(|r| r.mechanism == m && r.density == d).unwrap().energy_nj
+                rows.iter()
+                    .find(|r| r.mechanism == m && r.density == d)
+                    .unwrap()
+                    .energy_nj
             };
             assert!(get(Mechanism::RefAb) > 0.0);
             // Paper Fig. 14: DSARP consumes less energy per access than

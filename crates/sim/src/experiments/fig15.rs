@@ -25,9 +25,7 @@ fn improvement(grid: &Grid, base: Mechanism, d: Density, cat: Option<u32>) -> f6
         .rows()
         .iter()
         .filter(|r| {
-            r.mechanism == Mechanism::Dsarp
-                && r.density == d
-                && cat.map_or(true, |c| r.category == c)
+            r.mechanism == Mechanism::Dsarp && r.density == d && cat.is_none_or(|c| r.category == c)
         })
         .filter_map(|r| grid.get(&r.workload, base, d).map(|b| r.ws / b.ws))
         .collect();
@@ -75,10 +73,18 @@ mod tests {
 
     #[test]
     fn improvement_over_refab_grows_with_intensity() {
-        let scale = Scale { dram_cycles: 30_000, alone_cycles: 15_000, per_category: 2, threads: 0, warmup_ops: 20_000 };
+        let scale = Scale {
+            dram_cycles: 30_000,
+            alone_cycles: 15_000,
+            per_category: 2,
+            threads: 0,
+            warmup_ops: 20_000,
+        };
         let rows = run(&scale);
         let at = |cat: u32, d: Density| {
-            rows.iter().find(|r| r.category == cat && r.density == d).unwrap()
+            rows.iter()
+                .find(|r| r.category == cat && r.density == d)
+                .unwrap()
         };
         // The all-intensive category benefits more than the all-compute one
         // at 32 Gb (the paper's central trend).

@@ -33,7 +33,11 @@ pub fn reduce(grid: &Grid, densities: &[Density]) -> Vec<Fig16Row> {
     for &d in densities {
         for m in FIG16_MECHS {
             let ratios = grid.ws_ratios(m, Mechanism::RefAb, d);
-            out.push(Fig16Row { density: d, mechanism: m, normalized_ws: gmean(&ratios) });
+            out.push(Fig16Row {
+                density: d,
+                mechanism: m,
+                normalized_ws: gmean(&ratios),
+            });
         }
     }
     out
@@ -53,10 +57,19 @@ mod tests {
 
     #[test]
     fn fgr_loses_ar_ties_dsarp_wins() {
-        let scale = Scale { dram_cycles: 30_000, alone_cycles: 15_000, per_category: 1, threads: 0, warmup_ops: 20_000 };
+        let scale = Scale {
+            dram_cycles: 30_000,
+            alone_cycles: 15_000,
+            per_category: 1,
+            threads: 0,
+            warmup_ops: 20_000,
+        };
         let rows = run(&scale);
         let at = |m: Mechanism, d: Density| {
-            rows.iter().find(|r| r.mechanism == m && r.density == d).unwrap().normalized_ws
+            rows.iter()
+                .find(|r| r.mechanism == m && r.density == d)
+                .unwrap()
+                .normalized_ws
         };
         for d in Density::evaluated() {
             // The paper's §6.5 ordering: FGR 4x < FGR 2x < ~REFab ~ AR < DSARP.

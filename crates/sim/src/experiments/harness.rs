@@ -56,14 +56,22 @@ impl Scale {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
         }
     }
 
     /// The evaluation workload set at this scale (5 categories ×
     /// `per_category`), with the paper's seed.
     pub fn workloads(&self) -> Vec<Workload> {
-        let all = dsarp_workloads::mixes::paper_workloads(8, WORKLOAD_SEED);
+        self.workloads_with_seed(WORKLOAD_SEED)
+    }
+
+    /// Like [`Scale::workloads`] with an explicit mix-selection seed (the
+    /// campaign engine's seed axis).
+    pub fn workloads_with_seed(&self, seed: u64) -> Vec<Workload> {
+        let all = dsarp_workloads::mixes::paper_workloads(8, seed);
         IntensityCategory::all()
             .iter()
             .flat_map(|cat| {
@@ -79,8 +87,18 @@ impl Scale {
     /// The 16 memory-intensive sensitivity workloads (truncated at quick
     /// scale).
     pub fn intensive_workloads(&self, cores: usize) -> Vec<Workload> {
-        let n = if self.per_category >= 20 { 16 } else { 4.min(self.per_category * 2) };
-        dsarp_workloads::mixes::intensive_mixes(cores, WORKLOAD_SEED)
+        self.intensive_workloads_with_seed(cores, WORKLOAD_SEED)
+    }
+
+    /// Like [`Scale::intensive_workloads`] with an explicit mix-selection
+    /// seed.
+    pub fn intensive_workloads_with_seed(&self, cores: usize, seed: u64) -> Vec<Workload> {
+        let n = if self.per_category >= 20 {
+            16
+        } else {
+            4.min(self.per_category * 2)
+        };
+        dsarp_workloads::mixes::intensive_mixes(cores, seed)
             .into_iter()
             .take(n)
             .collect()
@@ -89,6 +107,24 @@ impl Scale {
 
 /// Seed fixing the randomly-mixed workload selection.
 pub const WORKLOAD_SEED: u64 = 0x2014_D5A2;
+
+/// Every mechanism the main evaluation grid covers: the baselines, the
+/// paper's mechanisms, and the DDR4/adaptive comparison points — enough
+/// for Figures 6/7/12–16 and Table 2 to reduce from one grid.
+pub const MAIN_GRID_MECHS: [Mechanism; 12] = [
+    Mechanism::NoRefresh,
+    Mechanism::RefAb,
+    Mechanism::RefPb,
+    Mechanism::Elastic,
+    Mechanism::DarpOooOnly,
+    Mechanism::Darp,
+    Mechanism::SarpAb,
+    Mechanism::SarpPb,
+    Mechanism::Dsarp,
+    Mechanism::Fgr2x,
+    Mechanism::Fgr4x,
+    Mechanism::AdaptiveRefresh,
+];
 
 /// Runs `f` over `items` on a scoped thread pool, preserving order.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
@@ -119,7 +155,9 @@ where
         }
     });
     drop(slots);
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// One cell of the main result grid.
@@ -146,12 +184,39 @@ pub struct WsRow {
 }
 
 /// The main grid: metrics for every (workload, mechanism, density) tuple.
+///
+/// Rows are indexed by `(mechanism, density)` → workload name on
+/// construction, so [`Grid::get`] is O(1) and reductions like
+/// [`Grid::ws_ratios`] are linear instead of quadratic in the row count.
 #[derive(Debug, Clone, Default)]
 pub struct Grid {
     rows: Vec<WsRow>,
+    index: HashMap<(Mechanism, Density), HashMap<String, usize>>,
 }
 
 impl Grid {
+    /// Builds a grid (and its lookup index) from pre-computed rows.
+    ///
+    /// When duplicate `(workload, mechanism, density)` rows are present the
+    /// first one wins, matching the scan order `get` historically used.
+    pub fn from_rows(rows: Vec<WsRow>) -> Self {
+        let mut grid = Grid {
+            rows,
+            index: HashMap::new(),
+        };
+        grid.reindex(0);
+        grid
+    }
+
+    fn reindex(&mut self, from: usize) {
+        for (i, r) in self.rows.iter().enumerate().skip(from) {
+            self.index
+                .entry((r.mechanism, r.density))
+                .or_default()
+                .entry(r.workload.clone())
+                .or_insert(i);
+        }
+    }
     /// Computes the grid, parallelized across runs. Alone-IPCs are measured
     /// first (one single-core run per benchmark × density).
     pub fn compute(
@@ -237,7 +302,7 @@ impl Grid {
                 total_ipc: stats.total_ipc(),
             }
         });
-        Self { rows }
+        Self::from_rows(rows)
     }
 
     /// All rows.
@@ -245,17 +310,22 @@ impl Grid {
         &self.rows
     }
 
-    /// The row for one (workload, mechanism, density).
+    /// The row for one (workload, mechanism, density). O(1).
     pub fn get(&self, workload: &str, mechanism: Mechanism, density: Density) -> Option<&WsRow> {
-        self.rows.iter().find(|r| {
-            r.workload == workload && r.mechanism == mechanism && r.density == density
-        })
+        self.index
+            .get(&(mechanism, density))
+            .and_then(|by_wl| by_wl.get(workload))
+            .map(|&i| &self.rows[i])
     }
 
     /// Per-workload WS ratios of `mech` over `base` at `density`.
     pub fn ws_ratios(&self, mech: Mechanism, base: Mechanism, density: Density) -> Vec<f64> {
         let mut out = Vec::new();
-        for r in self.rows.iter().filter(|r| r.mechanism == mech && r.density == density) {
+        for r in self
+            .rows
+            .iter()
+            .filter(|r| r.mechanism == mech && r.density == density)
+        {
             if let Some(b) = self.get(&r.workload, base, density) {
                 out.push(r.ws / b.ws);
             }
@@ -278,7 +348,9 @@ impl Grid {
 
     /// Merges another grid's rows into this one.
     pub fn merge(&mut self, other: Grid) {
+        let from = self.rows.len();
         self.rows.extend(other.rows);
+        self.reindex(from);
     }
 }
 
@@ -301,16 +373,84 @@ mod tests {
 
     #[test]
     fn scale_workload_sets() {
-        let s = Scale { dram_cycles: 1, alone_cycles: 1, per_category: 3, threads: 1, warmup_ops: 1_000 };
+        let s = Scale {
+            dram_cycles: 1,
+            alone_cycles: 1,
+            per_category: 3,
+            threads: 1,
+            warmup_ops: 1_000,
+        };
         let w = s.workloads();
         assert_eq!(w.len(), 15);
         assert_eq!(w.iter().filter(|x| x.category.percent() == 50).count(), 3);
         assert!(!s.intensive_workloads(8).is_empty());
     }
 
+    fn row(workload: &str, mechanism: Mechanism, density: Density, ws: f64) -> WsRow {
+        WsRow {
+            workload: workload.into(),
+            category: 100,
+            mechanism,
+            density,
+            ws,
+            hs: ws,
+            max_slowdown: 1.0,
+            energy_nj: 1.0,
+            total_ipc: ws,
+        }
+    }
+
+    #[test]
+    fn index_matches_linear_scan_semantics() {
+        let rows = vec![
+            row("a", Mechanism::RefAb, Density::G8, 1.0),
+            row("a", Mechanism::Dsarp, Density::G8, 2.0),
+            row("b", Mechanism::RefAb, Density::G32, 3.0),
+            // Duplicate cell: first occurrence must win, as the old scan did.
+            row("a", Mechanism::RefAb, Density::G8, 9.0),
+        ];
+        let grid = Grid::from_rows(rows);
+        assert_eq!(
+            grid.get("a", Mechanism::RefAb, Density::G8).unwrap().ws,
+            1.0
+        );
+        assert_eq!(
+            grid.get("b", Mechanism::RefAb, Density::G32).unwrap().ws,
+            3.0
+        );
+        assert!(grid.get("b", Mechanism::RefAb, Density::G8).is_none());
+        assert!(grid.get("c", Mechanism::RefAb, Density::G8).is_none());
+    }
+
+    #[test]
+    fn merge_keeps_index_consistent() {
+        let mut grid = Grid::from_rows(vec![row("a", Mechanism::RefPb, Density::G8, 1.5)]);
+        grid.merge(Grid::from_rows(vec![
+            row("b", Mechanism::RefPb, Density::G8, 2.5),
+            row("a", Mechanism::RefPb, Density::G8, 7.0), // loses to existing "a"
+        ]));
+        assert_eq!(grid.rows().len(), 3);
+        assert_eq!(
+            grid.get("a", Mechanism::RefPb, Density::G8).unwrap().ws,
+            1.5
+        );
+        assert_eq!(
+            grid.get("b", Mechanism::RefPb, Density::G8).unwrap().ws,
+            2.5
+        );
+        let ratios = grid.ws_ratios(Mechanism::RefPb, Mechanism::RefPb, Density::G8);
+        assert_eq!(ratios.len(), 3);
+    }
+
     #[test]
     fn tiny_grid_end_to_end() {
-        let scale = Scale { dram_cycles: 4_000, alone_cycles: 3_000, per_category: 1, threads: 4, warmup_ops: 1_000 };
+        let scale = Scale {
+            dram_cycles: 4_000,
+            alone_cycles: 3_000,
+            per_category: 1,
+            threads: 4,
+            warmup_ops: 1_000,
+        };
         let wls: Vec<Workload> = scale.workloads().into_iter().take(2).collect();
         let grid = Grid::compute(
             &wls,

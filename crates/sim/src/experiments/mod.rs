@@ -17,9 +17,10 @@
 //! | Ablations (throttle, DARP split, watermarks) | [`ablations`] |
 //! | Extension: footnote-5 overlapped REFpb | [`overlap`] |
 //!
-//! Each module offers `run(&Scale)` (self-contained) and, where the main
-//! grid can be shared, `reduce(&Grid, ..)`. The `experiments` binary
-//! computes one big grid and reduces all grid-based artifacts from it.
+//! Each module offers `run(&Scale)` (self-contained) and `reduce(..)`
+//! over pre-computed [`Grid`]s. The `experiments` binary (in the
+//! `dsarp-campaign` crate) computes every grid through the cached,
+//! resumable campaign engine and reduces all artifacts from them.
 
 pub mod ablations;
 pub mod chart;

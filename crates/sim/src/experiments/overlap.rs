@@ -36,15 +36,13 @@ pub const OVERLAP_MECHS: [Mechanism; 4] = [
     Mechanism::SarpPb,
 ];
 
-/// Runs the study on memory-intensive workloads.
-pub fn run(scale: &Scale) -> Vec<OverlapRow> {
-    let workloads = scale.intensive_workloads(8);
-    let densities = [Density::G8, Density::G32];
-    let mut mechs = vec![Mechanism::RefPb];
-    mechs.extend(OVERLAP_MECHS);
-    let grid = Grid::compute(&workloads, &mechs, &densities, scale);
+/// The densities the study compares.
+pub const OVERLAP_DENSITIES: [Density; 2] = [Density::G8, Density::G32];
+
+/// Reduces a grid containing `RefPb` plus the [`OVERLAP_MECHS`].
+pub fn reduce(grid: &Grid, densities: &[Density]) -> Vec<OverlapRow> {
     let mut out = Vec::new();
-    for &d in &densities {
+    for &d in densities {
         for m in OVERLAP_MECHS {
             out.push(OverlapRow {
                 density: d,
@@ -56,16 +54,34 @@ pub fn run(scale: &Scale) -> Vec<OverlapRow> {
     out
 }
 
+/// Runs the study on memory-intensive workloads.
+pub fn run(scale: &Scale) -> Vec<OverlapRow> {
+    let workloads = scale.intensive_workloads(8);
+    let mut mechs = vec![Mechanism::RefPb];
+    mechs.extend(OVERLAP_MECHS);
+    let grid = Grid::compute(&workloads, &mechs, &OVERLAP_DENSITIES, scale);
+    reduce(&grid, &OVERLAP_DENSITIES)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn overlap_helps_baseline_but_adds_little_to_dsarp() {
-        let scale = Scale { dram_cycles: 30_000, alone_cycles: 15_000, per_category: 1, threads: 0, warmup_ops: 20_000 };
+        let scale = Scale {
+            dram_cycles: 30_000,
+            alone_cycles: 15_000,
+            per_category: 1,
+            threads: 0,
+            warmup_ops: 20_000,
+        };
         let rows = run(&scale);
         let at = |m: Mechanism, d: Density| {
-            rows.iter().find(|r| r.mechanism == m && r.density == d).unwrap().over_refpb_pct
+            rows.iter()
+                .find(|r| r.mechanism == m && r.density == d)
+                .unwrap()
+                .over_refpb_pct
         };
         // Overlapped plain REFpb must not *hurt* the baseline.
         assert!(

@@ -43,11 +43,23 @@ pub fn to_csv<T: Serialize>(rows: &[T]) -> String {
     }
     let first = flatten(&rows[0]);
     let headers: Vec<&String> = first.iter().map(|(k, _)| k).collect();
-    out.push_str(&headers.iter().map(|h| h.as_str()).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| h.as_str())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         let cells = flatten(row);
-        out.push_str(&cells.iter().map(|(_, v)| v.as_str()).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &cells
+                .iter()
+                .map(|(_, v)| v.as_str())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
     }
     out
@@ -63,14 +75,26 @@ pub fn to_markdown<T: Serialize>(title: &str, rows: &[T]) -> String {
     let first = flatten(&rows[0]);
     let headers: Vec<&String> = first.iter().map(|(k, _)| k).collect();
     out.push_str("| ");
-    out.push_str(&headers.iter().map(|h| h.as_str()).collect::<Vec<_>>().join(" | "));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| h.as_str())
+            .collect::<Vec<_>>()
+            .join(" | "),
+    );
     out.push_str(" |\n|");
     out.push_str(&headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
     out.push_str("|\n");
     for row in rows {
         let cells = flatten(row);
         out.push_str("| ");
-        out.push_str(&cells.iter().map(|(_, v)| v.as_str()).collect::<Vec<_>>().join(" | "));
+        out.push_str(
+            &cells
+                .iter()
+                .map(|(_, v)| v.as_str())
+                .collect::<Vec<_>>()
+                .join(" | "),
+        );
         out.push_str(" |\n");
     }
     out.push('\n');
@@ -102,8 +126,16 @@ mod tests {
     #[test]
     fn csv_has_header_and_rows() {
         let rows = vec![
-            Row { name: "a".into(), value: 1.5, count: 2 },
-            Row { name: "b".into(), value: 0.25, count: 9 },
+            Row {
+                name: "a".into(),
+                value: 1.5,
+                count: 2,
+            },
+            Row {
+                name: "b".into(),
+                value: 0.25,
+                count: 9,
+            },
         ];
         let csv = to_csv(&rows);
         let lines: Vec<&str> = csv.lines().collect();
@@ -115,10 +147,14 @@ mod tests {
 
     #[test]
     fn markdown_table_shape() {
-        let rows = vec![Row { name: "x".into(), value: 2.0, count: 1 }];
+        let rows = vec![Row {
+            name: "x".into(),
+            value: 2.0,
+            count: 1,
+        }];
         let md = to_markdown("Test", &rows);
         assert!(md.starts_with("### Test"));
-        assert_eq!(md.matches('\n').count() >= 5, true);
+        assert!(md.matches('\n').count() >= 5);
         assert!(md.contains("| x |") || md.contains("x |"));
     }
 

@@ -2,15 +2,18 @@
 //! cores (WS, harmonic speedup, maximum slowdown, energy per access),
 //! evaluated on memory-intensive workloads at 32 Gb.
 
-use super::harness::{parallel_map, Scale};
+use super::harness::{Grid, Scale, WsRow};
 use crate::config::SimConfig;
-use crate::metrics::{gmean, improvement_pct, Metrics};
-use crate::system::System;
+use crate::metrics::{gmean, improvement_pct};
 use dsarp_core::Mechanism;
 use dsarp_dram::Density;
-use dsarp_workloads::{IntensityCategory, Workload};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+
+/// The mechanisms Table 3 compares.
+pub const MECHS: [Mechanism; 2] = [Mechanism::RefAb, Mechanism::Dsarp];
+
+/// The core counts Table 3 sweeps.
+pub const CORE_SWEEP: [usize; 3] = [2, 4, 8];
 
 /// One column of Table 3.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -27,72 +30,43 @@ pub struct Table3Row {
     pub energy_reduction_pct: f64,
 }
 
+/// Reduces one core count's grid (containing `RefAb` and `Dsarp` rows at
+/// 32 Gb) to its Table 3 column.
+pub fn reduce(grid: &Grid, cores: usize) -> Table3Row {
+    let density = Density::G32;
+    let ratio = |f: &dyn Fn(&WsRow) -> f64| -> f64 {
+        let ratios: Vec<f64> = grid
+            .rows()
+            .iter()
+            .filter(|r| r.mechanism == Mechanism::Dsarp && r.density == density)
+            .filter_map(|r| {
+                grid.get(&r.workload, Mechanism::RefAb, density)
+                    .map(|b| f(r) / f(b).max(1e-12))
+            })
+            .collect();
+        gmean(&ratios)
+    };
+    Table3Row {
+        cores,
+        ws_improvement_pct: improvement_pct(ratio(&|r| r.ws), 1.0),
+        hs_improvement_pct: improvement_pct(ratio(&|r| r.hs), 1.0),
+        max_slowdown_reduction_pct: (1.0 - ratio(&|r| r.max_slowdown)) * 100.0,
+        energy_reduction_pct: (1.0 - ratio(&|r| r.energy_nj.max(1e-12))) * 100.0,
+    }
+}
+
 /// Runs the core-count sweep.
 pub fn run(scale: &Scale) -> Vec<Table3Row> {
-    let threads = scale.resolved_threads();
-    let density = Density::G32;
-    let mut out = Vec::new();
-    for cores in [2usize, 4, 8] {
-        let workloads = scale.intensive_workloads(cores);
-        // Alone IPCs for this core count's LLC size.
-        let base_cfg = SimConfig::paper(Mechanism::RefAb, density)
-            .with_cores(cores)
-            .with_warmup_ops(scale.warmup_ops);
-        let mut benches: Vec<&'static dsarp_workloads::BenchmarkSpec> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        for wl in &workloads {
-            for b in &wl.benchmarks {
-                if seen.insert(b.name) {
-                    benches.push(b);
-                }
-            }
-        }
-        let alone_vals = parallel_map(&benches, threads, |bench| {
-            let wl = Workload {
-                name: format!("alone-{}", bench.name),
-                category: IntensityCategory::P100,
-                benchmarks: vec![bench],
-            };
-            System::new(&base_cfg.alone(), &wl).run(scale.alone_cycles).ipc[0].max(1e-9)
-        });
-        let alone: HashMap<&str, f64> =
-            benches.iter().zip(alone_vals).map(|(b, v)| (b.name, v)).collect();
-
-        let tuples: Vec<(usize, Mechanism)> = (0..workloads.len())
-            .flat_map(|i| [(i, Mechanism::RefAb), (i, Mechanism::Dsarp)])
-            .collect();
-        let metrics = parallel_map(&tuples, threads, |(wi, m)| {
-            let cfg = SimConfig::paper(*m, density)
-                .with_cores(cores)
-                .with_warmup_ops(scale.warmup_ops);
-            let stats = System::new(&cfg, &workloads[*wi]).run(scale.dram_cycles);
-            let alone_ipcs: Vec<f64> =
-                workloads[*wi].benchmarks.iter().take(cores).map(|b| alone[b.name]).collect();
-            Metrics::compute(&stats, &alone_ipcs)
-        });
-        let get = |m: Mechanism, f: &dyn Fn(&Metrics) -> f64| -> Vec<f64> {
-            tuples
-                .iter()
-                .zip(&metrics)
-                .filter(|((_, mm), _)| *mm == m)
-                .map(|(_, met)| f(met))
-                .collect()
-        };
-        let ratio = |f: &dyn Fn(&Metrics) -> f64| -> f64 {
-            let a = get(Mechanism::Dsarp, f);
-            let b = get(Mechanism::RefAb, f);
-            let ratios: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x / y.max(1e-12)).collect();
-            gmean(&ratios)
-        };
-        out.push(Table3Row {
-            cores,
-            ws_improvement_pct: improvement_pct(ratio(&|m| m.weighted_speedup), 1.0),
-            hs_improvement_pct: improvement_pct(ratio(&|m| m.harmonic_speedup), 1.0),
-            max_slowdown_reduction_pct: (1.0 - ratio(&|m| m.max_slowdown)) * 100.0,
-            energy_reduction_pct: (1.0 - ratio(&|m| m.energy_per_access_nj.max(1e-12))) * 100.0,
-        });
-    }
-    out
+    CORE_SWEEP
+        .iter()
+        .map(|&cores| {
+            let workloads = scale.intensive_workloads(cores);
+            let grid = Grid::compute_with(&workloads, &MECHS, &[Density::G32], scale, |m, d| {
+                SimConfig::paper(*m, *d).with_cores(cores)
+            });
+            reduce(&grid, cores)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -101,7 +75,13 @@ mod tests {
 
     #[test]
     fn dsarp_helps_at_every_core_count() {
-        let scale = Scale { dram_cycles: 30_000, alone_cycles: 15_000, per_category: 1, threads: 0, warmup_ops: 20_000 };
+        let scale = Scale {
+            dram_cycles: 30_000,
+            alone_cycles: 15_000,
+            per_category: 1,
+            threads: 0,
+            warmup_ops: 20_000,
+        };
         let rows = run(&scale);
         assert_eq!(rows.len(), 3);
         for r in &rows {

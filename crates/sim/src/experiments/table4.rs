@@ -12,6 +12,9 @@ use serde::{Deserialize, Serialize};
 /// The paper's sweep points: `(tFAW, tRRD)` in DRAM cycles.
 pub const SWEEP: [(u64, u64); 6] = [(5, 1), (10, 2), (15, 3), (20, 4), (25, 5), (30, 6)];
 
+/// The mechanisms Table 4 compares.
+pub const MECHS: [Mechanism; 2] = [Mechanism::RefPb, Mechanism::SarpPb];
+
 /// One column of Table 4.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Table4Row {
@@ -23,43 +26,32 @@ pub struct Table4Row {
     pub ws_improvement_pct: f64,
 }
 
+/// Reduces one `(tFAW, tRRD)` point's grid (containing `RefPb` and
+/// `SarpPb` rows at 32 Gb) to its Table 4 column.
+pub fn reduce(grid: &Grid, faw: u64, rrd: u64) -> Table4Row {
+    Table4Row {
+        faw,
+        rrd,
+        ws_improvement_pct: grid.gmean_improvement(
+            Mechanism::SarpPb,
+            Mechanism::RefPb,
+            Density::G32,
+        ),
+    }
+}
+
 /// Runs the `tFAW` sweep on memory-intensive workloads at 32 Gb.
 pub fn run(scale: &Scale) -> Vec<Table4Row> {
-    let density = Density::G32;
     let workloads = scale.intensive_workloads(8);
     SWEEP
         .iter()
         .map(|&(faw, rrd)| {
-            let grid = Grid::compute_with(
-                &workloads,
-                &[Mechanism::RefPb, Mechanism::SarpPb],
-                &[density],
-                scale,
-                |m, d| SimConfigFor::make(*m, *d, faw, rrd),
-            );
-            Table4Row {
-                faw,
-                rrd,
-                ws_improvement_pct: grid.gmean_improvement(
-                    Mechanism::SarpPb,
-                    Mechanism::RefPb,
-                    density,
-                ),
-            }
+            let grid = Grid::compute_with(&workloads, &MECHS, &[Density::G32], scale, |m, d| {
+                crate::config::SimConfig::paper(*m, *d).with_faw_rrd(faw, rrd)
+            });
+            reduce(&grid, faw, rrd)
         })
         .collect()
-}
-
-struct SimConfigFor;
-impl SimConfigFor {
-    fn make(
-        m: Mechanism,
-        d: Density,
-        faw: u64,
-        rrd: u64,
-    ) -> crate::config::SimConfig {
-        crate::config::SimConfig::paper(m, d).with_faw_rrd(faw, rrd)
-    }
 }
 
 #[cfg(test)]
@@ -68,7 +60,13 @@ mod tests {
 
     #[test]
     fn tighter_faw_does_not_erase_sarp_gains() {
-        let scale = Scale { dram_cycles: 30_000, alone_cycles: 15_000, per_category: 1, threads: 0, warmup_ops: 20_000 };
+        let scale = Scale {
+            dram_cycles: 30_000,
+            alone_cycles: 15_000,
+            per_category: 1,
+            threads: 0,
+            warmup_ops: 20_000,
+        };
         let rows = run(&scale);
         assert_eq!(rows.len(), 6);
         // The paper's trend: looser activation windows (small tFAW) give

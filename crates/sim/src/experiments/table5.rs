@@ -11,6 +11,9 @@ use serde::{Deserialize, Serialize};
 /// The paper's sweep points.
 pub const SWEEP: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 
+/// The mechanisms Table 5 compares.
+pub const MECHS: [Mechanism; 2] = [Mechanism::RefPb, Mechanism::SarpPb];
+
 /// One column of Table 5.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Table5Row {
@@ -20,28 +23,29 @@ pub struct Table5Row {
     pub ws_improvement_pct: f64,
 }
 
+/// Reduces one subarray count's grid (containing `RefPb` and `SarpPb`
+/// rows at 32 Gb) to its Table 5 column.
+pub fn reduce(grid: &Grid, subarrays: usize) -> Table5Row {
+    Table5Row {
+        subarrays,
+        ws_improvement_pct: grid.gmean_improvement(
+            Mechanism::SarpPb,
+            Mechanism::RefPb,
+            Density::G32,
+        ),
+    }
+}
+
 /// Runs the subarray sweep on memory-intensive workloads at 32 Gb.
 pub fn run(scale: &Scale) -> Vec<Table5Row> {
-    let density = Density::G32;
     let workloads = scale.intensive_workloads(8);
     SWEEP
         .iter()
         .map(|&n| {
-            let grid = Grid::compute_with(
-                &workloads,
-                &[Mechanism::RefPb, Mechanism::SarpPb],
-                &[density],
-                scale,
-                |m, d| SimConfig::paper(*m, *d).with_subarrays(n),
-            );
-            Table5Row {
-                subarrays: n,
-                ws_improvement_pct: grid.gmean_improvement(
-                    Mechanism::SarpPb,
-                    Mechanism::RefPb,
-                    density,
-                ),
-            }
+            let grid = Grid::compute_with(&workloads, &MECHS, &[Density::G32], scale, |m, d| {
+                SimConfig::paper(*m, *d).with_subarrays(n)
+            });
+            reduce(&grid, n)
         })
         .collect()
 }
@@ -52,10 +56,21 @@ mod tests {
 
     #[test]
     fn single_subarray_gives_no_benefit_many_give_much() {
-        let scale = Scale { dram_cycles: 30_000, alone_cycles: 15_000, per_category: 1, threads: 0, warmup_ops: 20_000 };
+        let scale = Scale {
+            dram_cycles: 30_000,
+            alone_cycles: 15_000,
+            per_category: 1,
+            threads: 0,
+            warmup_ops: 20_000,
+        };
         let rows = run(&scale);
         assert_eq!(rows.len(), 7);
-        let at = |n: usize| rows.iter().find(|r| r.subarrays == n).unwrap().ws_improvement_pct;
+        let at = |n: usize| {
+            rows.iter()
+                .find(|r| r.subarrays == n)
+                .unwrap()
+                .ws_improvement_pct
+        };
         // With one subarray SARP cannot parallelize anything within a bank:
         // every row shares the refreshing subarray (paper Table 5: 0%).
         assert!(at(1).abs() < 2.0, "1 subarray: {}", at(1));

@@ -9,6 +9,12 @@ use dsarp_core::Mechanism;
 use dsarp_dram::{Density, Retention};
 use serde::{Deserialize, Serialize};
 
+/// The mechanisms Table 6 compares.
+pub const MECHS: [Mechanism; 3] = [Mechanism::RefAb, Mechanism::RefPb, Mechanism::Dsarp];
+
+/// The relaxed retention time the table evaluates.
+pub const RETENTION: Retention = Retention::Ms64;
+
 /// One row of Table 6.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Table6Row {
@@ -24,17 +30,9 @@ pub struct Table6Row {
     pub gmean_over_refab_pct: f64,
 }
 
-/// Runs the 64 ms-retention evaluation on memory-intensive workloads.
-pub fn run(scale: &Scale) -> Vec<Table6Row> {
-    let workloads = scale.intensive_workloads(8);
-    let densities = Density::evaluated();
-    let grid = Grid::compute_with(
-        &workloads,
-        &[Mechanism::RefAb, Mechanism::RefPb, Mechanism::Dsarp],
-        &densities,
-        scale,
-        |m, d| SimConfig::paper(*m, *d).with_retention(Retention::Ms64),
-    );
+/// Reduces a 64 ms-retention grid (containing `RefAb`, `RefPb` and
+/// `Dsarp` rows) to Table 6.
+pub fn reduce(grid: &Grid, densities: &[Density]) -> Vec<Table6Row> {
     densities
         .iter()
         .map(|&d| Table6Row {
@@ -47,13 +45,29 @@ pub fn run(scale: &Scale) -> Vec<Table6Row> {
         .collect()
 }
 
+/// Runs the 64 ms-retention evaluation on memory-intensive workloads.
+pub fn run(scale: &Scale) -> Vec<Table6Row> {
+    let workloads = scale.intensive_workloads(8);
+    let densities = Density::evaluated();
+    let grid = Grid::compute_with(&workloads, &MECHS, &densities, scale, |m, d| {
+        SimConfig::paper(*m, *d).with_retention(RETENTION)
+    });
+    reduce(&grid, &densities)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn gains_positive_and_growing_with_density() {
-        let scale = Scale { dram_cycles: 30_000, alone_cycles: 15_000, per_category: 1, threads: 0, warmup_ops: 20_000 };
+        let scale = Scale {
+            dram_cycles: 30_000,
+            alone_cycles: 15_000,
+            per_category: 1,
+            threads: 0,
+            warmup_ops: 20_000,
+        };
         let rows = run(&scale);
         assert_eq!(rows.len(), 3);
         let at = |d: Density| rows.iter().find(|r| r.density == d).unwrap();

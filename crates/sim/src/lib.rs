@@ -8,8 +8,9 @@
 //! DDR3-1333.
 //!
 //! The [`experiments`] module regenerates every table and figure of the
-//! paper's evaluation; `cargo run --release -p dsarp-sim --bin experiments`
-//! writes them to `results/`.
+//! paper's evaluation; the `experiments` binary in the `dsarp-campaign`
+//! crate (`cargo run --release -p dsarp-campaign --bin experiments`) drives
+//! them through the cached campaign engine and writes them to `results/`.
 //!
 //! # Example
 //!

@@ -35,16 +35,19 @@ impl AloneIpcCache {
         base: &SimConfig,
         dram_cycles: u64,
     ) -> f64 {
-        *self.map.entry((bench.name, base.density)).or_insert_with(|| {
-            let cfg = base.alone();
-            let wl = Workload {
-                name: format!("alone-{}", bench.name),
-                category: IntensityCategory::P100,
-                benchmarks: vec![bench],
-            };
-            let stats = System::new(&cfg, &wl).run(dram_cycles);
-            stats.ipc[0].max(1e-9)
-        })
+        *self
+            .map
+            .entry((bench.name, base.density))
+            .or_insert_with(|| {
+                let cfg = base.alone();
+                let wl = Workload {
+                    name: format!("alone-{}", bench.name),
+                    category: IntensityCategory::P100,
+                    benchmarks: vec![bench],
+                };
+                let stats = System::new(&cfg, &wl).run(dram_cycles);
+                stats.ipc[0].max(1e-9)
+            })
     }
 
     /// Pre-computes alone IPCs for every benchmark in `workloads`.
@@ -88,12 +91,22 @@ impl Metrics {
     /// Panics if `alone.len()` does not match the number of cores in
     /// `stats`.
     pub fn compute(stats: &RunStats, alone: &[f64]) -> Self {
-        assert_eq!(stats.ipc.len(), alone.len());
+        Self::from_ipcs(&stats.ipc, alone, stats.energy_per_access_nj())
+    }
+
+    /// Computes the metrics from raw per-core IPCs (the form the campaign
+    /// result cache stores, so cached runs reduce without a `RunStats`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shared.len() != alone.len()`.
+    pub fn from_ipcs(shared: &[f64], alone: &[f64], energy_per_access_nj: f64) -> Self {
+        assert_eq!(shared.len(), alone.len());
         let n = alone.len() as f64;
         let mut ws = 0.0;
         let mut inv_sum = 0.0;
         let mut max_sd: f64 = 0.0;
-        for (shared, alone_ipc) in stats.ipc.iter().zip(alone) {
+        for (shared, alone_ipc) in shared.iter().zip(alone) {
             let shared = shared.max(1e-9);
             ws += shared / alone_ipc;
             inv_sum += alone_ipc / shared;
@@ -103,7 +116,7 @@ impl Metrics {
             weighted_speedup: ws,
             harmonic_speedup: n / inv_sum,
             max_slowdown: max_sd,
-            energy_per_access_nj: stats.energy_per_access_nj(),
+            energy_per_access_nj,
         }
     }
 }

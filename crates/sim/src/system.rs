@@ -11,8 +11,7 @@ use dsarp_cpu::{
     TraceSource,
 };
 use dsarp_dram::{
-    Cycle, DramChannel, EnergyBreakdown, Geometry, IddValues, PowerModel,
-    CPU_CYCLES_PER_DRAM_CYCLE,
+    Cycle, DramChannel, EnergyBreakdown, Geometry, IddValues, PowerModel, CPU_CYCLES_PER_DRAM_CYCLE,
 };
 use dsarp_workloads::{SyntheticTrace, Workload};
 use serde::{Deserialize, Serialize};
@@ -53,15 +52,17 @@ impl RunStats {
 
     /// Total refresh commands issued (both granularities).
     pub fn refreshes(&self) -> u64 {
-        self.ctrl.iter().map(|c| c.refab_issued + c.refpb_issued).sum()
+        self.ctrl
+            .iter()
+            .map(|c| c.refab_issued + c.refpb_issued)
+            .sum()
     }
 
     /// Average read latency in DRAM cycles across channels.
     pub fn avg_read_latency(&self) -> f64 {
-        let (sum, n) = self
-            .ctrl
-            .iter()
-            .fold((0u64, 0u64), |(s, n), c| (s + c.read_latency_sum, n + c.reads_done));
+        let (sum, n) = self.ctrl.iter().fold((0u64, 0u64), |(s, n), c| {
+            (s + c.read_latency_sum, n + c.reads_done)
+        });
         if n == 0 {
             0.0
         } else {
@@ -116,9 +117,8 @@ impl MemoryInterface for MemBridge<'_> {
             LlcResult::Miss { writeback } => {
                 let id = *self.next_token;
                 *self.next_token += 1;
-                let ok = self.mcs[loc.channel].try_enqueue_read(Request::read(
-                    id, loc, core, self.now,
-                ));
+                let ok =
+                    self.mcs[loc.channel].try_enqueue_read(Request::read(id, loc, core, self.now));
                 debug_assert!(ok, "capacity checked above");
                 if let Some(wb) = writeback {
                     self.push_writeback(wb);
@@ -172,8 +172,7 @@ impl System {
         // steady-state cache behaviour, as the paper's long runs do.
         let cores = (0..cfg.cores)
             .map(|i| {
-                let mut trace =
-                    SyntheticTrace::new(workload.benchmarks[i], i, cfg.cores, cfg.seed);
+                let mut trace = SyntheticTrace::new(workload.benchmarks[i], i, cfg.cores, cfg.seed);
                 for _ in 0..cfg.warmup_ops {
                     let op = trace.next_op();
                     llc.access(op.addr & !63, op.kind == dsarp_cpu::MemKind::Store);
@@ -186,9 +185,9 @@ impl System {
             .map(|ch| {
                 let mc = MemoryController::new(ch, geom, timing, cfg.mechanism, cfg.seed);
                 match cfg.drain_watermarks {
-                    Some((enter, exit)) => mc.with_queues(
-                        dsarp_core::RequestQueues::new(64, 64, enter, exit),
-                    ),
+                    Some((enter, exit)) => {
+                        mc.with_queues(dsarp_core::RequestQueues::new(64, 64, enter, exit))
+                    }
                     None => mc,
                 }
             })

@@ -95,7 +95,11 @@ fn random_mix(
         benchmarks.push(pool_lo[rng.gen_range(0..pool_lo.len())]);
     }
     benchmarks.shuffle(rng);
-    Workload { name, category, benchmarks }
+    Workload {
+        name,
+        category,
+        benchmarks,
+    }
 }
 
 /// The paper's main evaluation set: 5 intensity categories × 20 random
@@ -120,7 +124,13 @@ pub fn intensive_mixes(cores: usize, seed: u64) -> Vec<Workload> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED_FACE);
     (0..16)
         .map(|i| {
-            random_mix(&mut rng, cores, cores, format!("mi{i:02}"), IntensityCategory::P100)
+            random_mix(
+                &mut rng,
+                cores,
+                cores,
+                format!("mi{i:02}"),
+                IntensityCategory::P100,
+            )
         })
         .collect()
 }

@@ -119,11 +119,19 @@ mod tests {
 
     #[test]
     fn catalogue_spans_a_wide_intensity_range() {
-        let mpkis: Vec<f64> =
-            catalogue::all().iter().map(|s| measured_mpki(s, 400_000)).collect();
+        let mpkis: Vec<f64> = catalogue::all()
+            .iter()
+            .map(|s| measured_mpki(s, 400_000))
+            .collect();
         let max = mpkis.iter().cloned().fold(0.0, f64::max);
         let min = mpkis.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max > 40.0, "need a very intensive benchmark, max = {max:.1}");
-        assert!(min < 4.0, "need a nearly compute-bound benchmark, min = {min:.1}");
+        assert!(
+            max > 40.0,
+            "need a very intensive benchmark, max = {max:.1}"
+        );
+        assert!(
+            min < 4.0,
+            "need a nearly compute-bound benchmark, min = {min:.1}"
+        );
     }
 }

@@ -103,7 +103,10 @@ impl SyntheticTrace {
             // Cold random access over the working set.
             let off = self.rng.gen_range(0..spec.working_set.max(64));
             let dependent = self.rng.gen_bool(spec.dep_frac);
-            (self.clamp(self.region / 2 + spec.hot_bytes + off), dependent)
+            (
+                self.clamp(self.region / 2 + spec.hot_bytes + off),
+                dependent,
+            )
         }
     }
 }
@@ -119,7 +122,12 @@ impl TraceSource for SyntheticTrace {
         };
         // Dependence only makes sense for loads.
         let dependent = dependent && kind == MemKind::Load;
-        TraceOp { bubbles, kind, addr, dependent }
+        TraceOp {
+            bubbles,
+            kind,
+            addr,
+            dependent,
+        }
     }
 }
 
@@ -187,8 +195,7 @@ mod tests {
     fn mean_bubbles_matches_interval() {
         let spec = &catalogue::all()[0];
         let ops = sample_ops(spec, 0, 50_000, 13);
-        let mean =
-            ops.iter().map(|o| o.bubbles as f64).sum::<f64>() / ops.len() as f64;
+        let mean = ops.iter().map(|o| o.bubbles as f64).sum::<f64>() / ops.len() as f64;
         assert!(
             (mean - spec.mem_interval as f64).abs() < 0.2 * spec.mem_interval.max(1) as f64,
             "mean bubbles {mean} vs interval {}",

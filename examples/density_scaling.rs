@@ -14,7 +14,10 @@ use dsarp_workloads::mixes;
 
 fn main() {
     println!("tRFCab scaling (Figure 5):");
-    println!("  {:>8} {:>12} {:>14} {:>14}", "density", "present", "projection 1", "projection 2");
+    println!(
+        "  {:>8} {:>12} {:>14} {:>14}",
+        "density", "present", "projection 1", "projection 2"
+    );
     for gb in [1u32, 2, 4, 8, 16, 32, 64] {
         let present = match gb {
             1 => "110 ns",
@@ -32,7 +35,10 @@ fn main() {
 
     let workload = &mixes::intensive_mixes(8, 11)[0];
     let cycles = 150_000;
-    println!("\nRefresh penalty and recovery on {} (memory-intensive):", workload.name);
+    println!(
+        "\nRefresh penalty and recovery on {} (memory-intensive):",
+        workload.name
+    );
     println!(
         "  {:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
         "density", "REFab", "REFpb", "DSARP", "No REF", "DSARP gap"

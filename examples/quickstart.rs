@@ -17,15 +17,23 @@ fn main() {
     println!(
         "workload {}: {:?}",
         workload.name,
-        workload.benchmarks.iter().map(|b| b.name).collect::<Vec<_>>()
+        workload
+            .benchmarks
+            .iter()
+            .map(|b| b.name)
+            .collect::<Vec<_>>()
     );
 
     let cycles = 200_000; // DRAM cycles (= 1.2M CPU cycles at 4 GHz)
     for density in [Density::G8, Density::G16, Density::G32] {
         println!("\n--- {density} DRAM chips ---");
         let mut baseline_ipc = None;
-        for mech in [Mechanism::RefAb, Mechanism::RefPb, Mechanism::Dsarp, Mechanism::NoRefresh]
-        {
+        for mech in [
+            Mechanism::RefAb,
+            Mechanism::RefPb,
+            Mechanism::Dsarp,
+            Mechanism::NoRefresh,
+        ] {
             let cfg = SimConfig::paper(mech, density);
             let stats = System::new(&cfg, workload).run(cycles);
             let ipc = stats.total_ipc();

@@ -42,8 +42,7 @@ fn main() {
         sys.enable_command_log();
         let stats = sys.run(6_000);
         let log = sys.take_command_log(0);
-        let refreshes: Vec<&(u64, Command)> =
-            log.iter().filter(|(_, c)| c.is_refresh()).collect();
+        let refreshes: Vec<&(u64, Command)> = log.iter().filter(|(_, c)| c.is_refresh()).collect();
         println!("=== {} ===", mech.label());
         println!(
             "  {} commands on channel 0, {} of them refreshes; system IPC {:.2}",
@@ -57,9 +56,9 @@ fn main() {
             Mechanism::RefAb => println!(
                 "  ^ REFab needs the whole rank precharged (PREA) and locks it for tRFCab.\n"
             ),
-            Mechanism::RefPb => println!(
-                "  ^ REFpb rotates through banks in order; other banks keep serving.\n"
-            ),
+            Mechanism::RefPb => {
+                println!("  ^ REFpb rotates through banks in order; other banks keep serving.\n")
+            }
             Mechanism::Darp => println!(
                 "  ^ DARP steers REFpb to idle banks out of order and hides them in write drains.\n"
             ),

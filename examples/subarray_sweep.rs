@@ -17,7 +17,10 @@ fn main() {
         "SARPpb vs REFpb at 32 Gb on {} as subarrays/bank vary:\n",
         workload.name
     );
-    println!("  {:>10} {:>12} {:>12} {:>14}", "subarrays", "REFpb IPC", "SARPpb IPC", "improvement");
+    println!(
+        "  {:>10} {:>12} {:>12} {:>14}",
+        "subarrays", "REFpb IPC", "SARPpb IPC", "improvement"
+    );
     for subarrays in [1usize, 2, 4, 8, 16, 32, 64] {
         let ipc = |mech| {
             let cfg = SimConfig::paper(mech, Density::G32).with_subarrays(subarrays);

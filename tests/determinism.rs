@@ -20,10 +20,16 @@ fn identical_configs_are_bit_identical() {
 #[test]
 fn seed_changes_trace_but_not_structure() {
     let wl = &mixes::paper_workloads(8, 9)[80];
-    let a = System::new(&SimConfig::paper(Mechanism::Dsarp, Density::G16).with_seed(1), wl)
-        .run(10_000);
-    let b = System::new(&SimConfig::paper(Mechanism::Dsarp, Density::G16).with_seed(2), wl)
-        .run(10_000);
+    let a = System::new(
+        &SimConfig::paper(Mechanism::Dsarp, Density::G16).with_seed(1),
+        wl,
+    )
+    .run(10_000);
+    let b = System::new(
+        &SimConfig::paper(Mechanism::Dsarp, Density::G16).with_seed(2),
+        wl,
+    )
+    .run(10_000);
     assert_ne!(a.insts, b.insts, "different seeds explore different traces");
     // Structural facts stay put.
     assert_eq!(a.ipc.len(), b.ipc.len());

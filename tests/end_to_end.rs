@@ -30,8 +30,16 @@ fn every_mechanism_runs_and_reports() {
         // Long enough that even Elastic (which may legally postpone its
         // first refresh by up to 9 x tREFIab = 23.4K cycles) must refresh.
         let stats = System::new(&cfg, &workload()).run(26_000);
-        assert!(stats.total_ipc() > 0.05, "{mech}: ipc {}", stats.total_ipc());
-        assert!(stats.accesses() > 50, "{mech}: accesses {}", stats.accesses());
+        assert!(
+            stats.total_ipc() > 0.05,
+            "{mech}: ipc {}",
+            stats.total_ipc()
+        );
+        assert!(
+            stats.accesses() > 50,
+            "{mech}: accesses {}",
+            stats.accesses()
+        );
         assert_eq!(stats.ipc.len(), 8);
         assert!(stats.energy.total_nj() > 0.0, "{mech}");
         if mech == Mechanism::NoRefresh {
@@ -95,7 +103,10 @@ fn energy_breakdown_components_are_consistent() {
     let sum = e.act_pre_nj + e.read_nj + e.write_nj + e.refresh_nj + e.background_nj;
     assert!((sum - total).abs() < 1e-6);
     assert!(e.background_nj > 0.0, "background energy always accrues");
-    assert!(e.refresh_nj > 0.0, "refreshing mechanism must spend refresh energy");
+    assert!(
+        e.refresh_nj > 0.0,
+        "refreshing mechanism must spend refresh energy"
+    );
     assert_eq!(e.accesses, stats.accesses());
 }
 

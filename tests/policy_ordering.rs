@@ -50,11 +50,17 @@ fn mechanism_ordering_at_32gb() {
 
     // 1. The ideal bound: nothing beats no-refresh by more than noise.
     for (name, v) in all {
-        assert!(v <= noref * 1.01, "{name} ({v}) above the no-refresh bound ({noref})");
+        assert!(
+            v <= noref * 1.01,
+            "{name} ({v}) above the no-refresh bound ({noref})"
+        );
     }
     // 2. REFab is the worst mechanism at 32 Gb.
     for (name, v) in &all[1..] {
-        assert!(*v >= refab * 0.99, "{name} ({v}) should not lose to REFab ({refab})");
+        assert!(
+            *v >= refab * 0.99,
+            "{name} ({v}) should not lose to REFab ({refab})"
+        );
     }
     // 3. Per-bank refresh clearly beats all-bank at high density (paper §3).
     assert!(refpb > refab * 1.02, "REFpb {refpb} vs REFab {refab}");
@@ -78,7 +84,10 @@ fn fgr_and_ar_shape_at_32gb() {
     // Paper Fig. 16: FGR hurts (4x worse than 2x), AR lands near REFab,
     // DSARP beats them all.
     assert!(fgr4 < fgr2, "FGR 4x {fgr4} must trail 2x {fgr2}");
-    assert!(fgr2 < refab * 1.01, "FGR 2x {fgr2} must not beat REFab {refab}");
+    assert!(
+        fgr2 < refab * 1.01,
+        "FGR 2x {fgr2} must not beat REFab {refab}"
+    );
     assert!(ar > fgr4, "AR {ar} must improve on always-4x {fgr4}");
     assert!(dsarp > refab && dsarp > ar, "DSARP dominates (got {dsarp})");
 }

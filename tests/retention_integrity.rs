@@ -43,14 +43,20 @@ fn darp_respects_the_erratum_bound() {
     // (plus scheduling slack).
     let gap = max_gap(Mechanism::Darp, 120_000);
     let bound = 9 * PER_BANK_PERIOD + 2 * PER_BANK_PERIOD;
-    assert!(gap <= bound, "DARP max bank gap {gap} exceeds erratum bound {bound}");
+    assert!(
+        gap <= bound,
+        "DARP max bank gap {gap} exceeds erratum bound {bound}"
+    );
 }
 
 #[test]
 fn dsarp_respects_the_erratum_bound() {
     let gap = max_gap(Mechanism::Dsarp, 120_000);
     let bound = 9 * PER_BANK_PERIOD + 2 * PER_BANK_PERIOD;
-    assert!(gap <= bound, "DSARP max bank gap {gap} exceeds erratum bound {bound}");
+    assert!(
+        gap <= bound,
+        "DSARP max bank gap {gap} exceeds erratum bound {bound}"
+    );
 }
 
 #[test]
@@ -58,7 +64,10 @@ fn elastic_respects_the_postponement_cap() {
     // Elastic postpones up to 8 rank-level refreshes: same 9-period bound.
     let gap = max_gap(Mechanism::Elastic, 120_000);
     let bound = 9 * PER_BANK_PERIOD + 2 * PER_BANK_PERIOD;
-    assert!(gap <= bound, "Elastic max bank gap {gap} exceeds bound {bound}");
+    assert!(
+        gap <= bound,
+        "Elastic max bank gap {gap} exceeds bound {bound}"
+    );
 }
 
 #[test]

@@ -1,0 +1,257 @@
+//! The JSON-like value tree shared by the vendored `serde`/`serde_json`.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// An insertion-ordered map.
+    Object(Map),
+}
+
+impl Value {
+    /// The object behind this value, if it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array behind this value, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string behind this value, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a finite number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Member lookup for objects; `None` for everything else.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(m) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(Repr);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Repr {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    /// A number holding `n`.
+    pub fn from_u64(n: u64) -> Self {
+        Number(Repr::U(n))
+    }
+
+    /// A number holding `n`.
+    pub fn from_i64(n: i64) -> Self {
+        Number(Repr::I(n))
+    }
+
+    /// A number holding `n`.
+    pub fn from_f64(n: f64) -> Self {
+        Number(Repr::F(n))
+    }
+
+    /// This number as `f64` (integers cast losslessly up to 2^53);
+    /// `None` for non-finite floats.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            Repr::U(n) => Some(n as f64),
+            Repr::I(n) => Some(n as f64),
+            Repr::F(n) => n.is_finite().then_some(n),
+        }
+    }
+
+    /// This number as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            Repr::U(n) => Some(n),
+            Repr::I(n) => u64::try_from(n).ok(),
+            Repr::F(_) => None,
+        }
+    }
+
+    /// This number as `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            Repr::U(n) => i64::try_from(n).ok(),
+            Repr::I(n) => Some(n),
+            Repr::F(_) => None,
+        }
+    }
+
+    /// Whether this number is stored as a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, Repr::F(_))
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Repr::U(n) => write!(f, "{n}"),
+            Repr::I(n) => write!(f, "{n}"),
+            // `{:?}` is Rust's shortest round-trip form, so parsing the
+            // emitted text recovers the exact bit pattern.
+            Repr::F(n) => write!(f, "{n:?}"),
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (declaration order of derived
+/// struct fields is preserved, which keeps CSV headers and fingerprints
+/// stable).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `key` (replacing any existing entry, preserving its slot).
+    pub fn insert(&mut self, key: String, value: Value) {
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            e.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error carrying `msg`.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+
+    /// Wraps this error with a location breadcrumb.
+    #[must_use]
+    pub fn context(self, at: &str) -> Self {
+        Error(format!("{at}: {}", self.0))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
