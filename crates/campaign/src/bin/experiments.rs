@@ -3,17 +3,37 @@
 //! campaign store, and resumable — re-running reuses every completed cell.
 //!
 //! ```text
-//! cargo run --release -p dsarp-campaign --bin experiments -- [--scale quick|full]
-//!     [--cycles N] [--per-category N] [--threads N] [--out DIR]
-//!     [--campaign DIR] [--fresh] [--exp NAME]
+//! experiments [run]     [--scale quick|full] [--cycles N] [--per-category N]
+//!                       [--threads N] [--out DIR] [--campaign DIR] [--fresh]
+//!                       [--exp NAME] [--spec FILE.json] [--emit-spec FILE]
+//! experiments worker    --campaign DIR [--spec FILE] [--owner ID]
+//!                       [--ttl-ms N] [--poll-ms N] [--threads N] [--exp NAME]
+//! experiments merge     --campaign DIR [--spec FILE] [... run flags]
+//! experiments compact   --campaign DIR [--spec FILE]
 //! ```
+//!
+//! * `run` (default): single-process execution plus artifact reduction.
+//! * `worker`: leases shards of the missing-job set via `shard-NN.lock`
+//!   files, simulates only leased cells, and exits once the campaign is
+//!   drained (by itself and/or other workers). Run N of these — across
+//!   processes or hosts sharing the store directory — to distribute one
+//!   campaign.
+//! * `merge`: the coordinator — waits for leases to drain, reclaims dead
+//!   workers' unfinished cells (re-running them locally), then reduces
+//!   tables/figures exactly as `run` does, byte-identically.
+//! * `compact`: rewrites shards keeping only fingerprints reachable from
+//!   the spec, dropping orphaned records, duplicate appends and torn lines.
+//! * `--spec FILE.json` executes a serialized [`CampaignSpec`] instead of
+//!   the built-in paper campaign (no recompilation for new sweeps);
+//!   `--emit-spec FILE` dumps the built-in spec as a starting point.
 //!
 //! Outputs one CSV per artifact under `--out` (default `results/`), a
 //! combined `EXPERIMENTS_RAW.md`, and `campaign_report.json` with cache
 //! statistics. The result store lives under `--campaign` (default
 //! `.campaign/`); `--fresh` wipes it first.
 
-use dsarp_campaign::{export, Campaign, CampaignReport, CampaignSpec};
+use dsarp_campaign::store::SHARDS;
+use dsarp_campaign::{export, lease, Campaign, CampaignReport, CampaignSpec, Store, WorkerOptions};
 use dsarp_core::Mechanism;
 use dsarp_dram::Density;
 use dsarp_sim::experiments::{
@@ -23,12 +43,33 @@ use dsarp_sim::experiments::{
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cmd {
+    Run,
+    Worker,
+    Merge,
+    Compact,
+}
+
 struct Args {
+    cmd: Cmd,
     scale: Scale,
     out: PathBuf,
     campaign_dir: PathBuf,
     fresh: bool,
     only: Option<String>,
+    spec_file: Option<PathBuf>,
+    emit_spec: Option<PathBuf>,
+    owner: Option<String>,
+    ttl_ms: u64,
+    poll_ms: u64,
+    /// Explicit scale overrides, applied to `--spec` files too.
+    cycles: Option<u64>,
+    per_category: Option<usize>,
+    threads: Option<usize>,
+    /// Whether `--scale` was passed explicitly (invalid with `--spec`,
+    /// whose file carries its own scale).
+    scale_set: bool,
 }
 
 fn parse_args() -> Args {
@@ -43,8 +84,36 @@ fn parse_args() -> Args {
     let mut campaign_dir = PathBuf::from(".campaign");
     let mut fresh = false;
     let mut only = None;
+    let mut scale_set = false;
+    let mut spec_file = None;
+    let mut emit_spec = None;
+    let mut owner = None;
+    let mut ttl_ms = lease::DEFAULT_TTL_MS;
+    let mut poll_ms = 500;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
+    let cmd = match argv.first().map(String::as_str) {
+        Some("run") => {
+            i += 1;
+            Cmd::Run
+        }
+        Some("worker") => {
+            i += 1;
+            Cmd::Worker
+        }
+        Some("merge") => {
+            i += 1;
+            Cmd::Merge
+        }
+        Some("compact") => {
+            i += 1;
+            Cmd::Compact
+        }
+        Some(other) if !other.starts_with("--") => {
+            panic!("unknown subcommand `{other}` (run|worker|merge|compact)")
+        }
+        _ => Cmd::Run,
+    };
     while i < argv.len() {
         let next = |i: &mut usize| -> String {
             *i += 1;
@@ -54,6 +123,7 @@ fn parse_args() -> Args {
         };
         match argv[i].as_str() {
             "--scale" => {
+                scale_set = true;
                 scale = match next(&mut i).as_str() {
                     "quick" => Scale::quick(),
                     "full" => Scale::full(),
@@ -67,6 +137,11 @@ fn parse_args() -> Args {
             "--campaign" => campaign_dir = PathBuf::from(next(&mut i)),
             "--fresh" => fresh = true,
             "--exp" => only = Some(next(&mut i)),
+            "--spec" => spec_file = Some(PathBuf::from(next(&mut i))),
+            "--emit-spec" => emit_spec = Some(PathBuf::from(next(&mut i))),
+            "--owner" => owner = Some(next(&mut i)),
+            "--ttl-ms" => ttl_ms = next(&mut i).parse().expect("--ttl-ms"),
+            "--poll-ms" => poll_ms = next(&mut i).parse().expect("--poll-ms"),
             other => panic!("unknown argument `{other}` (see the module docs)"),
         }
         i += 1;
@@ -78,37 +153,49 @@ fn parse_args() -> Args {
         scale.per_category = p;
     }
     if let Some(t) = threads {
-        scale.threads = t;
+        scale = scale.with_threads(t);
     }
     if let Some(name) = only.as_deref() {
-        const KNOWN: [&str; 15] = [
-            "fig5",
-            "fig6",
-            "fig7",
-            "fig12",
-            "table2",
-            "fig13",
-            "fig14",
-            "fig15",
-            "fig16",
-            "table3",
-            "table4",
-            "table5",
-            "table6",
-            "overlap",
-            "ablations",
-        ];
-        assert!(
-            KNOWN.contains(&name),
-            "unknown experiment `{name}`; expected one of {KNOWN:?}"
-        );
+        if spec_file.is_none() {
+            const KNOWN: [&str; 15] = [
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig12",
+                "table2",
+                "fig13",
+                "fig14",
+                "fig15",
+                "fig16",
+                "table3",
+                "table4",
+                "table5",
+                "table6",
+                "overlap",
+                "ablations",
+            ];
+            assert!(
+                KNOWN.contains(&name),
+                "unknown experiment `{name}`; expected one of {KNOWN:?}"
+            );
+        }
     }
     Args {
+        cmd,
         scale,
         out,
         campaign_dir,
         fresh,
         only,
+        spec_file,
+        emit_spec,
+        owner,
+        ttl_ms,
+        poll_ms,
+        cycles,
+        per_category,
+        threads,
+        scale_set,
     }
 }
 
@@ -140,44 +227,274 @@ fn required_sweeps(only: &Option<String>) -> Vec<&'static str> {
     prefixes
 }
 
+/// Resolves the campaign spec: a `--spec` file when given (with any
+/// explicit `--cycles`/`--per-category`/`--threads` overrides applied on
+/// top — changing cycles or workloads changes job fingerprints), the
+/// built-in paper campaign otherwise. The second element is true for
+/// custom specs, which reduce to generic per-sweep grid CSVs instead of
+/// the paper's named artifacts.
+fn resolve_spec(args: &Args) -> (CampaignSpec, bool) {
+    match &args.spec_file {
+        Some(path) => {
+            // A silently ignored preset would run at the file's scale
+            // while the user believes they asked for another.
+            assert!(
+                !args.scale_set,
+                "--scale conflicts with --spec (the spec file carries its own scale; \
+                 use --cycles/--per-category/--threads to override individual knobs)"
+            );
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read --spec {}: {e}", path.display()));
+            let mut spec = CampaignSpec::from_json(&text)
+                .unwrap_or_else(|e| panic!("cannot parse --spec {}: {e}", path.display()));
+            if let Some(c) = args.cycles {
+                spec.scale.dram_cycles = c;
+            }
+            if let Some(p) = args.per_category {
+                spec.scale.per_category = p;
+            }
+            if let Some(t) = args.threads {
+                spec.scale = spec.scale.with_threads(t);
+            }
+            if let Some(prefix) = args.only.as_deref() {
+                spec = spec.filtered(&[prefix]);
+                assert!(
+                    !spec.sweeps.is_empty(),
+                    "--exp {prefix} matches no sweep of the custom spec"
+                );
+            }
+            (spec, true)
+        }
+        None => {
+            let prefixes = required_sweeps(&args.only);
+            (CampaignSpec::paper(args.scale).filtered(&prefixes), false)
+        }
+    }
+}
+
+fn worker_options(args: &Args) -> WorkerOptions {
+    let job_delay_ms = std::env::var("DSARP_JOB_DELAY_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    WorkerOptions {
+        owner: args
+            .owner
+            .clone()
+            .unwrap_or_else(|| format!("worker-{}", std::process::id())),
+        ttl_ms: args.ttl_ms,
+        poll_ms: args.poll_ms,
+        job_delay_ms,
+    }
+}
+
 fn main() {
     let args = parse_args();
-    let scale = args.scale;
+    if let Some(path) = &args.emit_spec {
+        // Silently skipping a requested worker/merge/compact (or ignoring
+        // a --spec file) would look like success while doing nothing.
+        assert!(
+            args.cmd == Cmd::Run && args.spec_file.is_none(),
+            "--emit-spec writes the built-in spec and exits; it cannot be combined \
+             with a subcommand or --spec"
+        );
+        let spec = CampaignSpec::paper(args.scale);
+        std::fs::write(path, spec.to_json()).expect("write --emit-spec file");
+        println!(
+            "wrote the built-in paper spec ({} sweeps) to {}",
+            spec.sweeps.len(),
+            path.display()
+        );
+        return;
+    }
+    let (spec, custom) = resolve_spec(&args);
+    match args.cmd {
+        Cmd::Worker => run_worker_cmd(&args, spec),
+        Cmd::Compact => run_compact_cmd(&args, &spec),
+        Cmd::Run | Cmd::Merge => run_or_merge(&args, spec, custom),
+    }
+}
+
+fn run_worker_cmd(args: &Args, spec: CampaignSpec) {
+    assert!(
+        !args.fresh,
+        "--fresh would wipe records other workers are producing; use it with `run`"
+    );
+    let opts = worker_options(args);
+    let mut campaign = Campaign::open(&args.campaign_dir, spec).expect("open campaign store");
+    campaign.verbose = true;
+    let t0 = Instant::now();
+    let report = campaign.run_worker(&opts).expect("worker execution");
+    println!(
+        "worker `{}` done in {:.1?}: {} shard leases ({} reclaimed from dead owners), \
+         {} jobs simulated, {} wait rounds",
+        opts.owner,
+        t0.elapsed(),
+        report.shards_leased,
+        report.reclaimed,
+        report.simulated,
+        report.wait_rounds
+    );
+    // Persist failures never reach this point: run_worker aborts the
+    // drain with Err (and the expect above panics) rather than looping
+    // on a failing disk.
+}
+
+fn run_compact_cmd(args: &Args, spec: &CampaignSpec) {
+    assert!(
+        !args.fresh,
+        "--fresh is meaningless for compact (use `run --fresh`)"
+    );
+    // A sweep filter would shrink the keep-set and delete every other
+    // sweep's cached records as "orphans" — almost certainly not what
+    // `--exp` was meant to do.
+    assert!(
+        args.only.is_none(),
+        "compact keeps fingerprints reachable from the WHOLE spec; \
+         --exp would drop every other sweep's records (remove the flag)"
+    );
+    let campaign_dir = args.campaign_dir.join(&spec.name);
+
+    // Everything that can refuse runs BEFORE any lease is taken, so a
+    // failed compact never strands 8 fresh locks that block workers (and
+    // compact retries) for a whole TTL.
+    let mut keep = std::collections::HashSet::new();
+    for sweep in &spec.sweeps {
+        for job in sweep.jobs(&spec.scale, spec.workload_seed) {
+            keep.insert(job.fingerprint().0);
+        }
+    }
+    // Refuse a compaction that would empty a non-empty store: the spec
+    // (or its scale — cycles are part of the fingerprint) almost
+    // certainly does not match what the store was populated with.
+    let manifest = serde_json::to_value(spec).expect("specs serialize");
+    let store =
+        Store::open(&args.campaign_dir, &spec.name, &manifest).expect("open campaign store");
+    let reachable = store
+        .fingerprints()
+        .filter(|fp| keep.contains(&fp.0))
+        .count();
+    assert!(
+        store.is_empty() || reachable > 0,
+        "refusing to compact: the spec reaches none of the store's {} records — \
+         wrong --spec file or --scale/--cycles for this store?",
+        store.len()
+    );
+    drop(store);
+
+    // Exclude every writer for the rewrite: appends only happen under a
+    // shard lease, so holding all of them is sufficient. (A point-in-time
+    // liveness scan would race a worker acquiring a lease and appending
+    // between the scan and the rename.)
+    let owner = format!("compact-{}", std::process::id());
+    let mut held = Vec::new();
+    for shard in 0..SHARDS {
+        match lease::Lease::acquire(&campaign_dir, shard, &owner, args.ttl_ms)
+            .expect("acquire compaction lease")
+        {
+            lease::Acquire::Acquired(lock) => held.push(lock),
+            lease::Acquire::Held { holder, .. } => {
+                for lock in held {
+                    let _ = lock.release();
+                }
+                panic!(
+                    "refusing to compact: shard {shard} is leased by `{}` \
+                     (wait for workers to finish, or let the lease go stale)",
+                    holder.owner
+                );
+            }
+        }
+    }
+    // The rewrite runs under a heartbeat so a slow pass (large store,
+    // NFS) cannot let the compaction leases go stale and be reclaimed by
+    // a worker mid-rewrite. Leases are released before the Result is
+    // unwrapped, so an I/O failure doesn't strand them either.
+    let heartbeat = lease::Heartbeat::new();
+    let lock_refs: Vec<&lease::Lease> = held.iter().collect();
+    let renew_every = std::time::Duration::from_millis((args.ttl_ms / 4).max(1));
+    let result = std::thread::scope(|s| {
+        s.spawn(|| heartbeat.run(&lock_refs, renew_every));
+        let _stop = heartbeat.stopper();
+        let stats = Store::compact(&args.campaign_dir, &spec.name, &keep);
+        // While every writer is excluded anyway, clear temp files and
+        // eviction tombstones orphaned by killed processes.
+        let swept = lease::sweep_orphans(&campaign_dir, args.ttl_ms).unwrap_or(0);
+        (stats, swept)
+    });
+    for lock in held {
+        lock.release().expect("release compaction lease");
+    }
+    let (stats, swept) = result;
+    let stats = stats.expect("compact store");
+    println!(
+        "compacted campaign `{}`: kept {} records, dropped {} orphans + {} duplicates + \
+         {} torn lines ({} -> {} bytes); swept {swept} orphaned lease temp files",
+        spec.name,
+        stats.kept,
+        stats.dropped_orphans,
+        stats.dropped_duplicates,
+        stats.dropped_torn,
+        stats.bytes_before,
+        stats.bytes_after
+    );
+}
+
+fn run_or_merge(args: &Args, spec: CampaignSpec, custom: bool) {
     let out = &args.out;
     std::fs::create_dir_all(out).expect("create output dir");
     let mut md = String::from("# DSARP reproduction — raw experiment output\n\n");
     md.push_str(&format!(
         "Scale: {} DRAM cycles/run, {} workloads/category, {} threads.\n\n",
-        scale.dram_cycles,
-        scale.per_category,
-        scale.resolved_threads()
+        spec.scale.dram_cycles,
+        spec.scale.per_category,
+        spec.scale.resolved_threads()
     ));
     let t0 = Instant::now();
 
     // Figure 5 is analytic: no simulation, no campaign.
-    if wanted(&args.only, "fig5") {
+    if !custom && wanted(&args.only, "fig5") {
         let rows = fig05::run();
         report::write_csv(out, "fig05_trfc_trend", &rows).unwrap();
         md.push_str(&report::to_markdown("Figure 5: tRFCab trend (ns)", &rows));
         println!("[{:>7.1?}] fig5 done", t0.elapsed());
     }
 
-    // Everything else reduces from the paper campaign.
+    // Everything else reduces from the campaign.
     if args.fresh {
-        let store = args.campaign_dir.join("paper");
+        assert!(
+            args.cmd == Cmd::Run,
+            "--fresh would wipe records other workers are producing; use it with `run`"
+        );
+        let store = args.campaign_dir.join(&spec.name);
         if store.exists() {
             std::fs::remove_dir_all(&store).expect("wipe campaign store");
         }
     }
-    let prefixes = required_sweeps(&args.only);
-    if prefixes.is_empty() {
+    if spec.sweeps.is_empty() {
         finish(out, &md, t0);
         return;
     }
-    let spec = CampaignSpec::paper(scale).filtered(&prefixes);
+    let prefixes = required_sweeps(&args.only);
     let mut campaign = Campaign::open(&args.campaign_dir, spec).expect("open campaign store");
     campaign.verbose = true;
-    let result = campaign.run().expect("campaign execution");
+    let result = match args.cmd {
+        Cmd::Merge => {
+            let opts = worker_options(args);
+            let (result, worker) = campaign.merge(&opts).expect("campaign merge");
+            println!(
+                "[{:>7.1?}] merge `{}`: {} shard leases ({} reclaimed), {} cells re-run \
+                 locally, {} wait rounds",
+                t0.elapsed(),
+                opts.owner,
+                worker.shards_leased,
+                worker.reclaimed,
+                worker.simulated,
+                worker.wait_rounds
+            );
+            result
+        }
+        _ => campaign.run().expect("campaign execution"),
+    };
     println!(
         "[{:>7.1?}] campaign done: {} cells, {} cached, {} simulated",
         t0.elapsed(),
@@ -187,8 +504,20 @@ fn main() {
     );
     export::write_report_json(out, &result).unwrap();
 
+    if custom {
+        // Custom specs reduce to one generic grid CSV/JSONL per sweep.
+        for (name, grid) in &result.grids {
+            let file = format!("grid_{}", name.replace(['/', ' '], "-"));
+            export::write_grid(out, &file, grid).unwrap();
+            md.push_str(&report::to_markdown(&format!("Sweep {name}"), grid.rows()));
+        }
+        println!("[{:>7.1?}] grid exports done", t0.elapsed());
+        finish(out, &md, t0);
+        return;
+    }
+
     if prefixes.contains(&"main") {
-        reduce_main_grid(&args, &result, &mut md, &t0, out);
+        reduce_main_grid(args, &result, &mut md, &t0, out);
     }
     if wanted(&args.only, "table3") {
         let rows: Vec<table3::Table3Row> = table3::CORE_SWEEP

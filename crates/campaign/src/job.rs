@@ -113,6 +113,16 @@ impl Job {
         fingerprint_value(&self.key_value())
     }
 
+    /// Runs the simulation and packages the result as a store [`Record`]
+    /// under `fp` (the single-process executor and distributed workers both
+    /// persist through this, so record shapes cannot drift apart).
+    pub fn run_record(&self, fp: Fingerprint) -> crate::store::Record {
+        match self.execute() {
+            JobOutput::Alone(ipc) => crate::store::Record::alone(fp, self.label(), ipc),
+            JobOutput::Grid(summary) => crate::store::Record::grid(fp, self.label(), summary),
+        }
+    }
+
     /// Runs the simulation.
     pub fn execute(&self) -> JobOutput {
         match self {

@@ -19,6 +19,14 @@
 //!   assembles per-sweep [`dsarp_sim::experiments::Grid`]s, which the
 //!   existing figure/table reducers consume unchanged.
 //!
+//! * The [`lease`] module adds **distributed execution**: N independent
+//!   `experiments worker` processes lease shards of the missing-job set
+//!   through a cooperative `shard-NN.lock` protocol (owner + heartbeat,
+//!   stale leases reclaimed after a TTL), each appending only to its own
+//!   shard files; `experiments merge` waits for the drain, reclaims dead
+//!   workers' cells, and reduces artifacts byte-identically to a
+//!   single-process run.
+//!
 //! The `experiments` binary in this crate regenerates every artifact of
 //! the paper through the engine:
 //!
@@ -60,12 +68,14 @@
 pub mod export;
 pub mod fingerprint;
 pub mod job;
+pub mod lease;
 pub mod runner;
 pub mod spec;
 pub mod store;
 
 pub use fingerprint::Fingerprint;
 pub use job::{Job, JobOutput, RunSummary};
-pub use runner::{CacheStats, Campaign, CampaignReport};
+pub use lease::{Lease, LeaseInfo};
+pub use runner::{CacheStats, Campaign, CampaignReport, WorkerOptions, WorkerReport};
 pub use spec::{CampaignSpec, SweepSpec, WorkloadSet};
-pub use store::{Record, Store};
+pub use store::{CompactionStats, Record, Store};

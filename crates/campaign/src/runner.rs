@@ -14,14 +14,16 @@
 //!   once per cell.
 
 use crate::fingerprint::Fingerprint;
-use crate::job::{Job, JobOutput};
+use crate::job::Job;
+use crate::lease::{self, Acquire, Lease};
 use crate::spec::{CampaignSpec, SweepSpec};
-use crate::store::{Record, Store};
+use crate::store::Store;
 use dsarp_sim::experiments::harness::{parallel_map, Grid, WsRow};
 use dsarp_sim::Metrics;
 use std::collections::{BTreeMap, HashSet};
 use std::path::Path;
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Cache behaviour of one campaign run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
@@ -65,11 +67,59 @@ impl CampaignReport {
     }
 }
 
+/// How a worker process participates in a distributed campaign.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WorkerOptions {
+    /// Unique worker identity, written into every lock it takes.
+    pub owner: String,
+    /// Lease time-to-live: a lock whose heartbeat is older than this is
+    /// reclaimable (its owner is presumed dead).
+    pub ttl_ms: u64,
+    /// How long to sleep between rescans while other live workers hold
+    /// every remaining shard.
+    pub poll_ms: u64,
+    /// Fault-injection hook: sleep this long before each job (used by the
+    /// crash-recovery tests to widen the kill window; 0 in production).
+    pub job_delay_ms: u64,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            owner: format!("worker-{}", std::process::id()),
+            ttl_ms: lease::DEFAULT_TTL_MS,
+            poll_ms: 500,
+            job_delay_ms: 0,
+        }
+    }
+}
+
+/// What one worker did over a campaign drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct WorkerReport {
+    /// Expanded cells across all sweeps (before deduplication).
+    pub cells: usize,
+    /// Distinct fingerprints after in-flight dedup.
+    pub unique_jobs: usize,
+    /// Shard leases this worker acquired.
+    pub shards_leased: usize,
+    /// Dead owners' stale leases this worker evicted (whether or not it
+    /// then won the follow-up acquire against a peer).
+    pub reclaimed: usize,
+    /// Jobs this worker simulated.
+    pub simulated: usize,
+    /// Rescan rounds spent waiting on other live workers.
+    pub wait_rounds: usize,
+    /// Shard appends that failed (results recompute next run).
+    pub persist_failures: usize,
+}
+
 /// An open campaign: a spec bound to its result store.
 #[derive(Debug)]
 pub struct Campaign {
     spec: CampaignSpec,
     store: Store,
+    root: std::path::PathBuf,
     /// Print progress lines to stdout while running.
     pub verbose: bool,
 }
@@ -86,6 +136,7 @@ impl Campaign {
         Ok(Campaign {
             spec,
             store,
+            root: root.to_path_buf(),
             verbose: false,
         })
     }
@@ -100,18 +151,23 @@ impl Campaign {
         &self.store
     }
 
-    /// Executes every sweep (simulating only uncached jobs) and assembles
-    /// the per-sweep grids.
+    /// Re-reads the store from disk, picking up records appended by other
+    /// worker processes since open.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors from shard appends.
-    pub fn run(&mut self) -> std::io::Result<CampaignReport> {
-        let t0 = Instant::now();
+    /// Propagates filesystem errors.
+    pub fn reload(&mut self) -> std::io::Result<()> {
+        let manifest = serde_json::to_value(&self.spec).expect("specs serialize");
+        self.store = Store::open(&self.root, &self.spec.name, &manifest)?;
+        Ok(())
+    }
+
+    /// Expands every sweep, deduplicating identical jobs in flight.
+    /// Returns `(total cells, unique jobs)`.
+    fn expand_unique(&self) -> (usize, Vec<(Fingerprint, Job)>) {
         let scale = self.spec.scale;
         let seed = self.spec.workload_seed;
-
-        // 1. Expand every sweep and dedupe identical jobs in flight.
         let mut cells = 0;
         let mut seen = HashSet::new();
         let mut unique: Vec<(Fingerprint, Job)> = Vec::new();
@@ -124,6 +180,21 @@ impl Campaign {
                 }
             }
         }
+        (cells, unique)
+    }
+
+    /// Executes every sweep (simulating only uncached jobs) and assembles
+    /// the per-sweep grids.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from shard appends.
+    pub fn run(&mut self) -> std::io::Result<CampaignReport> {
+        let t0 = Instant::now();
+        let scale = self.spec.scale;
+
+        // 1. Expand every sweep and dedupe identical jobs in flight.
+        let (cells, unique) = self.expand_unique();
 
         // 2. Partition against the store.
         let missing: Vec<(Fingerprint, Job)> = unique
@@ -156,24 +227,21 @@ impl Campaign {
         //    shard and flushed before the worker picks up the next one, so
         //    progress survives kill/restart.
         let store = &self.store;
-        let append_errors = std::sync::atomic::AtomicUsize::new(0);
+        let append_errors = AtomicUsize::new(0);
         let records = parallel_map(&missing, scale.resolved_threads(), |(fp, job)| {
-            let record = match job.execute() {
-                JobOutput::Alone(ipc) => Record::alone(*fp, job.label(), ipc),
-                JobOutput::Grid(summary) => Record::grid(*fp, job.label(), summary),
-            };
+            let record = job.run_record(*fp);
             if let Err(e) = store.append(*fp, &record) {
                 // Still usable in memory this run; it will re-simulate next
                 // time instead of resuming.
                 eprintln!("campaign store: append failed for {}: {e}", record.label);
-                append_errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                append_errors.fetch_add(1, Ordering::Relaxed);
             }
             record
         });
         for ((fp, _), record) in missing.iter().zip(records) {
             self.store.absorb(*fp, record);
         }
-        stats.persist_failures = append_errors.load(std::sync::atomic::Ordering::Relaxed);
+        stats.persist_failures = append_errors.load(Ordering::Relaxed);
         if stats.persist_failures > 0 {
             eprintln!(
                 "campaign `{}`: {} results could not be persisted and will \
@@ -196,6 +264,234 @@ impl Campaign {
             grids.insert(sweep.name.clone(), self.assemble(sweep));
         }
         Ok(CampaignReport { grids, stats })
+    }
+
+    /// Participates in a distributed drain of this campaign: repeatedly
+    /// leases shards that still contain missing jobs, simulates exactly
+    /// those cells (appending to the leased shard only — jobs are
+    /// partitioned by [`Store::shard_of`], so no two workers ever append
+    /// to the same file), and rescans until every job of the campaign is
+    /// on disk, whoever computed it.
+    ///
+    /// Shards held by other *live* workers are skipped; a lock whose
+    /// heartbeat exceeds `opts.ttl_ms` is reclaimed and the dead owner's
+    /// unfinished cells re-run here. Returns once the missing-job set is
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the store and lock files.
+    pub fn run_worker(&mut self, opts: &WorkerOptions) -> std::io::Result<WorkerReport> {
+        let (cells, unique) = self.expand_unique();
+        let threads = self.spec.scale.resolved_threads();
+        let mut report = WorkerReport {
+            cells,
+            unique_jobs: unique.len(),
+            ..WorkerReport::default()
+        };
+        // Stagger the claim order per owner so concurrent workers start on
+        // different shards instead of colliding on shard 0.
+        let stagger = opts
+            .owner
+            .bytes()
+            .fold(0usize, |h, b| h.wrapping_mul(31).wrapping_add(b as usize));
+
+        // Jobs not yet observed on disk, grouped by shard. Rescans re-read
+        // only the shard files still in play, not the whole store.
+        let mut remaining: BTreeMap<usize, Vec<(Fingerprint, Job)>> = BTreeMap::new();
+        for (fp, job) in unique {
+            if !self.store.contains(fp) {
+                remaining
+                    .entry(Store::shard_of(fp))
+                    .or_default()
+                    .push((fp, job));
+            }
+        }
+
+        // Shard files are append-only, so an unchanged byte size means no
+        // new records: rescan rounds re-parse a shard only after it grew.
+        let mut seen_size: BTreeMap<usize, u64> = BTreeMap::new();
+        loop {
+            let shards: Vec<usize> = remaining.keys().copied().collect();
+            for &shard in &shards {
+                let size = self.store.shard_size(shard);
+                if seen_size.get(&shard) == Some(&size) {
+                    continue;
+                }
+                seen_size.insert(shard, size);
+                let present = self.store.shard_fingerprints(shard)?;
+                let jobs = remaining.get_mut(&shard).expect("key from remaining");
+                jobs.retain(|(fp, _)| !present.contains(&fp.0));
+                if jobs.is_empty() {
+                    remaining.remove(&shard);
+                }
+            }
+            if remaining.is_empty() {
+                return Ok(report);
+            }
+
+            let shards: Vec<usize> = remaining.keys().copied().collect();
+            let start = stagger % shards.len();
+            let mut progressed = false;
+            for &shard in shards[start..].iter().chain(&shards[..start]) {
+                let jobs = &remaining[&shard];
+                match Lease::acquire(self.store.dir(), shard, &opts.owner, opts.ttl_ms)? {
+                    Acquire::Acquired(lock) => {
+                        report.shards_leased += 1;
+                        if lock.reclaimed() {
+                            report.reclaimed += 1;
+                        }
+                        if self.verbose {
+                            println!(
+                                "worker `{}`: leased shard {shard} ({} missing jobs{})",
+                                opts.owner,
+                                jobs.len(),
+                                if lock.reclaimed() {
+                                    ", reclaimed from dead owner"
+                                } else {
+                                    ""
+                                },
+                            );
+                        }
+                        self.run_leased(&lock, shard, jobs, threads, opts, &mut report)?;
+                        lock.release()?;
+                        // Everything in this shard is now on disk: computed
+                        // here, or seen during the under-lease re-read.
+                        remaining.remove(&shard);
+                        progressed = true;
+                    }
+                    Acquire::Held {
+                        holder,
+                        evicted_stale,
+                    } => {
+                        if evicted_stale {
+                            // This worker evicted a dead owner's lock but a
+                            // peer won the follow-up acquire: the reclaim
+                            // happened and the credit is ours, the shard is
+                            // the peer's.
+                            report.reclaimed += 1;
+                        }
+                        if self.verbose {
+                            println!(
+                                "worker `{}`: shard {shard} held by `{}`{}",
+                                opts.owner,
+                                holder.owner,
+                                if evicted_stale {
+                                    " (after this worker evicted a stale lease)"
+                                } else {
+                                    ""
+                                }
+                            );
+                        }
+                    }
+                }
+            }
+            if report.persist_failures > 0 {
+                // A worker's results only count once flushed to the shard;
+                // retrying against a failing disk would re-simulate the
+                // same cells forever.
+                return Err(std::io::Error::other(format!(
+                    "worker `{}`: {} shard appends failed; aborting drain",
+                    opts.owner, report.persist_failures
+                )));
+            }
+            if !progressed && !remaining.is_empty() {
+                // Everything left is leased by live workers: wait for their
+                // appends (or their deaths) to show up on rescan.
+                report.wait_rounds += 1;
+                std::thread::sleep(Duration::from_millis(opts.poll_ms));
+            }
+        }
+    }
+
+    /// Simulates one leased shard's missing jobs on the thread pool,
+    /// appending each result as it completes and renewing the lease
+    /// heartbeat a few times per TTL.
+    ///
+    /// The shard file is re-read under the lease first: the caller's
+    /// missing-set snapshot may predate records a previous lease holder
+    /// appended, and only still-missing cells should run.
+    fn run_leased(
+        &self,
+        lock: &Lease,
+        shard: usize,
+        jobs: &[(Fingerprint, Job)],
+        threads: usize,
+        opts: &WorkerOptions,
+        report: &mut WorkerReport,
+    ) -> std::io::Result<()> {
+        let present = self.store.shard_fingerprints(shard)?;
+        let jobs: Vec<&(Fingerprint, Job)> = jobs
+            .iter()
+            .filter(|(fp, _)| !present.contains(&fp.0))
+            .collect();
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let append_errors = AtomicUsize::new(0);
+        let renew_every = Duration::from_millis((opts.ttl_ms / 4).max(1));
+        // The heartbeat runs on its own timer thread so a single slow job
+        // can never stale the lease — the TTL only has to cover heartbeat
+        // jitter, not job runtime. A failed renew means the lease was
+        // stolen after a genuine stall; finishing the in-flight jobs is
+        // still safe (records are content-addressed and deterministic, so
+        // the successor's appends are byte-identical duplicates).
+        let heartbeat = lease::Heartbeat::new();
+        std::thread::scope(|s| {
+            s.spawn(|| heartbeat.run(&[lock], renew_every));
+            // Stopped via Drop, not a trailing statement: if a job panics,
+            // thread::scope must still join the heartbeat thread, which
+            // would otherwise renew a doomed worker's lease forever and
+            // make the shard unreclaimable.
+            let _stop = heartbeat.stopper();
+            parallel_map(&jobs, threads, |(fp, job)| {
+                if opts.job_delay_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(opts.job_delay_ms));
+                }
+                let record = job.run_record(*fp);
+                if let Err(e) = self.store.append(*fp, &record) {
+                    eprintln!("campaign store: append failed for {}: {e}", record.label);
+                    append_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        report.simulated += jobs.len();
+        report.persist_failures += append_errors.load(Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The coordinator step of a distributed campaign: drains the
+    /// missing-job set (waiting out live leases, reclaiming dead ones and
+    /// re-running their unfinished cells locally), then absorbs all shards
+    /// and assembles per-sweep grids exactly as [`Campaign::run`] does —
+    /// byte-identical output, whichever workers computed the records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn merge(
+        &mut self,
+        opts: &WorkerOptions,
+    ) -> std::io::Result<(CampaignReport, WorkerReport)> {
+        let worker = self.run_worker(opts)?;
+        // Absorb every shard — including records other workers appended
+        // during the drain — before assembling.
+        self.reload()?;
+        let stats = CacheStats {
+            cells: worker.cells,
+            unique_jobs: worker.unique_jobs,
+            // Everything this process did not simulate itself was answered
+            // from the store, whether it predated the merge or was computed
+            // by a peer during the drain.
+            cache_hits: worker.unique_jobs - worker.simulated,
+            simulated: worker.simulated,
+            persist_failures: worker.persist_failures,
+        };
+        let mut grids = BTreeMap::new();
+        for sweep in &self.spec.sweeps {
+            grids.insert(sweep.name.clone(), self.assemble(sweep));
+        }
+        Ok((CampaignReport { grids, stats }, worker))
     }
 
     /// Builds one sweep's [`Grid`] purely from cached records.

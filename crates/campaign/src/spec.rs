@@ -316,6 +316,25 @@ impl CampaignSpec {
             .retain(|s| prefixes.iter().any(|p| s.name.starts_with(p)));
         self
     }
+
+    /// Renders this spec as JSON text — the `experiments --emit-spec`
+    /// format, reloadable with [`CampaignSpec::from_json`] so new sweeps
+    /// need no recompilation.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{}\n",
+            serde_json::to_string(self).expect("specs serialize")
+        )
+    }
+
+    /// Parses a spec from its JSON rendering.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse/shape error for malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text.trim())
+    }
 }
 
 #[cfg(test)]
@@ -409,6 +428,31 @@ mod tests {
             .count();
         assert_eq!(shared_grids, 0);
         assert!(!unthrottled.is_empty());
+    }
+
+    #[test]
+    fn spec_json_roundtrip_preserves_jobs() {
+        let spec = CampaignSpec::paper(tiny_scale());
+        let text = spec.to_json();
+        let back = CampaignSpec::from_json(&text).expect("emitted specs reload");
+        assert_eq!(back, spec);
+        // The reloaded spec must expand to the identical job set — the
+        // property --spec execution correctness rests on.
+        let scale = spec.scale;
+        for (a, b) in spec.sweeps.iter().zip(&back.sweeps) {
+            let fps: Vec<_> = a
+                .jobs(&scale, spec.workload_seed)
+                .iter()
+                .map(Job::fingerprint)
+                .collect();
+            let back_fps: Vec<_> = b
+                .jobs(&back.scale, back.workload_seed)
+                .iter()
+                .map(Job::fingerprint)
+                .collect();
+            assert_eq!(fps, back_fps, "sweep {} drifted across JSON", a.name);
+        }
+        assert!(CampaignSpec::from_json("{\"name\":3}").is_err());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::fingerprint::Fingerprint;
 use crate::job::RunSummary;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
@@ -114,10 +114,7 @@ impl Store {
                 if line.trim().is_empty() {
                     continue;
                 }
-                match serde_json::from_str::<Record>(&line)
-                    .ok()
-                    .and_then(|r| Fingerprint::parse(&r.fp).map(|fp| (fp, r)))
-                {
+                match Self::parse_line(&line) {
                     Some((fp, record)) => {
                         store.records.entry(fp.0).or_insert(record);
                         store.loaded += 1;
@@ -141,11 +138,25 @@ impl Store {
         );
         manifest_doc.insert("campaign".into(), Value::String(campaign_name.into()));
         manifest_doc.insert("spec".into(), manifest.clone());
-        std::fs::write(
-            store.dir.join("manifest.json"),
-            format!("{}\n", Value::Object(manifest_doc)),
-        )?;
+        // Written via a pid-unique temp file + rename: concurrent worker
+        // processes open the same store, and interleaved direct writes
+        // could tear the manifest.
+        let tmp = store
+            .dir
+            .join(format!("manifest.json.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, format!("{}\n", Value::Object(manifest_doc)))?;
+        std::fs::rename(&tmp, store.dir.join("manifest.json"))?;
         Ok(store)
+    }
+
+    /// Decodes one shard line into `(fingerprint, record)`; `None` for a
+    /// torn or otherwise unparseable line. The single decoder behind
+    /// [`Store::open`], [`Store::shard_fingerprints`] and
+    /// [`Store::compact`], so the three readers cannot drift apart.
+    fn parse_line(line: &str) -> Option<(Fingerprint, Record)> {
+        serde_json::from_str::<Record>(line)
+            .ok()
+            .and_then(|r| Fingerprint::parse(&r.fp).map(|fp| (fp, r)))
     }
 
     fn shard_path(&self, shard: usize) -> PathBuf {
@@ -195,12 +206,31 @@ impl Store {
         let shard = Self::shard_of(fp);
         let mut guard = self.writers[shard].lock().expect("shard writer lock");
         if guard.is_none() {
-            *guard = Some(
-                OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(self.shard_path(shard))?,
-            );
+            let path = self.shard_path(shard);
+            // A writer killed mid-append can leave a partial line with no
+            // trailing newline; appending straight after it would splice
+            // the next record into the torn bytes and lose BOTH. Heal the
+            // tail once, when this process first opens the shard.
+            let torn_tail = match std::fs::File::open(&path) {
+                Ok(mut f) => {
+                    use std::io::{Read, Seek, SeekFrom};
+                    if f.seek(SeekFrom::End(0))? == 0 {
+                        false
+                    } else {
+                        f.seek(SeekFrom::End(-1))?;
+                        let mut last = [0u8; 1];
+                        f.read_exact(&mut last)?;
+                        last[0] != b'\n'
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+                Err(e) => return Err(e),
+            };
+            let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+            if torn_tail {
+                file.write_all(b"\n")?;
+            }
+            *guard = Some(file);
         }
         let file = guard.as_mut().expect("just opened");
         let line = format!(
@@ -226,6 +256,123 @@ impl Store {
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
+
+    /// Iterates the fingerprints of every known record.
+    pub fn fingerprints(&self) -> impl Iterator<Item = Fingerprint> + '_ {
+        self.records.keys().map(|&fp| Fingerprint(fp))
+    }
+
+    /// The current byte size of one shard file (0 if never written).
+    /// Shards are append-only, so an unchanged size means unchanged
+    /// contents — workers use this to skip re-parsing shards between
+    /// rescan rounds.
+    pub fn shard_size(&self, shard: usize) -> u64 {
+        std::fs::metadata(self.shard_path(shard))
+            .map(|m| m.len())
+            .unwrap_or(0)
+    }
+
+    /// Re-reads one shard file from disk, returning the fingerprints
+    /// present right now. Distributed workers call this after acquiring a
+    /// shard lease: their in-memory view may predate records another
+    /// worker appended, and only still-missing cells should re-run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; unparseable lines are ignored.
+    pub fn shard_fingerprints(&self, shard: usize) -> std::io::Result<HashSet<u128>> {
+        let mut out = HashSet::new();
+        let path = self.shard_path(shard);
+        if !path.exists() {
+            return Ok(out);
+        }
+        for line in BufReader::new(File::open(&path)?).lines() {
+            if let Some((fp, _)) = Self::parse_line(&line?) {
+                out.insert(fp.0);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rewrites every shard of the campaign at `root`/`campaign_name`,
+    /// keeping only the first record of each fingerprint in `keep` and
+    /// dropping orphans (fingerprints no longer reachable from any known
+    /// spec), duplicate appends, and torn lines. Each shard is rewritten
+    /// through a temp file + rename, so a crash mid-compaction leaves
+    /// either the old or the new shard, never a mix; a shard left with no
+    /// records is deleted.
+    ///
+    /// Callers must hold every shard lease for the duration (appends only
+    /// happen under a lease): compaction rewrites files workers append to,
+    /// and a record appended between the read and the rename would be
+    /// silently dropped. The `experiments compact` subcommand does this.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn compact(
+        root: &Path,
+        campaign_name: &str,
+        keep: &std::collections::HashSet<u128>,
+    ) -> std::io::Result<CompactionStats> {
+        let shards_dir = root.join(campaign_name).join("shards");
+        let mut stats = CompactionStats::default();
+        for shard in 0..SHARDS {
+            let path = shards_dir.join(format!("shard-{shard:02}.jsonl"));
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                // Permission or corruption errors must fail the pass, not
+                // silently leave one shard uncompacted under a success
+                // report.
+                Err(e) => return Err(e),
+            };
+            stats.bytes_before += text.len() as u64;
+            let mut kept_fps = std::collections::HashSet::new();
+            let mut out = String::new();
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match Self::parse_line(line).map(|(fp, _)| fp.0) {
+                    Some(fp) if !keep.contains(&fp) => stats.dropped_orphans += 1,
+                    Some(fp) if !kept_fps.insert(fp) => stats.dropped_duplicates += 1,
+                    Some(_) => {
+                        out.push_str(line);
+                        out.push('\n');
+                        stats.kept += 1;
+                    }
+                    None => stats.dropped_torn += 1,
+                }
+            }
+            if out.is_empty() {
+                std::fs::remove_file(&path)?;
+            } else {
+                stats.bytes_after += out.len() as u64;
+                let tmp = path.with_extension(format!("jsonl.tmp-{}", std::process::id()));
+                std::fs::write(&tmp, out)?;
+                std::fs::rename(&tmp, &path)?;
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Outcome of one [`Store::compact`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CompactionStats {
+    /// Records surviving compaction.
+    pub kept: usize,
+    /// Records dropped because their fingerprint is not reachable.
+    pub dropped_orphans: usize,
+    /// Torn/unparseable lines dropped.
+    pub dropped_torn: usize,
+    /// Duplicate appends of a kept fingerprint dropped.
+    pub dropped_duplicates: usize,
+    /// Shard bytes before compaction.
+    pub bytes_before: u64,
+    /// Shard bytes after compaction.
+    pub bytes_after: u64,
 }
 
 #[cfg(test)]
@@ -296,6 +443,72 @@ mod tests {
         assert_eq!(reopened.loaded(), 1);
         assert_eq!(reopened.skipped_lines(), 1);
         assert!(reopened.contains(fp));
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn append_after_torn_tail_preserves_the_new_record() {
+        let root = tmpdir("torn-tail-append");
+        let store = Store::open(&root, "c", &Value::Null).unwrap();
+        let fp_a = Fingerprint(8); // shard 0
+        store
+            .append(fp_a, &Record::alone(fp_a, "a".into(), 1.0))
+            .unwrap();
+        // Kill mid-append: partial line, no trailing newline.
+        let shard = root.join("c/shards/shard-00.jsonl");
+        let mut f = OpenOptions::new().append(true).open(&shard).unwrap();
+        write!(f, "{{\"fp\":\"dead").unwrap();
+        drop(f);
+
+        // A fresh process (reclaim or resume) appends the re-run result.
+        let store = Store::open(&root, "c", &Value::Null).unwrap();
+        let fp_b = Fingerprint(16); // same shard
+        let b = Record::alone(fp_b, "b".into(), 2.0);
+        store.append(fp_b, &b).unwrap();
+
+        // The new record must NOT be spliced into the torn bytes.
+        let reopened = Store::open(&root, "c", &Value::Null).unwrap();
+        assert_eq!(reopened.loaded(), 2);
+        assert_eq!(reopened.skipped_lines(), 1, "only the torn line is lost");
+        assert_eq!(reopened.get(fp_b), Some(&b));
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn compact_drops_orphans_torn_lines_and_duplicates() {
+        let root = tmpdir("compact");
+        let store = Store::open(&root, "c", &Value::Null).unwrap();
+        let keep_fp = Fingerprint(8); // shard 0
+        let orphan_fp = Fingerprint(16); // same shard
+        let kept = Record::alone(keep_fp, "keep".into(), 1.0);
+        store.append(keep_fp, &kept).unwrap();
+        store.append(keep_fp, &kept).unwrap(); // duplicate append
+        store
+            .append(orphan_fp, &Record::alone(orphan_fp, "orphan".into(), 2.0))
+            .unwrap();
+        let shard = root.join("c/shards/shard-00.jsonl");
+        let mut f = OpenOptions::new().append(true).open(&shard).unwrap();
+        write!(f, "{{\"fp\":\"torn").unwrap();
+        drop(f);
+
+        let keep: std::collections::HashSet<u128> = [keep_fp.0].into_iter().collect();
+        let stats = Store::compact(&root, "c", &keep).unwrap();
+        assert_eq!(stats.kept, 1);
+        assert_eq!(stats.dropped_orphans, 1);
+        assert_eq!(stats.dropped_duplicates, 1);
+        assert_eq!(stats.dropped_torn, 1);
+        assert!(stats.bytes_after < stats.bytes_before);
+
+        let reopened = Store::open(&root, "c", &Value::Null).unwrap();
+        assert_eq!(reopened.loaded(), 1);
+        assert_eq!(reopened.skipped_lines(), 0, "torn line must be gone");
+        assert_eq!(reopened.get(keep_fp), Some(&kept));
+        assert!(!reopened.contains(orphan_fp));
+
+        // Compacting everything away deletes the shard file.
+        let stats = Store::compact(&root, "c", &std::collections::HashSet::new()).unwrap();
+        assert_eq!(stats.kept, 0);
+        assert!(!shard.exists());
         let _ = std::fs::remove_dir_all(root);
     }
 

@@ -51,6 +51,15 @@ impl Scale {
         }
     }
 
+    /// This scale with an explicit worker thread budget (0 = all cores) —
+    /// distributed campaign workers co-located on one host use this to
+    /// split the machine between processes.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Resolved thread count.
     pub fn resolved_threads(&self) -> usize {
         if self.threads > 0 {
@@ -127,6 +136,10 @@ pub const MAIN_GRID_MECHS: [Mechanism; 12] = [
 ];
 
 /// Runs `f` over `items` on a scoped thread pool, preserving order.
+///
+/// Workers pull indices from a shared counter and send index-tagged
+/// results over one channel; the spawning thread places them by index, so
+/// no per-slot locks or allocations sit on the orchestration hot path.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -134,30 +147,33 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let n = items.len();
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     if n == 0 {
         return Vec::new();
     }
     let threads = threads.max(1).min(n);
-    let next = AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
+    let next = &AtomicUsize::new(0);
+    let f = &f;
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
+            let tx = tx.clone();
+            s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let r = f(&items[i]);
-                **slots[i].lock().expect("slot lock") = Some(r);
+                tx.send((i, f(&items[i]))).expect("receiver outlives scope");
             });
         }
-    });
-    drop(slots);
-    out.into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every index sent once"))
+            .collect()
+    })
 }
 
 /// One cell of the main result grid.
