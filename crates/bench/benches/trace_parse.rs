@@ -1,0 +1,65 @@
+//! Trace ingestion throughput: parsing and content-hashing a captured
+//! Ramulator-format trace file.
+//!
+//! Every campaign expansion re-reads, re-validates and re-hashes every
+//! trace a `TraceDir` sweep references (that is what detects on-disk
+//! edits), so parse + hash throughput bounds how cheap a warm trace-driven
+//! replay can be. The trace is a generated 100 k-request synthetic stream
+//! — the size the README's capture workflow produces per core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsarp_campaign::fingerprint::fingerprint_bytes;
+use dsarp_campaign::traces::TraceRef;
+use dsarp_cpu::FileTrace;
+use dsarp_workloads::SyntheticTrace;
+use std::hint::black_box;
+use std::io::Write;
+use std::path::PathBuf;
+
+const REQUESTS: usize = 100_000;
+
+/// Exports a 100k-request trace of the first catalogue archetype.
+fn trace_bytes() -> Vec<u8> {
+    let spec = &dsarp_workloads::catalogue::all()[0];
+    let mut source = SyntheticTrace::new(spec, 0, 1, 0xBE7C_2014);
+    let mut bytes = Vec::with_capacity(REQUESTS * 16);
+    dsarp_cpu::trace_file::export(&mut source, REQUESTS, &mut bytes).unwrap();
+    bytes
+}
+
+fn bench(c: &mut Criterion) {
+    let bytes = trace_bytes();
+    let path: PathBuf = std::env::temp_dir().join(format!(
+        "dsarp-trace-bench-{}-100k.trace",
+        std::process::id()
+    ));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(&bytes).unwrap();
+    drop(f);
+
+    let mut g = c.benchmark_group("trace_ingest");
+    g.throughput(criterion::Throughput::Bytes(bytes.len() as u64));
+
+    g.bench_function("parse_100k", |b| {
+        b.iter(|| {
+            let t = FileTrace::parse_bytes_strict(black_box(&bytes)).unwrap();
+            black_box(t.len())
+        })
+    });
+    g.bench_function("hash_100k", |b| {
+        b.iter(|| black_box(fingerprint_bytes(black_box(&bytes))))
+    });
+    // The whole per-file resolution pipeline campaigns run at expansion:
+    // read from disk + strict parse + content hash.
+    g.bench_function("resolve_100k", |b| {
+        b.iter(|| {
+            let r = TraceRef::load(black_box(&path)).unwrap();
+            black_box((r.entries, r.content_hash))
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

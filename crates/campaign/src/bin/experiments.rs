@@ -6,10 +6,15 @@
 //! experiments [run]     [--scale quick|full] [--cycles N] [--per-category N]
 //!                       [--threads N] [--out DIR] [--campaign DIR] [--fresh]
 //!                       [--exp NAME] [--spec FILE.json] [--emit-spec FILE]
-//! experiments worker    --campaign DIR [--spec FILE] [--owner ID]
-//!                       [--ttl-ms N] [--poll-ms N] [--threads N] [--exp NAME]
-//! experiments merge     --campaign DIR [--spec FILE] [... run flags]
-//! experiments compact   --campaign DIR [--spec FILE]
+//!                       [--traces DIR [--trace-cores N] [--trace-glob G]]
+//! experiments worker    --campaign DIR [--spec FILE | --traces DIR]
+//!                       [--owner ID] [--ttl-ms N] [--poll-ms N]
+//!                       [--threads N] [--exp NAME]
+//! experiments merge     --campaign DIR [--spec FILE | --traces DIR]
+//!                       [... run flags]
+//! experiments compact   --campaign DIR [--spec FILE | --traces DIR]
+//! experiments trace-capture --traces DIR [--count N] [--trace-cores N]
+//!                       [--ops N] [--seed N]
 //! ```
 //!
 //! * `run` (default): single-process execution plus artifact reduction.
@@ -23,9 +28,20 @@
 //!   tables/figures exactly as `run` does, byte-identically.
 //! * `compact`: rewrites shards keeping only fingerprints reachable from
 //!   the spec, dropping orphaned records, duplicate appends and torn lines.
+//! * `trace-capture`: records synthetic memory-intensive mixes as a
+//!   directory of Ramulator-format trace files (one file per workload per
+//!   core), so users and CI can self-generate trace suites to sweep.
+//! * `--traces DIR` sweeps a directory of captured traces instead of the
+//!   built-in paper campaign: file names matching `--trace-glob` (default
+//!   `*.trace`) are sorted and bundled `--trace-cores` (default 1) at a
+//!   time, and each file's content hash feeds the job fingerprints, so
+//!   editing a trace re-simulates exactly its own cells. The sweep runs
+//!   `REFab`/`REFpb`/`DSARP` at 32 Gb; `--emit-spec` the spec and edit it
+//!   for other axes.
 //! * `--spec FILE.json` executes a serialized [`CampaignSpec`] instead of
 //!   the built-in paper campaign (no recompilation for new sweeps);
-//!   `--emit-spec FILE` dumps the built-in spec as a starting point.
+//!   `--emit-spec FILE` dumps the built-in (or `--traces`) spec as a
+//!   starting point.
 //!
 //! Outputs one CSV per artifact under `--out` (default `results/`), a
 //! combined `EXPERIMENTS_RAW.md`, and `campaign_report.json` with cache
@@ -33,11 +49,15 @@
 //! `.campaign/`); `--fresh` wipes it first.
 
 use dsarp_campaign::store::SHARDS;
-use dsarp_campaign::{export, lease, Campaign, CampaignReport, CampaignSpec, Store, WorkerOptions};
+use dsarp_campaign::{
+    export, lease, traces, Campaign, CampaignReport, CampaignSpec, Store, SweepSpec, WorkerOptions,
+    WorkloadSet,
+};
 use dsarp_core::Mechanism;
 use dsarp_dram::Density;
 use dsarp_sim::experiments::{
-    ablations, chart, fig05, fig06_07, fig12_table2, fig13, fig14, fig15, fig16, harness::Scale,
+    ablations, chart, fig05, fig06_07, fig12_table2, fig13, fig14, fig15, fig16,
+    harness::{Scale, WORKLOAD_SEED},
     overlap, report, table3, table4, table5, table6,
 };
 use std::path::{Path, PathBuf};
@@ -49,6 +69,7 @@ enum Cmd {
     Worker,
     Merge,
     Compact,
+    TraceCapture,
 }
 
 struct Args {
@@ -70,6 +91,16 @@ struct Args {
     /// Whether `--scale` was passed explicitly (invalid with `--spec`,
     /// whose file carries its own scale).
     scale_set: bool,
+    /// Trace directory: capture target for `trace-capture`, sweep source
+    /// otherwise.
+    traces: Option<PathBuf>,
+    trace_cores: usize,
+    trace_glob: String,
+    /// `trace-capture` knobs.
+    capture_count: usize,
+    capture_ops: usize,
+    capture_seed: u64,
+    capture_knobs_set: bool,
 }
 
 fn parse_args() -> Args {
@@ -90,6 +121,21 @@ fn parse_args() -> Args {
     let mut owner = None;
     let mut ttl_ms = lease::DEFAULT_TTL_MS;
     let mut poll_ms = 500;
+    let mut traces = None;
+    let mut trace_cores = 1usize;
+    let mut trace_glob = String::from("*.trace");
+    let mut capture_count = 4usize;
+    let mut capture_ops = 50_000usize;
+    // The paper SimConfig's seed: captured entries are the exact streams
+    // the synthetic default sweeps generate. (The text format itself is
+    // lossy for store bubbles and load dependence, so replay is
+    // bit-exact only for loads-only streams — see the README.)
+    let mut capture_seed = 0xD5A2_2014u64;
+    let mut capture_knobs_set = false;
+    let mut trace_knobs_set = false;
+    // Flags that only make sense for simulation-running subcommands; a
+    // trace-capture passing one must refuse, not look configured.
+    let mut run_only_flags: Vec<&'static str> = Vec::new();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let cmd = match argv.first().map(String::as_str) {
@@ -109,8 +155,12 @@ fn parse_args() -> Args {
             i += 1;
             Cmd::Compact
         }
+        Some("trace-capture") => {
+            i += 1;
+            Cmd::TraceCapture
+        }
         Some(other) if !other.starts_with("--") => {
-            panic!("unknown subcommand `{other}` (run|worker|merge|compact)")
+            panic!("unknown subcommand `{other}` (run|worker|merge|compact|trace-capture)")
         }
         _ => Cmd::Run,
     };
@@ -133,15 +183,52 @@ fn parse_args() -> Args {
             "--cycles" => cycles = Some(next(&mut i).parse().expect("--cycles")),
             "--per-category" => per_category = Some(next(&mut i).parse().expect("--per-category")),
             "--threads" => threads = Some(next(&mut i).parse().expect("--threads")),
-            "--out" => out = PathBuf::from(next(&mut i)),
-            "--campaign" => campaign_dir = PathBuf::from(next(&mut i)),
+            "--out" => {
+                run_only_flags.push("--out");
+                out = PathBuf::from(next(&mut i));
+            }
+            "--campaign" => {
+                run_only_flags.push("--campaign");
+                campaign_dir = PathBuf::from(next(&mut i));
+            }
             "--fresh" => fresh = true,
             "--exp" => only = Some(next(&mut i)),
             "--spec" => spec_file = Some(PathBuf::from(next(&mut i))),
             "--emit-spec" => emit_spec = Some(PathBuf::from(next(&mut i))),
-            "--owner" => owner = Some(next(&mut i)),
-            "--ttl-ms" => ttl_ms = next(&mut i).parse().expect("--ttl-ms"),
-            "--poll-ms" => poll_ms = next(&mut i).parse().expect("--poll-ms"),
+            "--owner" => {
+                run_only_flags.push("--owner");
+                owner = Some(next(&mut i));
+            }
+            "--ttl-ms" => {
+                run_only_flags.push("--ttl-ms");
+                ttl_ms = next(&mut i).parse().expect("--ttl-ms");
+            }
+            "--poll-ms" => {
+                run_only_flags.push("--poll-ms");
+                poll_ms = next(&mut i).parse().expect("--poll-ms");
+            }
+            "--traces" => traces = Some(PathBuf::from(next(&mut i))),
+            "--trace-cores" => {
+                trace_knobs_set = true;
+                trace_cores = next(&mut i).parse().expect("--trace-cores");
+            }
+            "--trace-glob" => {
+                trace_knobs_set = true;
+                run_only_flags.push("--trace-glob");
+                trace_glob = next(&mut i);
+            }
+            "--count" => {
+                capture_knobs_set = true;
+                capture_count = next(&mut i).parse().expect("--count");
+            }
+            "--ops" => {
+                capture_knobs_set = true;
+                capture_ops = next(&mut i).parse().expect("--ops");
+            }
+            "--seed" => {
+                capture_knobs_set = true;
+                capture_seed = next(&mut i).parse().expect("--seed");
+            }
             other => panic!("unknown argument `{other}` (see the module docs)"),
         }
         i += 1;
@@ -155,8 +242,30 @@ fn parse_args() -> Args {
     if let Some(t) = threads {
         scale = scale.with_threads(t);
     }
+    // Silently ignored flags must refuse, not look configured.
+    assert!(
+        traces.is_some() || !trace_knobs_set,
+        "--trace-cores/--trace-glob configure a --traces DIR sweep (or trace-capture); \
+         pass --traces too"
+    );
+    if cmd == Cmd::TraceCapture {
+        assert!(
+            !scale_set && cycles.is_none() && per_category.is_none() && threads.is_none(),
+            "--scale/--cycles/--per-category/--threads configure simulation runs; \
+             trace-capture only takes --traces/--count/--trace-cores/--ops/--seed"
+        );
+        assert!(
+            run_only_flags.is_empty(),
+            "{} configure simulation runs and are ignored by trace-capture \
+             (it only takes --traces/--count/--trace-cores/--ops/--seed)",
+            run_only_flags.join("/")
+        );
+    }
     if let Some(name) = only.as_deref() {
-        if spec_file.is_none() {
+        // A --spec file and the --traces campaign carry their own sweep
+        // names; only the built-in paper campaign has a fixed artifact
+        // list to validate against.
+        if spec_file.is_none() && traces.is_none() {
             const KNOWN: [&str; 15] = [
                 "fig5",
                 "fig6",
@@ -196,6 +305,13 @@ fn parse_args() -> Args {
         per_category,
         threads,
         scale_set,
+        traces,
+        trace_cores,
+        trace_glob,
+        capture_count,
+        capture_ops,
+        capture_seed,
+        capture_knobs_set,
     }
 }
 
@@ -227,13 +343,48 @@ fn required_sweeps(only: &Option<String>) -> Vec<&'static str> {
     prefixes
 }
 
+/// The trace-sweep mechanisms `--traces DIR` evaluates by default; emit
+/// the spec and edit it for other axes.
+const TRACE_MECHS: [Mechanism; 3] = [Mechanism::RefAb, Mechanism::RefPb, Mechanism::Dsarp];
+
+/// The campaign a bare `--traces DIR` runs: one sweep over the directory's
+/// bundles at 32 Gb.
+fn trace_spec(args: &Args, dir: &Path) -> CampaignSpec {
+    CampaignSpec::new("traces", args.scale).with_sweep(SweepSpec::new(
+        "traces",
+        WorkloadSet::TraceDir {
+            path: dir.to_string_lossy().into_owned(),
+            glob: args.trace_glob.clone(),
+            cores: args.trace_cores,
+        },
+        &TRACE_MECHS,
+        &[Density::G32],
+    ))
+}
+
 /// Resolves the campaign spec: a `--spec` file when given (with any
 /// explicit `--cycles`/`--per-category`/`--threads` overrides applied on
-/// top — changing cycles or workloads changes job fingerprints), the
-/// built-in paper campaign otherwise. The second element is true for
-/// custom specs, which reduce to generic per-sweep grid CSVs instead of
-/// the paper's named artifacts.
+/// top — changing cycles or workloads changes job fingerprints), a
+/// `--traces DIR` sweep next, the built-in paper campaign otherwise. The
+/// second element is true for custom specs, which reduce to generic
+/// per-sweep grid CSVs instead of the paper's named artifacts.
 fn resolve_spec(args: &Args) -> (CampaignSpec, bool) {
+    // Two spec sources cannot both win; refuse rather than ignore one.
+    assert!(
+        args.spec_file.is_none() || args.traces.is_none(),
+        "--traces conflicts with --spec (a spec file can hold a TraceDir sweep itself)"
+    );
+    if let Some(dir) = &args.traces {
+        let mut spec = trace_spec(args, dir);
+        if let Some(prefix) = args.only.as_deref() {
+            spec = spec.filtered(&[prefix]);
+            assert!(
+                !spec.sweeps.is_empty(),
+                "--exp {prefix} matches no sweep of the trace campaign (its sweep is `traces`)"
+            );
+        }
+        return (spec, true);
+    }
     match &args.spec_file {
         Some(path) => {
             // A silently ignored preset would run at the file's scale
@@ -290,6 +441,12 @@ fn worker_options(args: &Args) -> WorkerOptions {
 
 fn main() {
     let args = parse_args();
+    // Capture knobs silently ignored by other subcommands would look like
+    // configuration while changing nothing.
+    assert!(
+        args.cmd == Cmd::TraceCapture || !args.capture_knobs_set,
+        "--count/--ops/--seed configure `trace-capture` only"
+    );
     if let Some(path) = &args.emit_spec {
         // Silently skipping a requested worker/merge/compact (or ignoring
         // a --spec file) would look like success while doing nothing.
@@ -298,13 +455,20 @@ fn main() {
             "--emit-spec writes the built-in spec and exits; it cannot be combined \
              with a subcommand or --spec"
         );
-        let spec = CampaignSpec::paper(args.scale);
+        let (spec, what) = match &args.traces {
+            Some(dir) => (trace_spec(&args, dir), "trace-sweep"),
+            None => (CampaignSpec::paper(args.scale), "built-in paper"),
+        };
         std::fs::write(path, spec.to_json()).expect("write --emit-spec file");
         println!(
-            "wrote the built-in paper spec ({} sweeps) to {}",
+            "wrote the {what} spec ({} sweeps) to {}",
             spec.sweeps.len(),
             path.display()
         );
+        return;
+    }
+    if args.cmd == Cmd::TraceCapture {
+        run_trace_capture(&args);
         return;
     }
     let (spec, custom) = resolve_spec(&args);
@@ -312,7 +476,46 @@ fn main() {
         Cmd::Worker => run_worker_cmd(&args, spec),
         Cmd::Compact => run_compact_cmd(&args, &spec),
         Cmd::Run | Cmd::Merge => run_or_merge(&args, spec, custom),
+        Cmd::TraceCapture => unreachable!("handled above"),
     }
+}
+
+/// `trace-capture`: records `--count` memory-intensive synthetic mixes of
+/// `--trace-cores` cores as Ramulator-format files under `--traces DIR`
+/// (one file per workload per core, `--ops` entries each). File naming
+/// (`<mix>-c<NN>.trace`) sorts each mix's cores consecutively, so a
+/// `--traces DIR --trace-cores N` sweep reassembles exactly these bundles.
+fn run_trace_capture(args: &Args) {
+    let dir = args.traces.as_deref().unwrap_or_else(|| {
+        panic!("trace-capture needs --traces DIR (the capture target directory)")
+    });
+    assert!(
+        args.spec_file.is_none() && args.only.is_none() && !args.fresh,
+        "--spec/--exp/--fresh do not apply to trace-capture"
+    );
+    let workloads: Vec<dsarp_workloads::Workload> =
+        dsarp_workloads::mixes::intensive_mixes(args.trace_cores, WORKLOAD_SEED)
+            .into_iter()
+            .take(args.capture_count)
+            .collect();
+    assert!(
+        workloads.len() == args.capture_count,
+        "--count {} exceeds the {} available intensive mixes",
+        args.capture_count,
+        dsarp_workloads::mixes::intensive_mixes(args.trace_cores, WORKLOAD_SEED).len()
+    );
+    let t0 = Instant::now();
+    let written = traces::capture_workloads(dir, &workloads, args.capture_seed, args.capture_ops)
+        .expect("capture trace files");
+    println!(
+        "[{:>7.1?}] captured {} workloads x {} cores ({} entries each) into {} files under {}",
+        t0.elapsed(),
+        workloads.len(),
+        args.trace_cores,
+        args.capture_ops,
+        written.len(),
+        dir.display()
+    );
 }
 
 fn run_worker_cmd(args: &Args, spec: CampaignSpec) {
@@ -360,7 +563,19 @@ fn run_compact_cmd(args: &Args, spec: &CampaignSpec) {
     // compact retries) for a whole TTL.
     let mut keep = std::collections::HashSet::new();
     for sweep in &spec.sweeps {
-        for job in sweep.jobs(&spec.scale, spec.workload_seed) {
+        // A trace sweep whose files are missing/unreadable must refuse
+        // here, naming the offending file: expanding to an empty keep-set
+        // would otherwise compact every cached record away as orphans.
+        let jobs = sweep
+            .jobs(&spec.scale, spec.workload_seed)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "refusing to compact: sweep `{}` failed to expand — {e} \
+                 (fix or restore the trace, or compact with the spec that matches the store)",
+                    sweep.name
+                )
+            });
+        for job in jobs {
             keep.insert(job.fingerprint().0);
         }
     }

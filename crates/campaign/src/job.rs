@@ -1,8 +1,9 @@
 //! Individual simulation jobs: the unit of caching and execution.
 
 use crate::fingerprint::{fingerprint_value, Fingerprint};
+use crate::traces::{TraceRef, TraceWorkload};
 use dsarp_sim::{SimConfig, System};
-use dsarp_workloads::{BenchmarkSpec, IntensityCategory, Workload};
+use dsarp_workloads::{BenchmarkSpec, Workload};
 use serde::{Deserialize, Serialize};
 use serde_json::{Map, Value};
 
@@ -39,6 +40,24 @@ pub enum Job {
         /// DRAM cycles to simulate.
         cycles: u64,
     },
+    /// Single-trace alone-IPC measurement (trace-driven workloads).
+    TraceAlone {
+        /// The (already `alone()`-projected) configuration.
+        cfg: SimConfig,
+        /// The trace under measurement.
+        trace: TraceRef,
+        /// DRAM cycles to simulate.
+        cycles: u64,
+    },
+    /// One multiprogrammed grid cell replaying a bundle of trace files.
+    TraceGrid {
+        /// Full system configuration.
+        cfg: SimConfig,
+        /// The trace bundle (one file per core).
+        workload: TraceWorkload,
+        /// DRAM cycles to simulate.
+        cycles: u64,
+    },
 }
 
 /// What a job produced.
@@ -65,6 +84,17 @@ impl Job {
                     cfg.density
                 )
             }
+            Job::TraceAlone { cfg, trace, .. } => {
+                format!("trace-alone/{}@{}", trace.name, cfg.density)
+            }
+            Job::TraceGrid { cfg, workload, .. } => {
+                format!(
+                    "trace/{}/{}@{}",
+                    workload.name,
+                    cfg.mechanism.label(),
+                    cfg.density
+                )
+            }
         }
     }
 
@@ -72,7 +102,10 @@ impl Job {
     ///
     /// Workload *names* are deliberately excluded — two mixes assembling
     /// the same benchmarks in the same order onto the same configuration
-    /// are the same simulation, whatever they are called.
+    /// are the same simulation, whatever they are called. Trace jobs key
+    /// on each file's *content hash*, never its path or name: renaming or
+    /// moving a trace keeps every cached cell, while editing one byte of
+    /// it invalidates exactly the cells that replay it.
     pub fn key_value(&self) -> Value {
         let mut m = Map::new();
         match self {
@@ -104,6 +137,40 @@ impl Job {
                     serde_json::to_value(cycles).expect("infallible"),
                 );
             }
+            Job::TraceAlone { cfg, trace, cycles } => {
+                m.insert("kind".into(), Value::String("trace-alone".into()));
+                m.insert("cfg".into(), serde_json::to_value(cfg).expect("infallible"));
+                m.insert(
+                    "trace".into(),
+                    Value::String(trace.content_hash.to_string()),
+                );
+                m.insert(
+                    "cycles".into(),
+                    serde_json::to_value(cycles).expect("infallible"),
+                );
+            }
+            Job::TraceGrid {
+                cfg,
+                workload,
+                cycles,
+            } => {
+                m.insert("kind".into(), Value::String("trace-grid".into()));
+                m.insert("cfg".into(), serde_json::to_value(cfg).expect("infallible"));
+                m.insert(
+                    "traces".into(),
+                    Value::Array(
+                        workload
+                            .traces
+                            .iter()
+                            .map(|t| Value::String(t.content_hash.to_string()))
+                            .collect(),
+                    ),
+                );
+                m.insert(
+                    "cycles".into(),
+                    serde_json::to_value(cycles).expect("infallible"),
+                );
+            }
         }
         Value::Object(m)
     }
@@ -113,7 +180,8 @@ impl Job {
         fingerprint_value(&self.key_value())
     }
 
-    /// Runs the simulation and packages the result as a store [`Record`]
+    /// Runs the simulation and packages the result as a store
+    /// [`Record`](crate::store::Record)
     /// under `fp` (the single-process executor and distributed workers both
     /// persist through this, so record shapes cannot drift apart).
     pub fn run_record(&self, fp: Fingerprint) -> crate::store::Record {
@@ -124,14 +192,16 @@ impl Job {
     }
 
     /// Runs the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Trace jobs panic (with a message naming the file) if a trace file
+    /// vanishes or its content changes between campaign expansion and
+    /// execution — see [`TraceRef::open`].
     pub fn execute(&self) -> JobOutput {
         match self {
             Job::Alone { cfg, bench, cycles } => {
-                let wl = Workload {
-                    name: format!("alone-{}", bench.name),
-                    category: IntensityCategory::P100,
-                    benchmarks: vec![bench],
-                };
+                let wl = Workload::alone_for(bench);
                 JobOutput::Alone(System::new(cfg, &wl).run(*cycles).ipc[0].max(1e-9))
             }
             Job::Grid {
@@ -140,6 +210,25 @@ impl Job {
                 cycles,
             } => {
                 let stats = System::new(cfg, workload).run(*cycles);
+                JobOutput::Grid(RunSummary {
+                    energy_per_access_nj: stats.energy_per_access_nj(),
+                    total_ipc: stats.total_ipc(),
+                    ipc: stats.ipc,
+                })
+            }
+            Job::TraceAlone { cfg, trace, cycles } => {
+                let sources = vec![Box::new(trace.open()) as Box<dyn dsarp_cpu::TraceSource>];
+                JobOutput::Alone(
+                    System::with_trace_sources(cfg, sources).run(*cycles).ipc[0].max(1e-9),
+                )
+            }
+            Job::TraceGrid {
+                cfg,
+                workload,
+                cycles,
+            } => {
+                let stats =
+                    System::with_trace_sources(cfg, workload.sources(cfg.cores)).run(*cycles);
                 JobOutput::Grid(RunSummary {
                     energy_per_access_nj: stats.energy_per_access_nj(),
                     total_ipc: stats.total_ipc(),
@@ -211,6 +300,46 @@ mod tests {
             cycles: 5_000,
         };
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn trace_fingerprints_key_on_content_not_path() {
+        use crate::traces::{TraceRef, TraceWorkload};
+        let tref = |path: &str, name: &str, hash: u128| TraceRef {
+            path: path.into(),
+            name: name.into(),
+            content_hash: Fingerprint(hash),
+            entries: 10,
+        };
+        let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G32).with_cores(2);
+        let grid = |a: TraceRef, b: TraceRef| Job::TraceGrid {
+            cfg,
+            workload: TraceWorkload::new(vec![a, b]),
+            cycles: 5_000,
+        };
+        let base = grid(tref("/x/a.trace", "a", 1), tref("/x/b.trace", "b", 2));
+        // Moving/renaming the files changes nothing.
+        let moved = grid(tref("/y/a2.trace", "a2", 1), tref("/y/b2.trace", "b2", 2));
+        assert_eq!(base.fingerprint(), moved.fingerprint());
+        // Editing one trace's content changes the fingerprint.
+        let edited = grid(tref("/x/a.trace", "a", 9), tref("/x/b.trace", "b", 2));
+        assert_ne!(base.fingerprint(), edited.fingerprint());
+        // Core order matters (core 0 and core 1 see different streams).
+        let swapped = grid(tref("/x/b.trace", "b", 2), tref("/x/a.trace", "a", 1));
+        assert_ne!(base.fingerprint(), swapped.fingerprint());
+        // Alone jobs on the same trace are a different kind.
+        let alone = Job::TraceAlone {
+            cfg: cfg.alone(),
+            trace: tref("/x/a.trace", "a", 1),
+            cycles: 5_000,
+        };
+        let alone_moved = Job::TraceAlone {
+            cfg: cfg.alone(),
+            trace: tref("/z/r.trace", "r", 1),
+            cycles: 5_000,
+        };
+        assert_eq!(alone.fingerprint(), alone_moved.fingerprint());
+        assert_ne!(alone.fingerprint(), base.fingerprint());
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //!   assembles per-sweep [`dsarp_sim::experiments::Grid`]s, which the
 //!   existing figure/table reducers consume unchanged.
 //!
+//! * The [`traces`] module adds **trace-driven workloads**: a
+//!   [`WorkloadSet::TraceDir`] sweeps a whole directory of captured
+//!   Ramulator-format trace files (replayed through `dsarp-cpu`'s trace
+//!   reader), folding each file's content hash into the job fingerprint —
+//!   editing one trace invalidates exactly its own cells; the
+//!   `trace-capture` subcommand records synthetic workloads as trace
+//!   suites.
 //! * The [`lease`] module adds **distributed execution**: N independent
 //!   `experiments worker` processes lease shards of the missing-job set
 //!   through a cooperative `shard-NN.lock` protocol (owner + heartbeat,
@@ -72,10 +79,12 @@ pub mod lease;
 pub mod runner;
 pub mod spec;
 pub mod store;
+pub mod traces;
 
 pub use fingerprint::Fingerprint;
 pub use job::{Job, JobOutput, RunSummary};
 pub use lease::{Lease, LeaseInfo};
 pub use runner::{CacheStats, Campaign, CampaignReport, WorkerOptions, WorkerReport};
-pub use spec::{CampaignSpec, SweepSpec, WorkloadSet};
+pub use spec::{CampaignSpec, CampaignWorkload, SweepSpec, WorkloadSet};
 pub use store::{CompactionStats, Record, Store};
+pub use traces::{TraceRef, TraceSetError, TraceWorkload};

@@ -16,7 +16,7 @@
 use crate::fingerprint::Fingerprint;
 use crate::job::Job;
 use crate::lease::{self, Acquire, Lease};
-use crate::spec::{CampaignSpec, SweepSpec};
+use crate::spec::{CampaignSpec, CampaignWorkload, SweepSpec};
 use crate::store::Store;
 use dsarp_sim::experiments::harness::{parallel_map, Grid, WsRow};
 use dsarp_sim::Metrics;
@@ -163,16 +163,38 @@ impl Campaign {
         Ok(())
     }
 
-    /// Expands every sweep, deduplicating identical jobs in flight.
-    /// Returns `(total cells, unique jobs)`.
-    fn expand_unique(&self) -> (usize, Vec<(Fingerprint, Job)>) {
+    /// Resolves every sweep's workload list once. Trace resolution reads,
+    /// validates and content-hashes every referenced file, so expansion
+    /// and grid assembly share one resolution (also giving both a
+    /// consistent snapshot if a file is edited mid-run — the execution
+    /// hash re-check still catches actual replays of changed bytes).
+    ///
+    /// # Errors
+    ///
+    /// Fails — with a message naming the offending file — when a sweep
+    /// references a missing, unreadable or invalid trace.
+    fn resolve_sweeps(&self) -> std::io::Result<Vec<Vec<CampaignWorkload>>> {
         let scale = self.spec.scale;
         let seed = self.spec.workload_seed;
+        self.spec
+            .sweeps
+            .iter()
+            .map(|s| Ok(s.workloads.resolve(&scale, seed)?))
+            .collect()
+    }
+
+    /// Expands every sweep over its resolved workloads, deduplicating
+    /// identical jobs in flight. Returns `(total cells, unique jobs)`.
+    fn expand_unique(
+        &self,
+        resolved: &[Vec<CampaignWorkload>],
+    ) -> (usize, Vec<(Fingerprint, Job)>) {
+        let scale = self.spec.scale;
         let mut cells = 0;
         let mut seen = HashSet::new();
         let mut unique: Vec<(Fingerprint, Job)> = Vec::new();
-        for sweep in &self.spec.sweeps {
-            for job in sweep.jobs(&scale, seed) {
+        for (sweep, workloads) in self.spec.sweeps.iter().zip(resolved) {
+            for job in sweep.jobs_for(workloads, &scale) {
                 cells += 1;
                 let fp = job.fingerprint();
                 if seen.insert(fp) {
@@ -193,8 +215,10 @@ impl Campaign {
         let t0 = Instant::now();
         let scale = self.spec.scale;
 
-        // 1. Expand every sweep and dedupe identical jobs in flight.
-        let (cells, unique) = self.expand_unique();
+        // 1. Resolve workloads once, expand every sweep and dedupe
+        //    identical jobs in flight.
+        let resolved = self.resolve_sweeps()?;
+        let (cells, unique) = self.expand_unique(&resolved);
 
         // 2. Partition against the store.
         let missing: Vec<(Fingerprint, Job)> = unique
@@ -260,8 +284,8 @@ impl Campaign {
 
         // 4. Assemble per-sweep grids from the (now complete) store.
         let mut grids = BTreeMap::new();
-        for sweep in &self.spec.sweeps {
-            grids.insert(sweep.name.clone(), self.assemble(sweep));
+        for (sweep, workloads) in self.spec.sweeps.iter().zip(&resolved) {
+            grids.insert(sweep.name.clone(), self.assemble(sweep, workloads));
         }
         Ok(CampaignReport { grids, stats })
     }
@@ -282,7 +306,18 @@ impl Campaign {
     ///
     /// Propagates filesystem errors from the store and lock files.
     pub fn run_worker(&mut self, opts: &WorkerOptions) -> std::io::Result<WorkerReport> {
-        let (cells, unique) = self.expand_unique();
+        let resolved = self.resolve_sweeps()?;
+        self.run_worker_with(&resolved, opts)
+    }
+
+    /// [`Campaign::run_worker`] over pre-resolved sweep workloads (shared
+    /// with [`Campaign::merge`], which also assembles from them).
+    fn run_worker_with(
+        &mut self,
+        resolved: &[Vec<CampaignWorkload>],
+        opts: &WorkerOptions,
+    ) -> std::io::Result<WorkerReport> {
+        let (cells, unique) = self.expand_unique(resolved);
         let threads = self.spec.scale.resolved_threads();
         let mut report = WorkerReport {
             cells,
@@ -473,7 +508,8 @@ impl Campaign {
         &mut self,
         opts: &WorkerOptions,
     ) -> std::io::Result<(CampaignReport, WorkerReport)> {
-        let worker = self.run_worker(opts)?;
+        let resolved = self.resolve_sweeps()?;
+        let worker = self.run_worker_with(&resolved, opts)?;
         // Absorb every shard — including records other workers appended
         // during the drain — before assembling.
         self.reload()?;
@@ -488,40 +524,72 @@ impl Campaign {
             persist_failures: worker.persist_failures,
         };
         let mut grids = BTreeMap::new();
-        for sweep in &self.spec.sweeps {
-            grids.insert(sweep.name.clone(), self.assemble(sweep));
+        for (sweep, workloads) in self.spec.sweeps.iter().zip(&resolved) {
+            grids.insert(sweep.name.clone(), self.assemble(sweep, workloads));
         }
         Ok((CampaignReport { grids, stats }, worker))
     }
 
-    /// Builds one sweep's [`Grid`] purely from cached records.
-    fn assemble(&self, sweep: &SweepSpec) -> Grid {
+    /// Builds one sweep's [`Grid`] purely from cached records, over the
+    /// same resolved workloads its jobs were expanded from. Trace bundles
+    /// produce rows keyed by the bundle name with intensity category 0
+    /// (captured traffic carries no category label).
+    fn assemble(&self, sweep: &SweepSpec, workloads: &[CampaignWorkload]) -> Grid {
         let scale = self.spec.scale;
-        let workloads = sweep.workloads.resolve(&scale, self.spec.workload_seed);
         let mut rows = Vec::new();
         for &d in &sweep.densities {
             // Alone-IPC lookups once per (benchmark, density), not per cell:
             // fingerprinting renders canonical JSON, so hashing per cell per
-            // core would dominate warm-cache replays.
+            // core would dominate warm-cache replays. Traces key by content
+            // hash, the identity their fingerprints use.
             let mut alone: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
-            for wl in &workloads {
-                for b in &wl.benchmarks {
-                    if !alone.contains_key(b.name) {
-                        let job = sweep.alone_job(d, b, &scale);
-                        let ipc = self
-                            .store
-                            .get(job.fingerprint())
-                            .and_then(|r| r.alone_ipc)
-                            .unwrap_or_else(|| {
-                                panic!("missing alone record for {} after execution", job.label())
-                            });
-                        alone.insert(b.name, ipc);
+            let mut alone_trace: std::collections::HashMap<u128, f64> =
+                std::collections::HashMap::new();
+            for wl in workloads {
+                match wl {
+                    CampaignWorkload::Synthetic(wl) => {
+                        for b in &wl.benchmarks {
+                            if !alone.contains_key(b.name) {
+                                let job = sweep.alone_job(d, b, &scale);
+                                let ipc = self.lookup_alone(&job);
+                                alone.insert(b.name, ipc);
+                            }
+                        }
+                    }
+                    CampaignWorkload::Traced(tw) => {
+                        for t in &tw.traces {
+                            if let std::collections::hash_map::Entry::Vacant(e) =
+                                alone_trace.entry(t.content_hash.0)
+                            {
+                                let job = sweep.trace_alone_job(d, t, &scale);
+                                e.insert(self.lookup_alone(&job));
+                            }
+                        }
                     }
                 }
             }
             for &m in &sweep.mechanisms {
-                for wl in &workloads {
-                    let job = sweep.grid_job(m, d, wl, &scale);
+                for wl in workloads {
+                    let (job, category, alone_ipcs) = match wl {
+                        CampaignWorkload::Synthetic(wl) => (
+                            sweep.grid_job(m, d, wl, &scale),
+                            wl.category.percent(),
+                            wl.benchmarks
+                                .iter()
+                                .take(sweep.cores)
+                                .map(|b| alone[b.name])
+                                .collect::<Vec<f64>>(),
+                        ),
+                        CampaignWorkload::Traced(tw) => (
+                            sweep.trace_grid_job(m, d, tw, &scale),
+                            0,
+                            tw.traces
+                                .iter()
+                                .take(sweep.cores)
+                                .map(|t| alone_trace[&t.content_hash.0])
+                                .collect::<Vec<f64>>(),
+                        ),
+                    };
                     let summary = self
                         .store
                         .get(job.fingerprint())
@@ -529,17 +597,11 @@ impl Campaign {
                         .unwrap_or_else(|| {
                             panic!("missing grid record for {} after execution", job.label())
                         });
-                    let alone_ipcs: Vec<f64> = wl
-                        .benchmarks
-                        .iter()
-                        .take(sweep.cores)
-                        .map(|b| alone[b.name])
-                        .collect();
                     let metrics =
                         Metrics::from_ipcs(&summary.ipc, &alone_ipcs, summary.energy_per_access_nj);
                     rows.push(WsRow {
-                        workload: wl.name.clone(),
-                        category: wl.category.percent(),
+                        workload: wl.name().to_string(),
+                        category,
                         mechanism: m,
                         density: d,
                         ws: metrics.weighted_speedup,
@@ -552,5 +614,14 @@ impl Campaign {
             }
         }
         Grid::from_rows(rows)
+    }
+
+    /// The cached alone-IPC for `job`, panicking with the job label if the
+    /// record is missing after execution.
+    fn lookup_alone(&self, job: &Job) -> f64 {
+        self.store
+            .get(job.fingerprint())
+            .and_then(|r| r.alone_ipc)
+            .unwrap_or_else(|| panic!("missing alone record for {} after execution", job.label()))
     }
 }

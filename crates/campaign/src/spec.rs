@@ -8,15 +8,17 @@
 //! once and the store caches them forever.
 
 use crate::job::Job;
+use crate::traces::{self, TraceRef, TraceSetError, TraceWorkload};
 use dsarp_core::Mechanism;
 use dsarp_dram::{Density, Retention};
 use dsarp_sim::experiments::{harness::WORKLOAD_SEED, Scale};
 use dsarp_sim::SimConfig;
 use dsarp_workloads::Workload;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Which workload pool a sweep runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WorkloadSet {
     /// The paper's 100-workload evaluation set (5 categories ×
     /// `Scale::per_category`), on 8-core mixes.
@@ -26,17 +28,103 @@ pub enum WorkloadSet {
         /// Cores per workload.
         cores: usize,
     },
+    /// A directory of captured Ramulator-format traces: file names
+    /// matching `glob` are sorted byte-wise and chunked into consecutive
+    /// `cores`-wide bundles (see [`traces::resolve_trace_dir`]). Each
+    /// trace's *content hash* — never its path — feeds the job
+    /// fingerprints, so renaming keeps the cache and editing a trace
+    /// invalidates exactly its own cells.
+    TraceDir {
+        /// Directory holding the traces.
+        path: String,
+        /// File-name glob (`*`/`?`), e.g. `*.trace`.
+        glob: String,
+        /// Cores per bundle.
+        cores: usize,
+    },
+    /// An explicit trace-file list, bundled `cores` at a time in the
+    /// given order (the caller controls bundling; no sorting).
+    TraceFiles {
+        /// Trace file paths, in bundle order.
+        files: Vec<String>,
+        /// Cores per bundle.
+        cores: usize,
+    },
+}
+
+/// One resolved workload of a sweep: a synthetic mix or a trace bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignWorkload {
+    /// A synthetic multi-programmed mix.
+    Synthetic(Workload),
+    /// A bundle of captured trace files.
+    Traced(TraceWorkload),
+}
+
+impl CampaignWorkload {
+    /// The workload's display name (grid row key; not fingerprinted).
+    pub fn name(&self) -> &str {
+        match self {
+            CampaignWorkload::Synthetic(w) => &w.name,
+            CampaignWorkload::Traced(t) => &t.name,
+        }
+    }
+
+    /// Number of cores the workload occupies.
+    pub fn cores(&self) -> usize {
+        match self {
+            CampaignWorkload::Synthetic(w) => w.cores(),
+            CampaignWorkload::Traced(t) => t.cores(),
+        }
+    }
 }
 
 impl WorkloadSet {
+    /// A [`WorkloadSet::TraceDir`] with the conventional `*.trace` glob.
+    pub fn trace_dir(path: impl Into<String>, cores: usize) -> Self {
+        WorkloadSet::TraceDir {
+            path: path.into(),
+            glob: "*.trace".into(),
+            cores,
+        }
+    }
+
     /// Resolves the concrete workload list at `scale`, deterministically in
     /// `seed`, through the same `Scale` selection rules the experiment
-    /// modules' direct `run()` paths use.
-    pub fn resolve(&self, scale: &Scale, seed: u64) -> Vec<Workload> {
-        match *self {
-            WorkloadSet::Paper => scale.workloads_with_seed(seed),
-            WorkloadSet::Intensive { cores } => scale.intensive_workloads_with_seed(cores, seed),
-        }
+    /// modules' direct `run()` paths use. Trace sets enumerate (and
+    /// validate + content-hash) their files; synthetic sets cannot fail.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceSetError`] naming the offending file for a missing,
+    /// unreadable or invalid trace.
+    pub fn resolve(
+        &self,
+        scale: &Scale,
+        seed: u64,
+    ) -> Result<Vec<CampaignWorkload>, TraceSetError> {
+        Ok(match self {
+            WorkloadSet::Paper => scale
+                .workloads_with_seed(seed)
+                .into_iter()
+                .map(CampaignWorkload::Synthetic)
+                .collect(),
+            WorkloadSet::Intensive { cores } => scale
+                .intensive_workloads_with_seed(*cores, seed)
+                .into_iter()
+                .map(CampaignWorkload::Synthetic)
+                .collect(),
+            WorkloadSet::TraceDir { path, glob, cores } => {
+                traces::resolve_trace_dir(Path::new(path), glob, *cores)?
+                    .into_iter()
+                    .map(CampaignWorkload::Traced)
+                    .collect()
+            }
+            WorkloadSet::TraceFiles { files, cores } => traces::resolve_trace_files(files, *cores)?
+                .into_iter()
+                .map(CampaignWorkload::Traced)
+                .collect(),
+        })
     }
 }
 
@@ -76,9 +164,11 @@ impl SweepSpec {
         mechanisms: &[Mechanism],
         densities: &[Density],
     ) -> Self {
-        let cores = match workloads {
+        let cores = match &workloads {
             WorkloadSet::Paper => 8,
-            WorkloadSet::Intensive { cores } => cores,
+            WorkloadSet::Intensive { cores }
+            | WorkloadSet::TraceDir { cores, .. }
+            | WorkloadSet::TraceFiles { cores, .. } => *cores,
         };
         SweepSpec {
             name: name.into(),
@@ -158,25 +248,81 @@ impl SweepSpec {
         }
     }
 
+    /// The alone-IPC job for one trace file at one density (the traced
+    /// counterpart of [`Self::alone_job`]: the same trace replayed on a
+    /// single no-refresh core).
+    pub fn trace_alone_job(&self, density: Density, trace: &TraceRef, scale: &Scale) -> Job {
+        Job::TraceAlone {
+            cfg: self.alone_cfg(density, scale),
+            trace: trace.clone(),
+            cycles: scale.alone_cycles,
+        }
+    }
+
+    /// The grid-cell job for one (mechanism, density, trace bundle).
+    pub fn trace_grid_job(
+        &self,
+        mechanism: Mechanism,
+        density: Density,
+        workload: &TraceWorkload,
+        scale: &Scale,
+    ) -> Job {
+        Job::TraceGrid {
+            cfg: self
+                .make_cfg(mechanism, density)
+                .with_warmup_ops(scale.warmup_ops),
+            workload: workload.clone(),
+            cycles: scale.dram_cycles,
+        }
+    }
+
     /// Expands this sweep into jobs: deduplicated alone-IPC measurements
-    /// first, then every grid cell.
-    pub fn jobs(&self, scale: &Scale, workload_seed: u64) -> Vec<Job> {
-        let workloads = self.workloads.resolve(scale, workload_seed);
+    /// first (by benchmark name for synthetic mixes, by content hash for
+    /// traces), then every grid cell.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceSetError`] naming the offending file when the sweep's trace
+    /// set fails to resolve.
+    pub fn jobs(&self, scale: &Scale, workload_seed: u64) -> Result<Vec<Job>, TraceSetError> {
+        Ok(self.jobs_for(&self.workloads.resolve(scale, workload_seed)?, scale))
+    }
+
+    /// Like [`SweepSpec::jobs`], over an already-resolved workload list —
+    /// the executor resolves each sweep once (trace resolution re-reads
+    /// and re-hashes every file) and reuses the result for expansion and
+    /// grid assembly.
+    pub fn jobs_for(&self, workloads: &[CampaignWorkload], scale: &Scale) -> Vec<Job> {
         let mut out = Vec::new();
         for &d in &self.densities {
-            let mut seen = std::collections::HashSet::new();
-            for wl in &workloads {
-                for b in &wl.benchmarks {
-                    if seen.insert(b.name) {
-                        out.push(self.alone_job(d, b, scale));
+            let mut seen_bench = std::collections::HashSet::new();
+            let mut seen_trace = std::collections::HashSet::new();
+            for wl in workloads {
+                match wl {
+                    CampaignWorkload::Synthetic(wl) => {
+                        for b in &wl.benchmarks {
+                            if seen_bench.insert(b.name) {
+                                out.push(self.alone_job(d, b, scale));
+                            }
+                        }
+                    }
+                    CampaignWorkload::Traced(tw) => {
+                        for t in &tw.traces {
+                            if seen_trace.insert(t.content_hash) {
+                                out.push(self.trace_alone_job(d, t, scale));
+                            }
+                        }
                     }
                 }
             }
         }
         for &d in &self.densities {
             for &m in &self.mechanisms {
-                for wl in &workloads {
-                    out.push(self.grid_job(m, d, wl, scale));
+                for wl in workloads {
+                    out.push(match wl {
+                        CampaignWorkload::Synthetic(wl) => self.grid_job(m, d, wl, scale),
+                        CampaignWorkload::Traced(tw) => self.trace_grid_job(m, d, tw, scale),
+                    });
                 }
             }
         }
@@ -252,7 +398,7 @@ impl CampaignSpec {
         for (faw, rrd) in table4::SWEEP {
             let mut s = SweepSpec::new(
                 format!("table4/faw{faw}-rrd{rrd}"),
-                intensive8,
+                intensive8.clone(),
                 &table4::MECHS,
                 &g32,
             );
@@ -260,30 +406,35 @@ impl CampaignSpec {
             spec = spec.with_sweep(s);
         }
         for n in table5::SWEEP {
-            let mut s = SweepSpec::new(format!("table5/sub{n}"), intensive8, &table5::MECHS, &g32);
+            let mut s = SweepSpec::new(
+                format!("table5/sub{n}"),
+                intensive8.clone(),
+                &table5::MECHS,
+                &g32,
+            );
             s.subarrays = n;
             spec = spec.with_sweep(s);
         }
-        let mut t6 = SweepSpec::new("table6", intensive8, &table6::MECHS, &densities);
+        let mut t6 = SweepSpec::new("table6", intensive8.clone(), &table6::MECHS, &densities);
         t6.retention = table6::RETENTION;
         spec = spec.with_sweep(t6);
         let mut overlap_mechs = vec![Mechanism::RefPb];
         overlap_mechs.extend(overlap::OVERLAP_MECHS);
         spec = spec.with_sweep(SweepSpec::new(
             "overlap",
-            intensive8,
+            intensive8.clone(),
             &overlap_mechs,
             &overlap::OVERLAP_DENSITIES,
         ));
         spec = spec.with_sweep(SweepSpec::new(
             "ablations/throttle",
-            intensive8,
+            intensive8.clone(),
             &ablations::THROTTLE_MECHS,
             &g32,
         ));
         let mut unthrottled = SweepSpec::new(
             "ablations/unthrottled",
-            intensive8,
+            intensive8.clone(),
             &[Mechanism::SarpPb],
             &g32,
         );
@@ -291,14 +442,14 @@ impl CampaignSpec {
         spec = spec.with_sweep(unthrottled);
         spec = spec.with_sweep(SweepSpec::new(
             "ablations/darp",
-            intensive8,
+            intensive8.clone(),
             &ablations::DARP_MECHS,
             &g32,
         ));
         for (enter, exit) in ablations::WATERMARK_SWEEP {
             let mut s = SweepSpec::new(
                 format!("ablations/wm{enter}-{exit}"),
-                intensive8,
+                intensive8.clone(),
                 &ablations::WATERMARK_MECHS,
                 &g32,
             );
@@ -374,7 +525,7 @@ mod tests {
         let scale = tiny_scale();
         let spec = CampaignSpec::paper(scale);
         let main = spec.sweep("main").unwrap();
-        let jobs = main.jobs(&scale, spec.workload_seed);
+        let jobs = main.jobs(&scale, spec.workload_seed).unwrap();
         let grids = jobs
             .iter()
             .filter(|j| matches!(j, Job::Grid { .. }))
@@ -404,6 +555,7 @@ mod tests {
             spec.sweep(name)
                 .unwrap()
                 .jobs(&scale, spec.workload_seed)
+                .unwrap()
                 .iter()
                 .map(Job::fingerprint)
                 .collect()
@@ -421,6 +573,7 @@ mod tests {
             .sweep("ablations/unthrottled")
             .unwrap()
             .jobs(&scale, spec.workload_seed)
+            .unwrap()
             .iter()
             .filter(|j| matches!(j, Job::Grid { .. }))
             .map(Job::fingerprint)
@@ -442,11 +595,13 @@ mod tests {
         for (a, b) in spec.sweeps.iter().zip(&back.sweeps) {
             let fps: Vec<_> = a
                 .jobs(&scale, spec.workload_seed)
+                .unwrap()
                 .iter()
                 .map(Job::fingerprint)
                 .collect();
             let back_fps: Vec<_> = b
                 .jobs(&back.scale, back.workload_seed)
+                .unwrap()
                 .iter()
                 .map(Job::fingerprint)
                 .collect();
@@ -458,14 +613,91 @@ mod tests {
     #[test]
     fn workload_resolution_is_deterministic() {
         let scale = tiny_scale();
-        let a = WorkloadSet::Paper.resolve(&scale, 1);
-        let b = WorkloadSet::Paper.resolve(&scale, 1);
-        let c = WorkloadSet::Paper.resolve(&scale, 2);
+        let a = WorkloadSet::Paper.resolve(&scale, 1).unwrap();
+        let b = WorkloadSet::Paper.resolve(&scale, 1).unwrap();
+        let c = WorkloadSet::Paper.resolve(&scale, 2).unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.len(), 5);
-        let i = WorkloadSet::Intensive { cores: 4 }.resolve(&scale, 1);
+        let i = WorkloadSet::Intensive { cores: 4 }
+            .resolve(&scale, 1)
+            .unwrap();
         assert_eq!(i.len(), 2);
         assert!(i.iter().all(|w| w.cores() == 4));
+    }
+
+    #[test]
+    fn trace_specs_roundtrip_through_json() {
+        let dir = std::env::temp_dir().join(format!("dsarp-spec-traces-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.trace"), "1 0x40\n").unwrap();
+        std::fs::write(dir.join("b.trace"), "2 0x80\n").unwrap();
+
+        let scale = tiny_scale();
+        let spec = CampaignSpec::new("traced", scale)
+            .with_sweep(SweepSpec::new(
+                "dir",
+                WorkloadSet::trace_dir(dir.to_string_lossy().into_owned(), 2),
+                &[Mechanism::RefAb],
+                &[Density::G8],
+            ))
+            .with_sweep(SweepSpec::new(
+                "files",
+                WorkloadSet::TraceFiles {
+                    // Reversed bundle order: same traces, different cores.
+                    files: vec![
+                        dir.join("b.trace").to_string_lossy().into_owned(),
+                        dir.join("a.trace").to_string_lossy().into_owned(),
+                    ],
+                    cores: 2,
+                },
+                &[Mechanism::RefAb],
+                &[Density::G8],
+            ));
+        let back = CampaignSpec::from_json(&spec.to_json()).expect("trace specs reload");
+        assert_eq!(back, spec);
+        for (a, b) in spec.sweeps.iter().zip(&back.sweeps) {
+            let fps: Vec<_> = a
+                .jobs(&scale, spec.workload_seed)
+                .unwrap()
+                .iter()
+                .map(Job::fingerprint)
+                .collect();
+            let back_fps: Vec<_> = b
+                .jobs(&scale, back.workload_seed)
+                .unwrap()
+                .iter()
+                .map(Job::fingerprint)
+                .collect();
+            assert_eq!(fps, back_fps, "sweep {} drifted across JSON", a.name);
+        }
+
+        // Both sweeps replay the same two traces on the same geometry, so
+        // the per-trace alone jobs collapse across sweeps; the grid cells
+        // differ (core order is part of the key: b+a is not a+b).
+        let dir_jobs = spec.sweeps[0].jobs(&scale, spec.workload_seed).unwrap();
+        let file_jobs = spec.sweeps[1].jobs(&scale, spec.workload_seed).unwrap();
+        let dir_fps: std::collections::HashSet<_> = dir_jobs.iter().map(Job::fingerprint).collect();
+        let shared = file_jobs
+            .iter()
+            .filter(|j| dir_fps.contains(&j.fingerprint()))
+            .count();
+        assert_eq!(shared, 2, "per-trace alone jobs dedup across sweeps");
+        assert_eq!(file_jobs.len(), 3, "2 alone + 1 grid");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sweep_expansion_rejects_bad_trace_sets() {
+        let scale = tiny_scale();
+        let sweep = SweepSpec::new(
+            "ghost",
+            WorkloadSet::trace_dir("/nonexistent/trace/dir", 1),
+            &[Mechanism::RefAb],
+            &[Density::G8],
+        );
+        let err = sweep.jobs(&scale, WORKLOAD_SEED).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/trace/dir"), "{err}");
     }
 }

@@ -1,0 +1,543 @@
+//! Trace-driven campaign workloads: directories of captured
+//! Ramulator-format trace files, content-hashed into job fingerprints.
+//!
+//! A [`TraceRef`] names one trace file together with the 128-bit FNV hash
+//! of its raw bytes; the hash — never the path — is what
+//! [`crate::Job::key_value`] folds into the fingerprint, so renaming or
+//! moving a trace keeps every cached cell while editing one byte of it
+//! invalidates exactly the cells that replay that trace. A
+//! [`TraceWorkload`] bundles `cores` traces into one multi-programmed
+//! mix, the trace equivalent of a [`dsarp_workloads::Workload`].
+//!
+//! Enumeration is deterministic and host-independent: directory entries
+//! are matched by file *name* against a glob (`*`/`?` wildcards), sorted
+//! byte-wise, and chunked into consecutive `cores`-wide bundles (a final
+//! short bundle wraps around to the start of the sorted list, so every
+//! trace appears in at least one bundle).
+//!
+//! Every trace is validated at resolution time with the strict parser
+//! ([`FileTrace::parse_bytes_strict`]): a torn or truncated file is a
+//! [`TraceSetError`] naming the offending path, not a silently wrong
+//! simulation.
+
+use crate::fingerprint::{fingerprint_bytes, Fingerprint};
+use dsarp_cpu::{FileTrace, TraceFileError, TraceSource};
+use dsarp_workloads::{SyntheticTrace, Workload};
+use std::path::{Path, PathBuf};
+
+/// Why a trace workload set failed to resolve. Every variant names the
+/// file (or directory) at fault — `worker`, `merge` and `compact` surface
+/// these messages verbatim when a spec references a bad trace.
+#[derive(Debug)]
+pub enum TraceSetError {
+    /// Reading the directory or a trace file failed.
+    Io {
+        /// The path that failed.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A trace file failed validation (malformed, empty, or truncated).
+    Invalid {
+        /// The trace file at fault.
+        path: PathBuf,
+        /// The underlying parse error.
+        source: TraceFileError,
+    },
+    /// The directory exists but no file name matches the glob.
+    NoMatches {
+        /// The directory searched.
+        dir: PathBuf,
+        /// The glob that matched nothing.
+        glob: String,
+    },
+    /// A trace bundle needs at least one core.
+    ZeroCores,
+}
+
+impl std::fmt::Display for TraceSetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceSetError::Io { path, source } => {
+                write!(f, "trace file {}: {source}", path.display())
+            }
+            TraceSetError::Invalid { path, source } => {
+                write!(f, "trace file {}: {source}", path.display())
+            }
+            TraceSetError::NoMatches { dir, glob } => {
+                write!(f, "trace dir {}: no file matches `{glob}`", dir.display())
+            }
+            TraceSetError::ZeroCores => write!(f, "trace workloads need cores >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for TraceSetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceSetError::Io { source, .. } => Some(source),
+            TraceSetError::Invalid { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceSetError> for std::io::Error {
+    fn from(e: TraceSetError) -> Self {
+        std::io::Error::other(e.to_string())
+    }
+}
+
+/// One validated trace file: path for replay, content hash for identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRef {
+    /// Where the trace lives (as given; workers sharing a store must see
+    /// the same paths, exactly like the store directory itself).
+    pub path: PathBuf,
+    /// File stem — the workload-facing name (labels, grid rows).
+    pub name: String,
+    /// FNV-1a-128 hash of the file's raw bytes. The only part of a
+    /// `TraceRef` that enters job fingerprints.
+    pub content_hash: Fingerprint,
+    /// Trace entries parsed at validation (stores count separately).
+    pub entries: usize,
+}
+
+impl TraceRef {
+    /// Reads, strictly validates and hashes one trace file.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceSetError`] naming `path` on I/O failure or an invalid
+    /// (malformed / empty / truncated) trace.
+    pub fn load(path: impl Into<PathBuf>) -> Result<Self, TraceSetError> {
+        let path = path.into();
+        let bytes = std::fs::read(&path).map_err(|source| TraceSetError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        let trace =
+            FileTrace::parse_bytes_strict(&bytes).map_err(|source| TraceSetError::Invalid {
+                path: path.clone(),
+                source,
+            })?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        Ok(TraceRef {
+            path,
+            name,
+            content_hash: fingerprint_bytes(&bytes),
+            entries: trace.len(),
+        })
+    }
+
+    /// Re-reads the trace for execution, verifying the bytes still match
+    /// [`TraceRef::content_hash`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a message naming the file) if the file disappeared,
+    /// fails to parse, or its content changed since resolution — the job
+    /// fingerprint was derived from the resolved bytes, so replaying
+    /// different ones would cache a wrong result under the wrong key.
+    pub fn open(&self) -> FileTrace {
+        let bytes = std::fs::read(&self.path).unwrap_or_else(|e| {
+            panic!(
+                "trace file {} vanished while the campaign was running: {e}",
+                self.path.display()
+            )
+        });
+        assert!(
+            fingerprint_bytes(&bytes) == self.content_hash,
+            "trace file {} changed while the campaign was running \
+             (content hash mismatch); re-run to pick up the new contents",
+            self.path.display()
+        );
+        FileTrace::parse_bytes_strict(&bytes).unwrap_or_else(|e| {
+            panic!(
+                "trace file {} failed to re-parse during execution: {e}",
+                self.path.display()
+            )
+        })
+    }
+}
+
+/// A multi-programmed workload of captured traces: one [`TraceRef`] per
+/// core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceWorkload {
+    /// Bundle name, derived from the member file stems (display only —
+    /// excluded from fingerprints, like synthetic workload names).
+    pub name: String,
+    /// One trace per core, in core order.
+    pub traces: Vec<TraceRef>,
+}
+
+impl TraceWorkload {
+    /// Builds a bundle from per-core traces, deriving its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    pub fn new(traces: Vec<TraceRef>) -> Self {
+        assert!(
+            !traces.is_empty(),
+            "a trace bundle needs at least one trace"
+        );
+        let name = if traces.len() == 1 {
+            traces[0].name.clone()
+        } else {
+            traces
+                .iter()
+                .map(|t| t.name.as_str())
+                .collect::<Vec<_>>()
+                .join("+")
+        };
+        TraceWorkload { name, traces }
+    }
+
+    /// Number of cores this bundle occupies.
+    pub fn cores(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Opens the first `cores` member traces as boxed sources for
+    /// [`dsarp_sim::System::with_trace_sources`].
+    ///
+    /// # Panics
+    ///
+    /// As [`TraceRef::open`]; also if the bundle has fewer than `cores`
+    /// traces.
+    pub fn sources(&self, cores: usize) -> Vec<Box<dyn TraceSource>> {
+        assert!(
+            self.traces.len() >= cores,
+            "trace bundle {} has {} traces for {} cores",
+            self.name,
+            self.traces.len(),
+            cores
+        );
+        self.traces[..cores]
+            .iter()
+            .map(|t| Box::new(t.open()) as Box<dyn TraceSource>)
+            .collect()
+    }
+}
+
+/// Matches `name` against a glob supporting `*` (any run, including
+/// empty) and `?` (any single character). Matching is byte-wise over the
+/// whole name — there is no directory recursion; globs apply to file
+/// names within the trace directory only.
+///
+/// Iterative two-pointer matcher backtracking to the most recent `*`
+/// only: `O(name × glob)` worst case, so adversarial multi-star globs
+/// cannot hang enumeration the way naive recursion would.
+pub fn glob_match(glob: &str, name: &str) -> bool {
+    let (p, n) = (glob.as_bytes(), name.as_bytes());
+    let (mut pi, mut ni) = (0usize, 0usize);
+    // The last `*` seen and the name position its current match ends at.
+    let mut star: Option<(usize, usize)> = None;
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == b'?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = Some((pi, ni));
+            pi += 1;
+        } else if let Some((sp, sn)) = star {
+            // Grow the star's span by one byte and retry after it.
+            pi = sp + 1;
+            ni = sn + 1;
+            star = Some((sp, sn + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Enumerates `dir` for file names matching `glob`, sorted byte-wise by
+/// name (deterministic and host-independent), loads and validates each
+/// trace, and chunks the sorted list into consecutive `cores`-wide
+/// bundles. A final short chunk wraps around to the start of the list,
+/// so every trace appears at least once.
+///
+/// # Errors
+///
+/// [`TraceSetError`] naming the directory or the first offending file.
+pub fn resolve_trace_dir(
+    dir: &Path,
+    glob: &str,
+    cores: usize,
+) -> Result<Vec<TraceWorkload>, TraceSetError> {
+    if cores == 0 {
+        return Err(TraceSetError::ZeroCores);
+    }
+    let entries = std::fs::read_dir(dir).map_err(|source| TraceSetError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    // Keep the real DirEntry path alongside the (possibly lossy) name the
+    // glob sees: rebuilding a path from a lossy name would break — or
+    // alias — file names that are not valid UTF-8.
+    let mut matched: Vec<(std::ffi::OsString, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| TraceSetError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let name = entry.file_name();
+        if entry.path().is_file() && glob_match(glob, &name.to_string_lossy()) {
+            matched.push((name, entry.path()));
+        }
+    }
+    if matched.is_empty() {
+        return Err(TraceSetError::NoMatches {
+            dir: dir.to_path_buf(),
+            glob: glob.to_string(),
+        });
+    }
+    matched.sort();
+    let refs: Vec<TraceRef> = matched
+        .into_iter()
+        .map(|(_, path)| TraceRef::load(path))
+        .collect::<Result<_, _>>()?;
+    bundle(refs, cores)
+}
+
+/// Loads an explicit trace-file list (order preserved — the caller
+/// controls bundling) and chunks it into `cores`-wide bundles with the
+/// same wrap-around rule as [`resolve_trace_dir`].
+///
+/// # Errors
+///
+/// [`TraceSetError`] naming the first offending file.
+pub fn resolve_trace_files(
+    files: &[String],
+    cores: usize,
+) -> Result<Vec<TraceWorkload>, TraceSetError> {
+    if cores == 0 {
+        return Err(TraceSetError::ZeroCores);
+    }
+    let refs: Vec<TraceRef> = files.iter().map(TraceRef::load).collect::<Result<_, _>>()?;
+    bundle(refs, cores)
+}
+
+/// Chunks validated traces into `cores`-wide bundles (wrap-around tail)
+/// and disambiguates colliding derived bundle names — two same-stem files
+/// from different directories would otherwise alias in the assembled
+/// grid's `(workload, mechanism, density)` index and silently shadow
+/// each other's rows.
+fn bundle(refs: Vec<TraceRef>, cores: usize) -> Result<Vec<TraceWorkload>, TraceSetError> {
+    if cores == 0 {
+        return Err(TraceSetError::ZeroCores);
+    }
+    if refs.is_empty() {
+        return Err(TraceSetError::NoMatches {
+            dir: PathBuf::new(),
+            glob: String::new(),
+        });
+    }
+    let mut bundles = Vec::with_capacity(refs.len().div_ceil(cores));
+    for chunk_start in (0..refs.len()).step_by(cores) {
+        let traces: Vec<TraceRef> = (0..cores)
+            .map(|i| refs[(chunk_start + i) % refs.len()].clone())
+            .collect();
+        bundles.push(TraceWorkload::new(traces));
+    }
+    let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for b in &mut bundles {
+        let n = seen.entry(b.name.clone()).or_insert(0);
+        *n += 1;
+        if *n > 1 {
+            b.name = format!("{}#{n}", b.name);
+        }
+    }
+    Ok(bundles)
+}
+
+/// Captures synthetic workloads as a trace directory: for each workload
+/// and core, `ops` entries of the exact generator stream
+/// [`dsarp_sim::System::new`] would feed that core (same per-core address
+/// partitioning, same `seed`) are exported in the Ramulator text format
+/// as `<dir>/<workload>-c<NN>.trace`. The naming sorts per-workload
+/// files consecutively, so a [`resolve_trace_dir`] sweep with the same
+/// core count reassembles exactly these bundles.
+///
+/// The text format is lossy for two generator features — store bubbles
+/// and load dependence (see [`dsarp_cpu::trace_file::export`]) — so a
+/// captured trace replays the generator stream bit-exactly only when the
+/// workload produces loads-only streams; otherwise replay is the
+/// format's documented approximation.
+///
+/// Returns the written paths in enumeration order.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn capture_workloads(
+    dir: &Path,
+    workloads: &[Workload],
+    seed: u64,
+    ops: usize,
+) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for wl in workloads {
+        for (i, bench) in wl.benchmarks.iter().enumerate() {
+            let mut source = SyntheticTrace::new(bench, i, wl.cores(), seed);
+            let path = dir.join(format!("{}-c{i:02}.trace", wl.name));
+            let file = std::fs::File::create(&path)?;
+            let mut out = std::io::BufWriter::new(file);
+            dsarp_cpu::trace_file::export(&mut source, ops, &mut out)?;
+            std::io::Write::flush(&mut out)?;
+            written.push(path);
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("dsarp-traces-tests")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_match("*.trace", "a.trace"));
+        assert!(glob_match("*", "anything.at.all"));
+        assert!(glob_match("w?-c*.trace", "w0-c07.trace"));
+        assert!(!glob_match("*.trace", "a.trace.bak"));
+        assert!(!glob_match("?.trace", "ab.trace"));
+        assert!(glob_match("a*b*c", "a-x-b-y-c"));
+        assert!(!glob_match("a*b*c", "a-x-c"));
+        assert!(glob_match("", ""));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("a*", "a"));
+        assert!(!glob_match("a*b", "ab-x"));
+        // Adversarial multi-star globs must stay linear-ish, not hang.
+        let long = "a".repeat(200) + "b";
+        assert!(!glob_match("*a*a*a*a*a*a*a*a*c", &long));
+        assert!(glob_match("*a*a*a*a*a*a*a*a*b", &long));
+    }
+
+    #[test]
+    fn dir_resolution_is_sorted_and_content_hashed() {
+        let dir = tmpdir("sorted");
+        // Written in non-sorted order; enumeration must sort by name.
+        std::fs::write(dir.join("b.trace"), "2 0x80\n").unwrap();
+        std::fs::write(dir.join("a.trace"), "1 0x40\n").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not a trace").unwrap();
+        let bundles = resolve_trace_dir(&dir, "*.trace", 1).unwrap();
+        let names: Vec<&str> = bundles.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_ne!(
+            bundles[0].traces[0].content_hash,
+            bundles[1].traces[0].content_hash
+        );
+
+        // Renaming a file keeps its content hash (identity is content).
+        let old = bundles[0].traces[0].content_hash;
+        std::fs::rename(dir.join("a.trace"), dir.join("z.trace")).unwrap();
+        let renamed = resolve_trace_dir(&dir, "*.trace", 1).unwrap();
+        assert_eq!(renamed[1].name, "z");
+        assert_eq!(renamed[1].traces[0].content_hash, old);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn short_final_bundle_wraps_to_the_start() {
+        let dir = tmpdir("wrap");
+        for n in ["a", "b", "c"] {
+            std::fs::write(dir.join(format!("{n}.trace")), "1 0x40\n").unwrap();
+        }
+        let bundles = resolve_trace_dir(&dir, "*.trace", 2).unwrap();
+        assert_eq!(bundles.len(), 2);
+        assert_eq!(bundles[0].name, "a+b");
+        assert_eq!(bundles[1].name, "c+a", "short tail wraps around");
+        assert_eq!(bundles[1].cores(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn colliding_bundle_names_are_disambiguated() {
+        let dir = tmpdir("collide");
+        std::fs::create_dir_all(dir.join("run1")).unwrap();
+        std::fs::create_dir_all(dir.join("run2")).unwrap();
+        std::fs::write(dir.join("run1/app.trace"), "1 0x40\n").unwrap();
+        std::fs::write(dir.join("run2/app.trace"), "2 0x80\n").unwrap();
+        let files = vec![
+            dir.join("run1/app.trace").to_string_lossy().into_owned(),
+            dir.join("run2/app.trace").to_string_lossy().into_owned(),
+        ];
+        let bundles = resolve_trace_files(&files, 1).unwrap();
+        let names: Vec<&str> = bundles.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, ["app", "app#2"], "grid rows must not alias");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn errors_name_the_offending_file() {
+        let dir = tmpdir("errors");
+        std::fs::write(dir.join("ok.trace"), "1 0x40\n").unwrap();
+        std::fs::write(dir.join("torn.trace"), "1 0x40\n2 0x8").unwrap();
+        let err = resolve_trace_dir(&dir, "*.trace", 1).unwrap_err();
+        assert!(
+            err.to_string().contains("torn.trace") && err.to_string().contains("truncated"),
+            "{err}"
+        );
+        let err = TraceRef::load(dir.join("missing.trace")).unwrap_err();
+        assert!(err.to_string().contains("missing.trace"), "{err}");
+        let err = resolve_trace_dir(&dir, "*.xyz", 1).unwrap_err();
+        assert!(err.to_string().contains("*.xyz"), "{err}");
+        assert!(matches!(
+            resolve_trace_files(&["x".into()], 0).unwrap_err(),
+            TraceSetError::ZeroCores
+        ));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn open_rejects_mid_campaign_edits() {
+        let dir = tmpdir("edit");
+        let path = dir.join("t.trace");
+        std::fs::write(&path, "1 0x40\n").unwrap();
+        let r = TraceRef::load(&path).unwrap();
+        assert_eq!(r.entries, 1);
+        let mut t = r.open();
+        assert_eq!(t.next_op().addr, 0x40);
+        std::fs::write(&path, "1 0x80\n").unwrap();
+        let caught = std::panic::catch_unwind(|| r.open());
+        assert!(caught.is_err(), "changed content must not silently replay");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn capture_round_trips_through_dir_resolution() {
+        let dir = tmpdir("capture");
+        let wls = dsarp_workloads::mixes::intensive_mixes(2, 1)[..2].to_vec();
+        let written = capture_workloads(&dir, &wls, 7, 500).unwrap();
+        assert_eq!(written.len(), 4);
+        let bundles = resolve_trace_dir(&dir, "*.trace", 2).unwrap();
+        assert_eq!(bundles.len(), 2);
+        for (b, wl) in bundles.iter().zip(&wls) {
+            assert_eq!(b.name, format!("{0}-c00+{0}-c01", wl.name));
+            for t in &b.traces {
+                assert!(t.entries >= 500, "stores add entries, never remove");
+            }
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -170,7 +170,7 @@ fn campaign_grid_matches_direct_grid_compute() {
     let report = Campaign::open(&dir, spec).unwrap().run().unwrap();
     let campaign_grid = report.grid("demo");
 
-    let workloads = WorkloadSet::Intensive { cores: 2 }.resolve(&scale, spec_seed());
+    let workloads = scale.intensive_workloads_with_seed(2, spec_seed());
     let direct = Grid::compute_with(
         &workloads,
         &[Mechanism::RefAb, Mechanism::Dsarp],

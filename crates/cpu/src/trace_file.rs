@@ -25,6 +25,12 @@ pub enum TraceFileError {
     },
     /// The file contained no trace entries.
     Empty,
+    /// The file ends mid-line (no trailing newline): it was torn by a
+    /// crashed or still-running writer. Rejected by the strict parser
+    /// because the cut can leave a *shorter but still parseable* final
+    /// line — silently replaying it would be a wrong simulation, not an
+    /// error.
+    Truncated,
 }
 
 impl std::fmt::Display for TraceFileError {
@@ -35,6 +41,9 @@ impl std::fmt::Display for TraceFileError {
                 write!(f, "malformed trace line {line}: `{text}`")
             }
             TraceFileError::Empty => write!(f, "trace file has no entries"),
+            TraceFileError::Truncated => {
+                write!(f, "trace file is truncated (no trailing newline)")
+            }
         }
     }
 }
@@ -115,6 +124,23 @@ impl FileTrace {
             return Err(TraceFileError::Empty);
         }
         Ok(Self { ops, pos: 0 })
+    }
+
+    /// Parses raw file bytes, additionally rejecting a truncated tail: a
+    /// non-empty input whose final byte is not `\n` was cut mid-line
+    /// (crashed writer, partial copy), and the cut can leave a shorter
+    /// but still parseable address — a silently *wrong* trace. The
+    /// campaign layer loads traces through this.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceFileError::Truncated`] for a torn tail, otherwise as
+    /// [`FileTrace::parse`].
+    pub fn parse_bytes_strict(bytes: &[u8]) -> Result<Self, TraceFileError> {
+        if !bytes.is_empty() && bytes.last() != Some(&b'\n') {
+            return Err(TraceFileError::Truncated);
+        }
+        Self::parse(bytes)
     }
 
     /// Loads a trace file from disk.
@@ -323,6 +349,27 @@ mod tests {
                 st(0, 0x300)
             ]
         );
+    }
+
+    #[test]
+    fn strict_parse_rejects_torn_tails_lenient_parse_does_not() {
+        // Cutting `1 0x4000\n...` anywhere mid-line can leave `1 0x4`,
+        // which still parses — to a different address. The strict parser
+        // refuses the whole file instead.
+        let torn = b"3 0x1000\n1 0x4";
+        assert!(matches!(
+            FileTrace::parse_bytes_strict(torn),
+            Err(TraceFileError::Truncated)
+        ));
+        // The lenient reader accepts it (documented Ramulator-compat
+        // behaviour); the strict one is what campaigns use.
+        assert_eq!(FileTrace::parse(&torn[..]).unwrap().len(), 2);
+        let whole = b"3 0x1000\n1 0x4000\n";
+        assert_eq!(FileTrace::parse_bytes_strict(whole).unwrap().len(), 2);
+        assert!(matches!(
+            FileTrace::parse_bytes_strict(b""),
+            Err(TraceFileError::Empty)
+        ));
     }
 
     #[test]

@@ -273,11 +273,7 @@ impl Grid {
         let alone_vals = parallel_map(&alone_keys, threads, |(bench, d)| {
             let base = make_cfg(&Mechanism::NoRefresh, d).with_warmup_ops(scale.warmup_ops);
             let cfg = base.alone();
-            let wl = Workload {
-                name: format!("alone-{}", bench.name),
-                category: IntensityCategory::P100,
-                benchmarks: vec![bench],
-            };
+            let wl = Workload::alone_for(bench);
             System::new(&cfg, &wl).run(scale.alone_cycles).ipc[0].max(1e-9)
         });
         let alone: HashMap<(&str, Density), f64> = alone_keys

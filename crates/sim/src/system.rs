@@ -159,6 +159,36 @@ impl System {
             workload.benchmarks.len(),
             cfg.cores
         );
+        let sources = (0..cfg.cores)
+            .map(|i| {
+                Box::new(SyntheticTrace::new(
+                    workload.benchmarks[i],
+                    i,
+                    cfg.cores,
+                    cfg.seed,
+                )) as Box<dyn TraceSource>
+            })
+            .collect();
+        Self::with_trace_sources(cfg, sources)
+    }
+
+    /// Builds the system for `cfg` fed by explicit per-core trace sources
+    /// (one per core, in core order) instead of the synthetic generators —
+    /// the trace-driven path: captured Ramulator-format files replayed at
+    /// campaign scale. Sources receive the same functional warmup as
+    /// synthetic traces: the first `cfg.warmup_ops` memory operations of
+    /// each source prime the LLC with no timing before cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `cfg.cores` sources are given.
+    pub fn with_trace_sources(cfg: &SimConfig, sources: Vec<Box<dyn TraceSource>>) -> Self {
+        assert!(
+            sources.len() >= cfg.cores,
+            "{} trace sources for {} cores",
+            sources.len(),
+            cfg.cores
+        );
         let geom = cfg.geometry();
         let timing = cfg.timing();
         let mut llc = Llc::new(LlcParams {
@@ -170,14 +200,16 @@ impl System {
         // operations through the LLC with no timing, then hand the (already
         // advanced) trace to its core. Short timed runs then observe
         // steady-state cache behaviour, as the paper's long runs do.
-        let cores = (0..cfg.cores)
-            .map(|i| {
-                let mut trace = SyntheticTrace::new(workload.benchmarks[i], i, cfg.cores, cfg.seed);
+        let cores = sources
+            .into_iter()
+            .take(cfg.cores)
+            .enumerate()
+            .map(|(i, mut trace)| {
                 for _ in 0..cfg.warmup_ops {
                     let op = trace.next_op();
                     llc.access(op.addr & !63, op.kind == dsarp_cpu::MemKind::Store);
                 }
-                Core::new(i, cfg.core_params, Box::new(trace))
+                Core::new(i, cfg.core_params, trace)
             })
             .collect();
         llc.reset_stats();
@@ -398,6 +430,32 @@ mod tests {
         let s1 = System::new(&cfg, &wl).run(10_000);
         let s2 = System::new(&cfg, &wl).run(10_000);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn explicit_trace_sources_match_synthetic_construction() {
+        // Feeding the same op streams through `with_trace_sources` must be
+        // indistinguishable from the synthetic path `new` builds — the
+        // property the trace-driven campaign workloads rest on.
+        let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G8)
+            .with_cores(2)
+            .with_warmup_ops(200);
+        let wl = mixes::intensive_mixes(2, 1)[0].clone();
+        let cycles = 5_000;
+        // Enough ops to cover warmup + the run without wrapping: a core
+        // retires at most 18 instructions per DRAM cycle, one per op
+        // minimum.
+        let need = 200 + 18 * cycles as usize;
+        let sources: Vec<Box<dyn TraceSource>> = (0..2)
+            .map(|i| {
+                let mut synth = SyntheticTrace::new(wl.benchmarks[i], i, 2, cfg.seed);
+                let ops = (0..need).map(|_| synth.next_op()).collect();
+                Box::new(dsarp_cpu::trace::CyclicTrace::new(ops)) as Box<dyn TraceSource>
+            })
+            .collect();
+        let from_sources = System::with_trace_sources(&cfg, sources).run(cycles);
+        let synthetic = System::new(&cfg, &wl).run(cycles);
+        assert_eq!(from_sources, synthetic);
     }
 
     #[test]

@@ -65,6 +65,18 @@ pub struct Workload {
 }
 
 impl Workload {
+    /// The single-benchmark workload used for alone-IPC measurement runs
+    /// (one core, named `alone-<bench>`). The experiment harness and the
+    /// campaign executor both build their alone runs through this, so the
+    /// two paths cannot diverge.
+    pub fn alone_for(bench: &'static BenchmarkSpec) -> Workload {
+        Workload {
+            name: format!("alone-{}", bench.name),
+            category: IntensityCategory::P100,
+            benchmarks: vec![bench],
+        }
+    }
+
     /// Number of cores this workload occupies.
     pub fn cores(&self) -> usize {
         self.benchmarks.len()
