@@ -1,0 +1,84 @@
+//! Campaign-server hot path: requests/sec for a cache-hit
+//! `GET /cells/{fingerprint}` over a real socket, cold (full record body)
+//! versus the `If-None-Match` 304 path (content-addressed ETag match, no
+//! store read). The gap is what conditional polling buys a dashboard that
+//! watches a campaign drain.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dsarp_campaign::{CampaignSpec, SweepSpec, WorkloadSet};
+use dsarp_campaign::{Fingerprint, Store};
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use dsarp_sim::experiments::harness::Scale;
+use minihttp::{Client, Server};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn fresh_dir() -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("dsarp-serve-bench")
+        .join(format!("hot-path-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::new("bench", Scale::quick()).with_sweep(SweepSpec::new(
+        "bench-sweep",
+        WorkloadSet::Intensive { cores: 2 },
+        &[Mechanism::RefAb],
+        &[Density::G32],
+    ))
+}
+
+fn bench(c: &mut Criterion) {
+    // One record in the store is enough: /cells/{fp} is a point lookup.
+    let dir = fresh_dir();
+    let fp = Fingerprint(8); // shard 0
+    let store = Store::attach(&dir, "bench").unwrap();
+    store
+        .append(
+            fp,
+            &dsarp_campaign::store::Record::alone(fp, "hot".into(), 1.5),
+        )
+        .unwrap();
+    drop(store);
+
+    let http = Server::bind("127.0.0.1:0").unwrap();
+    let addr = http.local_addr().unwrap();
+    let handle = http.handle().unwrap();
+    let server = dsarp_serve::CampaignServer::new(&dir, spec()).unwrap();
+    std::thread::spawn(move || server.serve(http).unwrap());
+
+    let mut client = Client::new(addr.to_string());
+    let path = format!("/cells/{fp}");
+    let warm = client.request("GET", &path, &[], &[]).unwrap();
+    assert_eq!(warm.status, 200, "{}", warm.text_body());
+    let etag = warm.header_value("etag").expect("cell etag").to_string();
+
+    let mut g = c.benchmark_group("serve_hot_path");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("cells_get_200", |b| {
+        b.iter(|| {
+            let resp = client.request("GET", &path, &[], &[]).unwrap();
+            assert_eq!(resp.status, 200);
+            black_box(resp.body.len())
+        })
+    });
+    g.bench_function("cells_get_304", |b| {
+        b.iter(|| {
+            let resp = client
+                .request("GET", &path, &[("if-none-match", &etag)], &[])
+                .unwrap();
+            assert_eq!(resp.status, 304);
+            black_box(resp.status)
+        })
+    });
+    g.finish();
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -275,15 +275,7 @@ impl Lease {
     }
 
     fn write_heartbeat(&self) -> std::io::Result<()> {
-        write_atomic(
-            &self.path,
-            &LeaseInfo {
-                owner: self.owner.clone(),
-                pid: std::process::id(),
-                heartbeat_ms: now_ms(),
-                ttl_ms: self.ttl_ms,
-            },
-        )
+        heartbeat_at(&self.path, &self.owner, self.ttl_ms)
     }
 
     /// Refreshes the heartbeat, first verifying this worker still owns the
@@ -294,18 +286,7 @@ impl Lease {
     /// `ErrorKind::Other` when ownership was lost; filesystem errors
     /// otherwise.
     pub fn renew(&self) -> std::io::Result<()> {
-        match read_info(&self.path) {
-            Some(info) if info.owner == self.owner => self.write_heartbeat(),
-            Some(info) => Err(std::io::Error::other(format!(
-                "lease on {} lost to `{}`",
-                self.path.display(),
-                info.owner
-            ))),
-            None => Err(std::io::Error::other(format!(
-                "lease on {} vanished",
-                self.path.display()
-            ))),
-        }
+        renew_at(&self.path, &self.owner, self.ttl_ms)
     }
 
     /// Releases the lease, deleting the lock if still owned. Losing
@@ -316,14 +297,7 @@ impl Lease {
     ///
     /// Propagates filesystem errors.
     pub fn release(self) -> std::io::Result<()> {
-        match read_info(&self.path) {
-            Some(info) if info.owner == self.owner => match std::fs::remove_file(&self.path) {
-                Ok(()) => Ok(()),
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-                Err(e) => Err(e),
-            },
-            _ => Ok(()),
-        }
+        release_at(&self.path, &self.owner)
     }
 
     /// Whether acquiring this lease evicted a dead owner's lock.
@@ -334,6 +308,94 @@ impl Lease {
     /// The owner id this lease was acquired under.
     pub fn owner(&self) -> &str {
         &self.owner
+    }
+}
+
+/// Writes a fresh heartbeat for `owner` at `path`, unconditionally.
+fn heartbeat_at(path: &Path, owner: &str, ttl_ms: u64) -> std::io::Result<()> {
+    write_atomic(
+        path,
+        &LeaseInfo {
+            owner: owner.to_string(),
+            pid: std::process::id(),
+            heartbeat_ms: now_ms(),
+            ttl_ms,
+        },
+    )
+}
+
+/// Ownership-checked renew at a lock path (shared by [`Lease::renew`] and
+/// [`renew_as`], so in-process and on-behalf-of renewal cannot drift).
+fn renew_at(path: &Path, owner: &str, ttl_ms: u64) -> std::io::Result<()> {
+    match read_info(path) {
+        Some(info) if info.owner == owner => heartbeat_at(path, owner, ttl_ms),
+        Some(info) => Err(std::io::Error::other(format!(
+            "lease on {} lost to `{}`",
+            path.display(),
+            info.owner
+        ))),
+        None => Err(std::io::Error::other(format!(
+            "lease on {} vanished",
+            path.display()
+        ))),
+    }
+}
+
+/// Ownership-checked release at a lock path. Losing ownership first is
+/// not an error: the successor owns the lock now.
+fn release_at(path: &Path, owner: &str) -> std::io::Result<()> {
+    match read_info(path) {
+        Some(info) if info.owner == owner => match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        },
+        _ => Ok(()),
+    }
+}
+
+/// Renews `shard`'s lease on behalf of `owner` without holding a
+/// [`Lease`] value — the campaign server renews for remote workers, whose
+/// lease state lives across HTTP requests, not in one process.
+///
+/// # Errors
+///
+/// `ErrorKind::Other` when `owner` no longer holds the lock; filesystem
+/// errors otherwise.
+pub fn renew_as(
+    campaign_dir: &Path,
+    shard: usize,
+    owner: &str,
+    ttl_ms: u64,
+) -> std::io::Result<()> {
+    renew_at(&lock_path(campaign_dir, shard), owner, ttl_ms)
+}
+
+/// Releases `shard`'s lease on behalf of `owner` (see [`renew_as`]).
+/// Not holding the lock (already reclaimed) is not an error.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn release_as(campaign_dir: &Path, shard: usize, owner: &str) -> std::io::Result<()> {
+    release_at(&lock_path(campaign_dir, shard), owner)
+}
+
+/// Anything [`Heartbeat`] can renew on a timer: filesystem [`Lease`]s and
+/// backend-generic leases (renewed over HTTP) alike.
+pub trait Renew: Sync {
+    /// Refreshes the lease heartbeat.
+    ///
+    /// # Errors
+    ///
+    /// Ownership loss or transport errors; heartbeat timers ignore both
+    /// (a stolen lease is already tolerated by the protocol).
+    fn renew(&self) -> std::io::Result<()>;
+}
+
+impl Renew for Lease {
+    fn renew(&self) -> std::io::Result<()> {
+        Lease::renew(self)
     }
 }
 
@@ -358,7 +420,7 @@ impl Heartbeat {
     /// Renews every lease in `leases` each `interval` until stopped.
     /// Run this on a dedicated (scoped) thread. Renew failures are
     /// ignored: a stolen lease is already tolerated by the protocol.
-    pub fn run(&self, leases: &[&Lease], interval: std::time::Duration) {
+    pub fn run<R: Renew>(&self, leases: &[&R], interval: std::time::Duration) {
         let mut guard = self.done.lock().expect("heartbeat gate");
         loop {
             // Checked before the first wait too: a stop() that lands

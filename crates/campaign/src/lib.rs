@@ -72,19 +72,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod export;
 pub mod fingerprint;
 pub mod job;
 pub mod lease;
+pub mod remote;
+pub mod retry;
 pub mod runner;
 pub mod spec;
 pub mod store;
 pub mod traces;
 
+pub use backend::{AcquireOutcome, BackendLease, LocalBackend, StoreBackend};
 pub use fingerprint::Fingerprint;
 pub use job::{Job, JobOutput, RunSummary};
 pub use lease::{Lease, LeaseInfo};
-pub use runner::{CacheStats, Campaign, CampaignReport, WorkerOptions, WorkerReport};
+pub use remote::RemoteStore;
+pub use retry::RetryPolicy;
+pub use runner::{
+    CacheStats, Campaign, CampaignClient, CampaignReport, WorkerOptions, WorkerReport,
+};
 pub use spec::{CampaignSpec, CampaignWorkload, SweepSpec, WorkloadSet};
 pub use store::{CompactionStats, Record, Store};
 pub use traces::{TraceRef, TraceSetError, TraceWorkload};

@@ -12,15 +12,21 @@
 //! * **In-flight dedup**: jobs shared between sweeps (including every
 //!   repeated alone-IPC measurement) are simulated once per campaign, not
 //!   once per cell.
+//! * **Transport-independence**: the distributed drain ([`CampaignClient`])
+//!   runs against any [`StoreBackend`] — a shared directory or a campaign
+//!   server URL — with identical lease-reclaim semantics and
+//!   byte-identical merged grids.
 
+use crate::backend::{AcquireOutcome, BackendLease, LocalBackend, StoreBackend};
 use crate::fingerprint::Fingerprint;
 use crate::job::Job;
-use crate::lease::{self, Acquire, Lease};
+use crate::lease;
+use crate::retry::{self, RetryPolicy};
 use crate::spec::{CampaignSpec, CampaignWorkload, SweepSpec};
-use crate::store::Store;
+use crate::store::{Record, Store};
 use dsarp_sim::experiments::harness::{parallel_map, Grid, WsRow};
 use dsarp_sim::Metrics;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -114,6 +120,143 @@ pub struct WorkerReport {
     pub persist_failures: usize,
 }
 
+/// Resolves every sweep's workload list once. Trace resolution reads,
+/// validates and content-hashes every referenced file, so expansion and
+/// grid assembly share one resolution (also giving both a consistent
+/// snapshot if a file is edited mid-run — the execution hash re-check
+/// still catches actual replays of changed bytes).
+fn resolve_sweeps_of(spec: &CampaignSpec) -> std::io::Result<Vec<Vec<CampaignWorkload>>> {
+    let scale = spec.scale;
+    let seed = spec.workload_seed;
+    spec.sweeps
+        .iter()
+        .map(|s| Ok(s.workloads.resolve(&scale, seed)?))
+        .collect()
+}
+
+/// Expands every sweep over its resolved workloads, deduplicating
+/// identical jobs in flight. Returns `(total cells, unique jobs)`.
+fn expand_unique_of(
+    spec: &CampaignSpec,
+    resolved: &[Vec<CampaignWorkload>],
+) -> (usize, Vec<(Fingerprint, Job)>) {
+    let scale = spec.scale;
+    let mut cells = 0;
+    let mut seen = HashSet::new();
+    let mut unique: Vec<(Fingerprint, Job)> = Vec::new();
+    for (sweep, workloads) in spec.sweeps.iter().zip(resolved) {
+        for job in sweep.jobs_for(workloads, &scale) {
+            cells += 1;
+            let fp = job.fingerprint();
+            if seen.insert(fp) {
+                unique.push((fp, job));
+            }
+        }
+    }
+    (cells, unique)
+}
+
+/// The cached alone-IPC for `job`, panicking with the job label if the
+/// record is missing after execution.
+fn lookup_alone_in(records: &HashMap<u128, Record>, job: &Job) -> f64 {
+    records
+        .get(&job.fingerprint().0)
+        .and_then(|r| r.alone_ipc)
+        .unwrap_or_else(|| panic!("missing alone record for {} after execution", job.label()))
+}
+
+/// Builds one sweep's [`Grid`] purely from cached records, over the same
+/// resolved workloads its jobs were expanded from. Trace bundles produce
+/// rows keyed by the bundle name with intensity category 0 (captured
+/// traffic carries no category label). Rows are emitted in deterministic
+/// (density, mechanism, workload) order and every lookup is by
+/// fingerprint, so the same record set renders the same grid whether it
+/// was read from a local store or snapshotted off a campaign server.
+fn assemble_from(
+    spec: &CampaignSpec,
+    sweep: &SweepSpec,
+    workloads: &[CampaignWorkload],
+    records: &HashMap<u128, Record>,
+) -> Grid {
+    let scale = spec.scale;
+    let mut rows = Vec::new();
+    for &d in &sweep.densities {
+        // Alone-IPC lookups once per (benchmark, density), not per cell:
+        // fingerprinting renders canonical JSON, so hashing per cell per
+        // core would dominate warm-cache replays. Traces key by content
+        // hash, the identity their fingerprints use.
+        let mut alone: HashMap<&str, f64> = HashMap::new();
+        let mut alone_trace: HashMap<u128, f64> = HashMap::new();
+        for wl in workloads {
+            match wl {
+                CampaignWorkload::Synthetic(wl) => {
+                    for b in &wl.benchmarks {
+                        if !alone.contains_key(b.name) {
+                            let job = sweep.alone_job(d, b, &scale);
+                            let ipc = lookup_alone_in(records, &job);
+                            alone.insert(b.name, ipc);
+                        }
+                    }
+                }
+                CampaignWorkload::Traced(tw) => {
+                    for t in &tw.traces {
+                        if let std::collections::hash_map::Entry::Vacant(e) =
+                            alone_trace.entry(t.content_hash.0)
+                        {
+                            let job = sweep.trace_alone_job(d, t, &scale);
+                            e.insert(lookup_alone_in(records, &job));
+                        }
+                    }
+                }
+            }
+        }
+        for &m in &sweep.mechanisms {
+            for wl in workloads {
+                let (job, category, alone_ipcs) = match wl {
+                    CampaignWorkload::Synthetic(wl) => (
+                        sweep.grid_job(m, d, wl, &scale),
+                        wl.category.percent(),
+                        wl.benchmarks
+                            .iter()
+                            .take(sweep.cores)
+                            .map(|b| alone[b.name])
+                            .collect::<Vec<f64>>(),
+                    ),
+                    CampaignWorkload::Traced(tw) => (
+                        sweep.trace_grid_job(m, d, tw, &scale),
+                        0,
+                        tw.traces
+                            .iter()
+                            .take(sweep.cores)
+                            .map(|t| alone_trace[&t.content_hash.0])
+                            .collect::<Vec<f64>>(),
+                    ),
+                };
+                let summary = records
+                    .get(&job.fingerprint().0)
+                    .and_then(|r| r.summary.clone())
+                    .unwrap_or_else(|| {
+                        panic!("missing grid record for {} after execution", job.label())
+                    });
+                let metrics =
+                    Metrics::from_ipcs(&summary.ipc, &alone_ipcs, summary.energy_per_access_nj);
+                rows.push(WsRow {
+                    workload: wl.name().to_string(),
+                    category,
+                    mechanism: m,
+                    density: d,
+                    ws: metrics.weighted_speedup,
+                    hs: metrics.harmonic_speedup,
+                    max_slowdown: metrics.max_slowdown,
+                    energy_nj: metrics.energy_per_access_nj,
+                    total_ipc: summary.total_ipc,
+                });
+            }
+        }
+    }
+    Grid::from_rows(rows)
+}
+
 /// An open campaign: a spec bound to its result store.
 #[derive(Debug)]
 pub struct Campaign {
@@ -163,46 +306,13 @@ impl Campaign {
         Ok(())
     }
 
-    /// Resolves every sweep's workload list once. Trace resolution reads,
-    /// validates and content-hashes every referenced file, so expansion
-    /// and grid assembly share one resolution (also giving both a
-    /// consistent snapshot if a file is edited mid-run — the execution
-    /// hash re-check still catches actual replays of changed bytes).
-    ///
-    /// # Errors
-    ///
-    /// Fails — with a message naming the offending file — when a sweep
-    /// references a missing, unreadable or invalid trace.
-    fn resolve_sweeps(&self) -> std::io::Result<Vec<Vec<CampaignWorkload>>> {
-        let scale = self.spec.scale;
-        let seed = self.spec.workload_seed;
-        self.spec
-            .sweeps
-            .iter()
-            .map(|s| Ok(s.workloads.resolve(&scale, seed)?))
-            .collect()
-    }
-
-    /// Expands every sweep over its resolved workloads, deduplicating
-    /// identical jobs in flight. Returns `(total cells, unique jobs)`.
-    fn expand_unique(
-        &self,
-        resolved: &[Vec<CampaignWorkload>],
-    ) -> (usize, Vec<(Fingerprint, Job)>) {
-        let scale = self.spec.scale;
-        let mut cells = 0;
-        let mut seen = HashSet::new();
-        let mut unique: Vec<(Fingerprint, Job)> = Vec::new();
-        for (sweep, workloads) in self.spec.sweeps.iter().zip(resolved) {
-            for job in sweep.jobs_for(workloads, &scale) {
-                cells += 1;
-                let fp = job.fingerprint();
-                if seen.insert(fp) {
-                    unique.push((fp, job));
-                }
-            }
-        }
-        (cells, unique)
+    /// A [`CampaignClient`] sharing this campaign's spec and verbosity,
+    /// plus the [`LocalBackend`] for its store directory.
+    fn client(&self) -> std::io::Result<(CampaignClient, LocalBackend)> {
+        let mut client = CampaignClient::new(self.spec.clone());
+        client.verbose = self.verbose;
+        let backend = LocalBackend::open(&self.root, &self.spec.name)?;
+        Ok((client, backend))
     }
 
     /// Executes every sweep (simulating only uncached jobs) and assembles
@@ -217,8 +327,8 @@ impl Campaign {
 
         // 1. Resolve workloads once, expand every sweep and dedupe
         //    identical jobs in flight.
-        let resolved = self.resolve_sweeps()?;
-        let (cells, unique) = self.expand_unique(&resolved);
+        let resolved = resolve_sweeps_of(&self.spec)?;
+        let (cells, unique) = expand_unique_of(&self.spec, &resolved);
 
         // 2. Partition against the store.
         let missing: Vec<(Fingerprint, Job)> = unique
@@ -285,9 +395,73 @@ impl Campaign {
         // 4. Assemble per-sweep grids from the (now complete) store.
         let mut grids = BTreeMap::new();
         for (sweep, workloads) in self.spec.sweeps.iter().zip(&resolved) {
-            grids.insert(sweep.name.clone(), self.assemble(sweep, workloads));
+            grids.insert(
+                sweep.name.clone(),
+                assemble_from(&self.spec, sweep, workloads, self.store.records()),
+            );
         }
         Ok(CampaignReport { grids, stats })
+    }
+
+    /// Participates in a distributed drain of this campaign over its local
+    /// store directory — see [`CampaignClient::run_worker`] for the
+    /// protocol. The in-memory record cache is reloaded afterwards, so
+    /// the campaign also sees what peer workers appended during the drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the store and lock files.
+    pub fn run_worker(&mut self, opts: &WorkerOptions) -> std::io::Result<WorkerReport> {
+        let (client, backend) = self.client()?;
+        let report = client.run_worker(&backend, opts)?;
+        self.reload()?;
+        Ok(report)
+    }
+
+    /// The coordinator step of a distributed campaign over its local store
+    /// directory — see [`CampaignClient::merge`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn merge(
+        &mut self,
+        opts: &WorkerOptions,
+    ) -> std::io::Result<(CampaignReport, WorkerReport)> {
+        let (client, backend) = self.client()?;
+        let out = client.merge(&backend, opts)?;
+        self.reload()?;
+        Ok(out)
+    }
+}
+
+/// Drives a distributed campaign drain through any [`StoreBackend`]: the
+/// spec-only counterpart of [`Campaign`] for processes that may have no
+/// store directory at all (remote workers reach the shards through a
+/// campaign server). [`Campaign::run_worker`] and [`Campaign::merge`]
+/// delegate here over a [`LocalBackend`], so both transports execute the
+/// same drain, reclaim and assembly code.
+#[derive(Debug)]
+pub struct CampaignClient {
+    spec: CampaignSpec,
+    /// Print progress lines to stdout while running.
+    pub verbose: bool,
+}
+
+impl CampaignClient {
+    /// A client for `spec`. No store is opened; every read and write goes
+    /// through the backend handed to [`CampaignClient::run_worker`] /
+    /// [`CampaignClient::merge`].
+    pub fn new(spec: CampaignSpec) -> Self {
+        CampaignClient {
+            spec,
+            verbose: false,
+        }
+    }
+
+    /// The campaign spec.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
     }
 
     /// Participates in a distributed drain of this campaign: repeatedly
@@ -295,29 +469,36 @@ impl Campaign {
     /// those cells (appending to the leased shard only — jobs are
     /// partitioned by [`Store::shard_of`], so no two workers ever append
     /// to the same file), and rescans until every job of the campaign is
-    /// on disk, whoever computed it.
+    /// in the store, whoever computed it.
     ///
     /// Shards held by other *live* workers are skipped; a lock whose
-    /// heartbeat exceeds `opts.ttl_ms` is reclaimed and the dead owner's
-    /// unfinished cells re-run here. Returns once the missing-job set is
-    /// empty.
+    /// heartbeat exceeds its owner's recorded TTL is reclaimed and the
+    /// dead owner's unfinished cells re-run here. Returns once the
+    /// missing-job set is empty.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors from the store and lock files.
-    pub fn run_worker(&mut self, opts: &WorkerOptions) -> std::io::Result<WorkerReport> {
-        let resolved = self.resolve_sweeps()?;
-        self.run_worker_with(&resolved, opts)
+    /// Propagates store/lease errors from the backend (for remote
+    /// backends, after bounded transient-failure retries).
+    pub fn run_worker(
+        &self,
+        backend: &dyn StoreBackend,
+        opts: &WorkerOptions,
+    ) -> std::io::Result<WorkerReport> {
+        let resolved = resolve_sweeps_of(&self.spec)?;
+        self.run_worker_with(backend, &resolved, opts)
     }
 
-    /// [`Campaign::run_worker`] over pre-resolved sweep workloads (shared
-    /// with [`Campaign::merge`], which also assembles from them).
+    /// [`CampaignClient::run_worker`] over pre-resolved sweep workloads
+    /// (shared with [`CampaignClient::merge`], which also assembles from
+    /// them).
     fn run_worker_with(
-        &mut self,
+        &self,
+        backend: &dyn StoreBackend,
         resolved: &[Vec<CampaignWorkload>],
         opts: &WorkerOptions,
     ) -> std::io::Result<WorkerReport> {
-        let (cells, unique) = self.expand_unique(resolved);
+        let (cells, unique) = expand_unique_of(&self.spec, resolved);
         let threads = self.spec.scale.resolved_threads();
         let mut report = WorkerReport {
             cells,
@@ -331,30 +512,30 @@ impl Campaign {
             .bytes()
             .fold(0usize, |h, b| h.wrapping_mul(31).wrapping_add(b as usize));
 
-        // Jobs not yet observed on disk, grouped by shard. Rescans re-read
-        // only the shard files still in play, not the whole store.
+        // Jobs not yet observed in the store, grouped by shard. The first
+        // rescan round reads every shard once (filtering the cached
+        // majority out); later rounds re-read only shards still in play.
         let mut remaining: BTreeMap<usize, Vec<(Fingerprint, Job)>> = BTreeMap::new();
         for (fp, job) in unique {
-            if !self.store.contains(fp) {
-                remaining
-                    .entry(Store::shard_of(fp))
-                    .or_default()
-                    .push((fp, job));
-            }
+            remaining
+                .entry(Store::shard_of(fp))
+                .or_default()
+                .push((fp, job));
         }
 
         // Shard files are append-only, so an unchanged byte size means no
-        // new records: rescan rounds re-parse a shard only after it grew.
+        // new records: rescan rounds re-read a shard only after it grew.
         let mut seen_size: BTreeMap<usize, u64> = BTreeMap::new();
         loop {
+            let sizes = backend.shard_sizes()?;
             let shards: Vec<usize> = remaining.keys().copied().collect();
             for &shard in &shards {
-                let size = self.store.shard_size(shard);
+                let size = sizes[shard];
                 if seen_size.get(&shard) == Some(&size) {
                     continue;
                 }
                 seen_size.insert(shard, size);
-                let present = self.store.shard_fingerprints(shard)?;
+                let present = backend.shard_fingerprints(shard)?;
                 let jobs = remaining.get_mut(&shard).expect("key from remaining");
                 jobs.retain(|(fp, _)| !present.contains(&fp.0));
                 if jobs.is_empty() {
@@ -370,10 +551,10 @@ impl Campaign {
             let mut progressed = false;
             for &shard in shards[start..].iter().chain(&shards[..start]) {
                 let jobs = &remaining[&shard];
-                match Lease::acquire(self.store.dir(), shard, &opts.owner, opts.ttl_ms)? {
-                    Acquire::Acquired(lock) => {
+                match self.acquire_with_retry(backend, shard, opts, &mut report)? {
+                    AcquireOutcome::Acquired { reclaimed } => {
                         report.shards_leased += 1;
-                        if lock.reclaimed() {
+                        if reclaimed {
                             report.reclaimed += 1;
                         }
                         if self.verbose {
@@ -381,21 +562,24 @@ impl Campaign {
                                 "worker `{}`: leased shard {shard} ({} missing jobs{})",
                                 opts.owner,
                                 jobs.len(),
-                                if lock.reclaimed() {
+                                if reclaimed {
                                     ", reclaimed from dead owner"
                                 } else {
                                     ""
                                 },
                             );
                         }
-                        self.run_leased(&lock, shard, jobs, threads, opts, &mut report)?;
+                        let lock =
+                            BackendLease::new(backend, shard, &opts.owner, opts.ttl_ms, reclaimed);
+                        self.run_leased(backend, &lock, shard, jobs, threads, opts, &mut report)?;
                         lock.release()?;
-                        // Everything in this shard is now on disk: computed
-                        // here, or seen during the under-lease re-read.
+                        // Everything in this shard is now in the store:
+                        // computed here, or seen during the under-lease
+                        // re-read.
                         remaining.remove(&shard);
                         progressed = true;
                     }
-                    Acquire::Held {
+                    AcquireOutcome::Held {
                         holder,
                         evicted_stale,
                     } => {
@@ -423,7 +607,7 @@ impl Campaign {
             }
             if report.persist_failures > 0 {
                 // A worker's results only count once flushed to the shard;
-                // retrying against a failing disk would re-simulate the
+                // retrying against a failing store would re-simulate the
                 // same cells forever.
                 return Err(std::io::Error::other(format!(
                     "worker `{}`: {} shard appends failed; aborting drain",
@@ -439,23 +623,57 @@ impl Campaign {
         }
     }
 
+    /// One lease acquisition, quick-retrying eviction races: a contender
+    /// that evicts a stale lock but loses the follow-up `create_new` sees
+    /// churning lock state (racing peers may themselves finish and
+    /// release within milliseconds), so it re-tries on the short
+    /// [`RetryPolicy::lease_race`] schedule before falling back to the
+    /// poll cadence. Every eviction is credited to the report, win or
+    /// lose.
+    fn acquire_with_retry(
+        &self,
+        backend: &dyn StoreBackend,
+        shard: usize,
+        opts: &WorkerOptions,
+        report: &mut WorkerReport,
+    ) -> std::io::Result<AcquireOutcome> {
+        let policy = RetryPolicy::lease_race();
+        let seed = retry::seed_for(&opts.owner, shard);
+        let mut attempt = 0;
+        loop {
+            match backend.acquire(shard, &opts.owner, opts.ttl_ms)? {
+                AcquireOutcome::Held {
+                    evicted_stale: true,
+                    ..
+                } if attempt + 1 < policy.max_attempts => {
+                    report.reclaimed += 1;
+                    std::thread::sleep(policy.delay_for(attempt, seed));
+                    attempt += 1;
+                }
+                outcome => return Ok(outcome),
+            }
+        }
+    }
+
     /// Simulates one leased shard's missing jobs on the thread pool,
     /// appending each result as it completes and renewing the lease
     /// heartbeat a few times per TTL.
     ///
-    /// The shard file is re-read under the lease first: the caller's
+    /// The shard is re-read under the lease first: the caller's
     /// missing-set snapshot may predate records a previous lease holder
     /// appended, and only still-missing cells should run.
+    #[allow(clippy::too_many_arguments)]
     fn run_leased(
         &self,
-        lock: &Lease,
+        backend: &dyn StoreBackend,
+        lock: &BackendLease<'_>,
         shard: usize,
         jobs: &[(Fingerprint, Job)],
         threads: usize,
         opts: &WorkerOptions,
         report: &mut WorkerReport,
     ) -> std::io::Result<()> {
-        let present = self.store.shard_fingerprints(shard)?;
+        let present = backend.shard_fingerprints(shard)?;
         let jobs: Vec<&(Fingerprint, Job)> = jobs
             .iter()
             .filter(|(fp, _)| !present.contains(&fp.0))
@@ -484,7 +702,7 @@ impl Campaign {
                     std::thread::sleep(Duration::from_millis(opts.job_delay_ms));
                 }
                 let record = job.run_record(*fp);
-                if let Err(e) = self.store.append(*fp, &record) {
+                if let Err(e) = backend.append(*fp, &record) {
                     eprintln!("campaign store: append failed for {}: {e}", record.label);
                     append_errors.fetch_add(1, Ordering::Relaxed);
                 }
@@ -495,24 +713,65 @@ impl Campaign {
         Ok(())
     }
 
-    /// The coordinator step of a distributed campaign: drains the
-    /// missing-job set (waiting out live leases, reclaiming dead ones and
-    /// re-running their unfinished cells locally), then absorbs all shards
-    /// and assembles per-sweep grids exactly as [`Campaign::run`] does —
-    /// byte-identical output, whichever workers computed the records.
+    /// Assembles every sweep's grid from a record snapshot without
+    /// running anything — the read-only path behind a campaign server's
+    /// CSV export endpoint.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// `ErrorKind::NotFound` when any record a sweep needs is missing
+    /// (the campaign has not been fully drained), counting the absences —
+    /// `assemble_from` would panic on them mid-assembly.
+    pub fn assemble(
+        &self,
+        records: &HashMap<u128, Record>,
+    ) -> std::io::Result<BTreeMap<String, Grid>> {
+        let resolved = resolve_sweeps_of(&self.spec)?;
+        let (_, unique) = expand_unique_of(&self.spec, &resolved);
+        let missing = unique
+            .iter()
+            .filter(|(fp, _)| !records.contains_key(&fp.0))
+            .count();
+        if missing > 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!(
+                    "campaign `{}` is not drained: {missing} of {} records missing",
+                    self.spec.name,
+                    unique.len()
+                ),
+            ));
+        }
+        let mut grids = BTreeMap::new();
+        for (sweep, workloads) in self.spec.sweeps.iter().zip(&resolved) {
+            grids.insert(
+                sweep.name.clone(),
+                assemble_from(&self.spec, sweep, workloads, records),
+            );
+        }
+        Ok(grids)
+    }
+
+    /// The coordinator step of a distributed campaign: drains the
+    /// missing-job set (waiting out live leases, reclaiming dead ones and
+    /// re-running their unfinished cells locally), then snapshots every
+    /// shard and assembles per-sweep grids exactly as [`Campaign::run`]
+    /// does — byte-identical output, whichever workers computed the
+    /// records and whichever transport carried them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store/lease errors from the backend.
     pub fn merge(
-        &mut self,
+        &self,
+        backend: &dyn StoreBackend,
         opts: &WorkerOptions,
     ) -> std::io::Result<(CampaignReport, WorkerReport)> {
-        let resolved = self.resolve_sweeps()?;
-        let worker = self.run_worker_with(&resolved, opts)?;
-        // Absorb every shard — including records other workers appended
+        let resolved = resolve_sweeps_of(&self.spec)?;
+        let worker = self.run_worker_with(backend, &resolved, opts)?;
+        // Snapshot every shard — including records other workers appended
         // during the drain — before assembling.
-        self.reload()?;
+        let records = backend.snapshot()?;
         let stats = CacheStats {
             cells: worker.cells,
             unique_jobs: worker.unique_jobs,
@@ -525,103 +784,11 @@ impl Campaign {
         };
         let mut grids = BTreeMap::new();
         for (sweep, workloads) in self.spec.sweeps.iter().zip(&resolved) {
-            grids.insert(sweep.name.clone(), self.assemble(sweep, workloads));
+            grids.insert(
+                sweep.name.clone(),
+                assemble_from(&self.spec, sweep, workloads, &records),
+            );
         }
         Ok((CampaignReport { grids, stats }, worker))
-    }
-
-    /// Builds one sweep's [`Grid`] purely from cached records, over the
-    /// same resolved workloads its jobs were expanded from. Trace bundles
-    /// produce rows keyed by the bundle name with intensity category 0
-    /// (captured traffic carries no category label).
-    fn assemble(&self, sweep: &SweepSpec, workloads: &[CampaignWorkload]) -> Grid {
-        let scale = self.spec.scale;
-        let mut rows = Vec::new();
-        for &d in &sweep.densities {
-            // Alone-IPC lookups once per (benchmark, density), not per cell:
-            // fingerprinting renders canonical JSON, so hashing per cell per
-            // core would dominate warm-cache replays. Traces key by content
-            // hash, the identity their fingerprints use.
-            let mut alone: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
-            let mut alone_trace: std::collections::HashMap<u128, f64> =
-                std::collections::HashMap::new();
-            for wl in workloads {
-                match wl {
-                    CampaignWorkload::Synthetic(wl) => {
-                        for b in &wl.benchmarks {
-                            if !alone.contains_key(b.name) {
-                                let job = sweep.alone_job(d, b, &scale);
-                                let ipc = self.lookup_alone(&job);
-                                alone.insert(b.name, ipc);
-                            }
-                        }
-                    }
-                    CampaignWorkload::Traced(tw) => {
-                        for t in &tw.traces {
-                            if let std::collections::hash_map::Entry::Vacant(e) =
-                                alone_trace.entry(t.content_hash.0)
-                            {
-                                let job = sweep.trace_alone_job(d, t, &scale);
-                                e.insert(self.lookup_alone(&job));
-                            }
-                        }
-                    }
-                }
-            }
-            for &m in &sweep.mechanisms {
-                for wl in workloads {
-                    let (job, category, alone_ipcs) = match wl {
-                        CampaignWorkload::Synthetic(wl) => (
-                            sweep.grid_job(m, d, wl, &scale),
-                            wl.category.percent(),
-                            wl.benchmarks
-                                .iter()
-                                .take(sweep.cores)
-                                .map(|b| alone[b.name])
-                                .collect::<Vec<f64>>(),
-                        ),
-                        CampaignWorkload::Traced(tw) => (
-                            sweep.trace_grid_job(m, d, tw, &scale),
-                            0,
-                            tw.traces
-                                .iter()
-                                .take(sweep.cores)
-                                .map(|t| alone_trace[&t.content_hash.0])
-                                .collect::<Vec<f64>>(),
-                        ),
-                    };
-                    let summary = self
-                        .store
-                        .get(job.fingerprint())
-                        .and_then(|r| r.summary.clone())
-                        .unwrap_or_else(|| {
-                            panic!("missing grid record for {} after execution", job.label())
-                        });
-                    let metrics =
-                        Metrics::from_ipcs(&summary.ipc, &alone_ipcs, summary.energy_per_access_nj);
-                    rows.push(WsRow {
-                        workload: wl.name().to_string(),
-                        category,
-                        mechanism: m,
-                        density: d,
-                        ws: metrics.weighted_speedup,
-                        hs: metrics.harmonic_speedup,
-                        max_slowdown: metrics.max_slowdown,
-                        energy_nj: metrics.energy_per_access_nj,
-                        total_ipc: summary.total_ipc,
-                    });
-                }
-            }
-        }
-        Grid::from_rows(rows)
-    }
-
-    /// The cached alone-IPC for `job`, panicking with the job label if the
-    /// record is missing after execution.
-    fn lookup_alone(&self, job: &Job) -> f64 {
-        self.store
-            .get(job.fingerprint())
-            .and_then(|r| r.alone_ipc)
-            .unwrap_or_else(|| panic!("missing alone record for {} after execution", job.label()))
     }
 }

@@ -149,20 +149,57 @@ impl Store {
         Ok(store)
     }
 
+    /// Attaches to (creating if needed) the store directory for
+    /// `campaign_name` under `root` WITHOUT loading records or rewriting
+    /// the manifest — the append-only path for workers that learn shard
+    /// contents through [`Store::shard_fingerprints`] instead of a full
+    /// load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn attach(root: &Path, campaign_name: &str) -> std::io::Result<Self> {
+        let dir = root.join(campaign_name);
+        std::fs::create_dir_all(dir.join("shards"))?;
+        Ok(Store {
+            dir,
+            records: HashMap::new(),
+            writers: (0..SHARDS).map(|_| Mutex::new(None)).collect(),
+            loaded: 0,
+            skipped_lines: 0,
+        })
+    }
+
     /// Decodes one shard line into `(fingerprint, record)`; `None` for a
     /// torn or otherwise unparseable line. The single decoder behind
-    /// [`Store::open`], [`Store::shard_fingerprints`] and
-    /// [`Store::compact`], so the three readers cannot drift apart.
-    fn parse_line(line: &str) -> Option<(Fingerprint, Record)> {
+    /// [`Store::open`], [`Store::shard_fingerprints`], [`Store::compact`]
+    /// and the campaign server's append endpoint, so the readers cannot
+    /// drift apart.
+    pub fn decode_line(line: &str) -> Option<(Fingerprint, Record)> {
         serde_json::from_str::<Record>(line)
             .ok()
             .and_then(|r| Fingerprint::parse(&r.fp).map(|fp| (fp, r)))
     }
 
-    fn shard_path(&self, shard: usize) -> PathBuf {
-        self.dir
+    /// Encodes one record as its shard line (no trailing newline) — the
+    /// exact bytes [`Store::append`] writes.
+    pub fn encode_line(record: &Record) -> String {
+        serde_json::to_string(record).expect("records serialize")
+    }
+
+    fn parse_line(line: &str) -> Option<(Fingerprint, Record)> {
+        Self::decode_line(line)
+    }
+
+    /// The shard file path for `shard` of the campaign at `campaign_dir`.
+    pub fn shard_file(campaign_dir: &Path, shard: usize) -> PathBuf {
+        campaign_dir
             .join("shards")
             .join(format!("shard-{shard:02}.jsonl"))
+    }
+
+    fn shard_path(&self, shard: usize) -> PathBuf {
+        Self::shard_file(&self.dir, shard)
     }
 
     /// Which shard `fp` routes to.
@@ -233,10 +270,7 @@ impl Store {
             *guard = Some(file);
         }
         let file = guard.as_mut().expect("just opened");
-        let line = format!(
-            "{}\n",
-            serde_json::to_string(record).expect("records serialize")
-        );
+        let line = format!("{}\n", Self::encode_line(record));
         file.write_all(line.as_bytes())?;
         file.flush()
     }
@@ -262,6 +296,36 @@ impl Store {
         self.records.keys().map(|&fp| Fingerprint(fp))
     }
 
+    /// Every known record, keyed by fingerprint (disk + absorbed).
+    pub fn records(&self) -> &HashMap<u128, Record> {
+        &self.records
+    }
+
+    /// Reads every record currently on disk for the campaign at
+    /// `campaign_dir`, first record per fingerprint winning — the
+    /// snapshot [`crate::backend::StoreBackend`]s assemble grids from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; unparseable lines are skipped.
+    pub fn read_all(campaign_dir: &Path) -> std::io::Result<HashMap<u128, Record>> {
+        let mut records = HashMap::new();
+        for shard in 0..SHARDS {
+            let path = Self::shard_file(campaign_dir, shard);
+            let file = match File::open(&path) {
+                Ok(f) => f,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            for line in BufReader::new(file).lines() {
+                if let Some((fp, record)) = Self::parse_line(&line?) {
+                    records.entry(fp.0).or_insert(record);
+                }
+            }
+        }
+        Ok(records)
+    }
+
     /// The current byte size of one shard file (0 if never written).
     /// Shards are append-only, so an unchanged size means unchanged
     /// contents — workers use this to skip re-parsing shards between
@@ -281,17 +345,87 @@ impl Store {
     ///
     /// Propagates filesystem errors; unparseable lines are ignored.
     pub fn shard_fingerprints(&self, shard: usize) -> std::io::Result<HashSet<u128>> {
+        Self::read_shard_fingerprints(&self.dir, shard)
+    }
+
+    /// [`Store::shard_fingerprints`] without an open store — the
+    /// [`crate::backend::LocalBackend`]'s rescan path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; unparseable lines are ignored.
+    pub fn read_shard_fingerprints(
+        campaign_dir: &Path,
+        shard: usize,
+    ) -> std::io::Result<HashSet<u128>> {
         let mut out = HashSet::new();
-        let path = self.shard_path(shard);
-        if !path.exists() {
-            return Ok(out);
-        }
-        for line in BufReader::new(File::open(&path)?).lines() {
+        let path = Self::shard_file(campaign_dir, shard);
+        let file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e),
+        };
+        for line in BufReader::new(file).lines() {
             if let Some((fp, _)) = Self::parse_line(&line?) {
                 out.insert(fp.0);
             }
         }
         Ok(out)
+    }
+
+    /// Reads the shard's bytes from `offset` to the end of the **last
+    /// complete line** — the read-side twin of [`Store::append`]'s torn-
+    /// tail healing. A writer killed mid-append (or caught mid-write by
+    /// this read) leaves a partial line with no trailing newline; a
+    /// reader consuming raw tails would observe the torn JSON. Clamping
+    /// at the final newline guarantees every returned chunk is whole
+    /// lines, and the skipped bytes are re-served once the line completes
+    /// (appends are flushed newline-terminated) or is healed.
+    ///
+    /// `reset` is true when `offset` lies beyond the current file end
+    /// (the shard was compacted since the reader's last poll): the tail
+    /// is then served from offset 0 and the reader should replace, not
+    /// extend, its view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; a missing shard file is an empty
+    /// tail at offset 0.
+    pub fn read_tail(campaign_dir: &Path, shard: usize, offset: u64) -> std::io::Result<ShardTail> {
+        use std::io::{Read, Seek, SeekFrom};
+        let path = Self::shard_file(campaign_dir, shard);
+        let mut file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(ShardTail {
+                    bytes: Vec::new(),
+                    next_offset: 0,
+                    reset: offset > 0,
+                })
+            }
+            Err(e) => return Err(e),
+        };
+        let len = file.seek(SeekFrom::End(0))?;
+        let (start, reset) = if offset > len {
+            (0, true)
+        } else {
+            (offset, false)
+        };
+        file.seek(SeekFrom::Start(start))?;
+        let mut bytes = Vec::with_capacity(usize::try_from(len - start).unwrap_or(0));
+        file.read_to_end(&mut bytes)?;
+        // Clamp to the last complete line; a torn tail is withheld until
+        // its newline lands (or healing terminates it).
+        let complete = bytes
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |pos| pos + 1);
+        bytes.truncate(complete);
+        Ok(ShardTail {
+            next_offset: start + complete as u64,
+            bytes,
+            reset,
+        })
     }
 
     /// Rewrites every shard of the campaign at `root`/`campaign_name`,
@@ -356,6 +490,21 @@ impl Store {
         }
         Ok(stats)
     }
+}
+
+/// One line-aligned incremental read of a shard file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTail {
+    /// Whole-line bytes from the requested offset (possibly empty).
+    pub bytes: Vec<u8>,
+    /// Offset to request next: requested offset + `bytes.len()`, or the
+    /// served length from 0 after a `reset`.
+    pub next_offset: u64,
+    /// The requested offset was past the end of the file (compacted
+    /// shard): `bytes` restarts from offset 0 and replaces the reader's
+    /// accumulated view of raw bytes (accumulated *records* stay valid —
+    /// compaction only drops orphans, duplicates and torn lines).
+    pub reset: bool,
 }
 
 /// Outcome of one [`Store::compact`] pass.
@@ -509,6 +658,60 @@ mod tests {
         let stats = Store::compact(&root, "c", &std::collections::HashSet::new()).unwrap();
         assert_eq!(stats.kept, 0);
         assert!(!shard.exists());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn read_tail_is_incremental_line_aligned_and_withholds_torn_bytes() {
+        let root = tmpdir("tail");
+        let store = Store::open(&root, "c", &Value::Null).unwrap();
+        let dir = root.join("c");
+        let fp_a = Fingerprint(8); // shard 0
+        let a = Record::alone(fp_a, "a".into(), 1.0);
+        store.append(fp_a, &a).unwrap();
+
+        let first = Store::read_tail(&dir, 0, 0).unwrap();
+        assert!(!first.reset);
+        assert!(first.bytes.ends_with(b"\n"));
+        assert_eq!(first.next_offset, first.bytes.len() as u64);
+        let (fp, rec) = Store::decode_line(std::str::from_utf8(&first.bytes).unwrap().trim_end())
+            .expect("served line parses");
+        assert_eq!((fp, &rec), (fp_a, &a));
+
+        // Nothing new: empty tail, same offset.
+        let again = Store::read_tail(&dir, 0, first.next_offset).unwrap();
+        assert!(again.bytes.is_empty());
+        assert_eq!(again.next_offset, first.next_offset);
+
+        // A torn append lands: the fragment must be withheld.
+        let shard = dir.join("shards/shard-00.jsonl");
+        let mut f = OpenOptions::new().append(true).open(&shard).unwrap();
+        write!(f, "{{\"fp\":\"torn").unwrap();
+        drop(f);
+        let torn = Store::read_tail(&dir, 0, first.next_offset).unwrap();
+        assert!(torn.bytes.is_empty(), "torn fragment must be withheld");
+        assert_eq!(torn.next_offset, first.next_offset);
+
+        // Healing (next append) completes the fragment into a skippable
+        // line plus the new record; both are now served whole.
+        let fp_b = Fingerprint(16); // same shard
+        let b = Record::alone(fp_b, "b".into(), 2.0);
+        let store = Store::open(&root, "c", &Value::Null).unwrap();
+        store.append(fp_b, &b).unwrap();
+        let healed = Store::read_tail(&dir, 0, first.next_offset).unwrap();
+        assert!(healed.bytes.ends_with(b"\n"));
+        let lines: Vec<&str> = std::str::from_utf8(&healed.bytes)
+            .unwrap()
+            .lines()
+            .collect();
+        assert_eq!(lines.len(), 2, "torn-then-healed line + the new record");
+        assert!(Store::decode_line(lines[0]).is_none());
+        assert_eq!(Store::decode_line(lines[1]), Some((fp_b, b)));
+
+        // Offset past EOF (compaction shrank the file): reset from 0.
+        let reset = Store::read_tail(&dir, 0, 1 << 30).unwrap();
+        assert!(reset.reset);
+        assert_eq!(reset.next_offset, healed.next_offset);
         let _ = std::fs::remove_dir_all(root);
     }
 

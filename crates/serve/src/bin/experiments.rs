@@ -7,12 +7,15 @@
 //!                       [--threads N] [--out DIR] [--campaign DIR] [--fresh]
 //!                       [--exp NAME] [--spec FILE.json] [--emit-spec FILE]
 //!                       [--traces DIR [--trace-cores N] [--trace-glob G]]
-//! experiments worker    --campaign DIR [--spec FILE | --traces DIR]
+//! experiments worker    (--campaign DIR | --store-url URL)
+//!                       [--spec FILE | --traces DIR]
 //!                       [--owner ID] [--ttl-ms N] [--poll-ms N]
 //!                       [--threads N] [--exp NAME]
-//! experiments merge     --campaign DIR [--spec FILE | --traces DIR]
-//!                       [... run flags]
+//! experiments merge     (--campaign DIR | --store-url URL)
+//!                       [--spec FILE | --traces DIR] [... run flags]
 //! experiments compact   --campaign DIR [--spec FILE | --traces DIR]
+//! experiments serve     [--listen ADDR] [--campaign DIR]
+//!                       [--spec FILE | --traces DIR]
 //! experiments trace-capture --traces DIR [--count N] [--trace-cores N]
 //!                       [--ops N] [--seed N]
 //! ```
@@ -28,6 +31,12 @@
 //!   tables/figures exactly as `run` does, byte-identically.
 //! * `compact`: rewrites shards keeping only fingerprints reachable from
 //!   the spec, dropping orphaned records, duplicate appends and torn lines.
+//! * `serve`: hosts the campaign store over HTTP (prints the URL on the
+//!   first stdout line), so `worker --store-url URL` and
+//!   `merge --store-url URL` distribute the campaign across hosts with no
+//!   shared filesystem — leases, dedup and crash reclaim work exactly as
+//!   they do against a shared `--campaign DIR`. See the README's
+//!   "Campaign server" section for the endpoint table.
 //! * `trace-capture`: records synthetic memory-intensive mixes as a
 //!   directory of Ramulator-format trace files (one file per workload per
 //!   core), so users and CI can self-generate trace suites to sweep.
@@ -50,8 +59,8 @@
 
 use dsarp_campaign::store::SHARDS;
 use dsarp_campaign::{
-    export, lease, traces, Campaign, CampaignReport, CampaignSpec, Store, SweepSpec, WorkerOptions,
-    WorkloadSet,
+    export, lease, traces, Campaign, CampaignClient, CampaignReport, CampaignSpec, RemoteStore,
+    Store, SweepSpec, WorkerOptions, WorkloadSet,
 };
 use dsarp_core::Mechanism;
 use dsarp_dram::Density;
@@ -69,7 +78,15 @@ enum Cmd {
     Worker,
     Merge,
     Compact,
+    Serve,
     TraceCapture,
+}
+
+/// CLI refusal: a named offending token and a nonzero exit, without the
+/// panic machinery (no backtrace advice for a usage error).
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
 }
 
 struct Args {
@@ -84,6 +101,11 @@ struct Args {
     owner: Option<String>,
     ttl_ms: u64,
     poll_ms: u64,
+    /// Remote campaign store (worker/merge): talk to an `experiments
+    /// serve` instance instead of a shared `--campaign` directory.
+    store_url: Option<String>,
+    /// `serve` bind address (default `127.0.0.1:0`).
+    listen: Option<String>,
     /// Explicit scale overrides, applied to `--spec` files too.
     cycles: Option<u64>,
     per_category: Option<usize>,
@@ -121,6 +143,9 @@ fn parse_args() -> Args {
     let mut owner = None;
     let mut ttl_ms = lease::DEFAULT_TTL_MS;
     let mut poll_ms = 500;
+    let mut store_url = None;
+    let mut listen = None;
+    let mut campaign_set = false;
     let mut traces = None;
     let mut trace_cores = 1usize;
     let mut trace_glob = String::from("*.trace");
@@ -155,20 +180,24 @@ fn parse_args() -> Args {
             i += 1;
             Cmd::Compact
         }
+        Some("serve") => {
+            i += 1;
+            Cmd::Serve
+        }
         Some("trace-capture") => {
             i += 1;
             Cmd::TraceCapture
         }
-        Some(other) if !other.starts_with("--") => {
-            panic!("unknown subcommand `{other}` (run|worker|merge|compact|trace-capture)")
-        }
+        Some(other) if !other.starts_with("--") => die(&format!(
+            "unknown subcommand `{other}` (run|worker|merge|compact|serve|trace-capture)"
+        )),
         _ => Cmd::Run,
     };
     while i < argv.len() {
         let next = |i: &mut usize| -> String {
             *i += 1;
             argv.get(*i)
-                .unwrap_or_else(|| panic!("missing value for {}", argv[*i - 1]))
+                .unwrap_or_else(|| die(&format!("missing value for {}", argv[*i - 1])))
                 .clone()
         };
         match argv[i].as_str() {
@@ -189,8 +218,11 @@ fn parse_args() -> Args {
             }
             "--campaign" => {
                 run_only_flags.push("--campaign");
+                campaign_set = true;
                 campaign_dir = PathBuf::from(next(&mut i));
             }
+            "--store-url" => store_url = Some(next(&mut i)),
+            "--listen" => listen = Some(next(&mut i)),
             "--fresh" => fresh = true,
             "--exp" => only = Some(next(&mut i)),
             "--spec" => spec_file = Some(PathBuf::from(next(&mut i))),
@@ -229,9 +261,40 @@ fn parse_args() -> Args {
                 capture_knobs_set = true;
                 capture_seed = next(&mut i).parse().expect("--seed");
             }
-            other => panic!("unknown argument `{other}` (see the module docs)"),
+            other => die(&format!("unknown argument `{other}` (see the module docs)")),
         }
         i += 1;
+    }
+    // Mode-invalid combinations refuse up front, naming the offending
+    // flag: a silently ignored `--store-url` would run against the local
+    // directory while the user believes the server is in the loop.
+    if store_url.is_some() {
+        match cmd {
+            Cmd::Worker | Cmd::Merge => {}
+            _ => die(&format!(
+                "--store-url applies to worker/merge only, not `{}` \
+                 (run `experiments serve` on the host that owns the store)",
+                match cmd {
+                    Cmd::Run => "run",
+                    Cmd::Compact => "compact",
+                    Cmd::Serve => "serve",
+                    Cmd::TraceCapture => "trace-capture",
+                    Cmd::Worker | Cmd::Merge => unreachable!(),
+                }
+            )),
+        }
+        if campaign_set {
+            die("--campaign conflicts with --store-url (the server owns the store directory)");
+        }
+        if fresh {
+            die("--fresh conflicts with --store-url (wipe the store on the serving host)");
+        }
+    }
+    if listen.is_some() && cmd != Cmd::Serve {
+        die("--listen applies to `serve` only");
+    }
+    if cmd == Cmd::Serve && fresh {
+        die("--fresh conflicts with serve (wipe the store before starting the server)");
     }
     if let Some(c) = cycles {
         scale.dram_cycles = c;
@@ -301,6 +364,8 @@ fn parse_args() -> Args {
         owner,
         ttl_ms,
         poll_ms,
+        store_url,
+        listen,
         cycles,
         per_category,
         threads,
@@ -475,9 +540,30 @@ fn main() {
     match args.cmd {
         Cmd::Worker => run_worker_cmd(&args, spec),
         Cmd::Compact => run_compact_cmd(&args, &spec),
+        Cmd::Serve => run_serve_cmd(&args, spec),
         Cmd::Run | Cmd::Merge => run_or_merge(&args, spec, custom),
         Cmd::TraceCapture => unreachable!("handled above"),
     }
+}
+
+/// `serve`: hosts the campaign store over HTTP until killed. The first
+/// stdout line is `serving <name> at http://ADDR` — scripts parse the URL
+/// from it (`--listen 127.0.0.1:0` picks a free port).
+fn run_serve_cmd(args: &Args, spec: CampaignSpec) {
+    use std::io::Write;
+    let listen = args.listen.as_deref().unwrap_or("127.0.0.1:0");
+    let http = minihttp::Server::bind(listen)
+        .unwrap_or_else(|e| die(&format!("cannot bind --listen {listen}: {e}")));
+    let addr = http.local_addr().expect("bound listener has an address");
+    let server =
+        dsarp_serve::CampaignServer::new(&args.campaign_dir, spec).expect("open campaign store");
+    println!(
+        "serving {} at http://{addr} (store: {})",
+        server.campaign_name(),
+        server.campaign_dir().display()
+    );
+    std::io::stdout().flush().expect("flush URL line");
+    server.serve(http).expect("serve campaign");
 }
 
 /// `trace-capture`: records `--count` memory-intensive synthetic mixes of
@@ -524,10 +610,26 @@ fn run_worker_cmd(args: &Args, spec: CampaignSpec) {
         "--fresh would wipe records other workers are producing; use it with `run`"
     );
     let opts = worker_options(args);
-    let mut campaign = Campaign::open(&args.campaign_dir, spec).expect("open campaign store");
-    campaign.verbose = true;
     let t0 = Instant::now();
-    let report = campaign.run_worker(&opts).expect("worker execution");
+    let report = match &args.store_url {
+        Some(url) => {
+            // Remote drain: every store and lease operation goes through
+            // the campaign server; nothing is created locally.
+            let backend =
+                RemoteStore::connect(url, &spec.name).expect("connect to campaign server");
+            let mut client = CampaignClient::new(spec);
+            client.verbose = true;
+            client
+                .run_worker(&backend, &opts)
+                .expect("worker execution")
+        }
+        None => {
+            let mut campaign =
+                Campaign::open(&args.campaign_dir, spec).expect("open campaign store");
+            campaign.verbose = true;
+            campaign.run_worker(&opts).expect("worker execution")
+        }
+    };
     println!(
         "worker `{}` done in {:.1?}: {} shard leases ({} reclaimed from dead owners), \
          {} jobs simulated, {} wait rounds",
@@ -690,25 +792,34 @@ fn run_or_merge(args: &Args, spec: CampaignSpec, custom: bool) {
         return;
     }
     let prefixes = required_sweeps(&args.only);
-    let mut campaign = Campaign::open(&args.campaign_dir, spec).expect("open campaign store");
-    campaign.verbose = true;
-    let result = match args.cmd {
-        Cmd::Merge => {
+    let result = match (args.cmd, &args.store_url) {
+        (Cmd::Merge, Some(url)) => {
+            // Remote coordinator: drain + snapshot + assemble through the
+            // campaign server, touching no local store directory. The
+            // output is byte-identical to a local merge over the same
+            // records (assembly is deterministic in the record set).
             let opts = worker_options(args);
-            let (result, worker) = campaign.merge(&opts).expect("campaign merge");
-            println!(
-                "[{:>7.1?}] merge `{}`: {} shard leases ({} reclaimed), {} cells re-run \
-                 locally, {} wait rounds",
-                t0.elapsed(),
-                opts.owner,
-                worker.shards_leased,
-                worker.reclaimed,
-                worker.simulated,
-                worker.wait_rounds
-            );
+            let backend =
+                RemoteStore::connect(url, &spec.name).expect("connect to campaign server");
+            let mut client = CampaignClient::new(spec);
+            client.verbose = true;
+            let (result, worker) = client.merge(&backend, &opts).expect("campaign merge");
+            print_merge_report(&t0, &opts, &worker);
             result
         }
-        _ => campaign.run().expect("campaign execution"),
+        (cmd, _) => {
+            let mut campaign =
+                Campaign::open(&args.campaign_dir, spec).expect("open campaign store");
+            campaign.verbose = true;
+            if cmd == Cmd::Merge {
+                let opts = worker_options(args);
+                let (result, worker) = campaign.merge(&opts).expect("campaign merge");
+                print_merge_report(&t0, &opts, &worker);
+                result
+            } else {
+                campaign.run().expect("campaign execution")
+            }
+        }
     };
     println!(
         "[{:>7.1?}] campaign done: {} cells, {} cached, {} simulated",
@@ -816,6 +927,19 @@ fn run_or_merge(args: &Args, spec: CampaignSpec, custom: bool) {
     }
 
     finish(out, &md, t0);
+}
+
+fn print_merge_report(t0: &Instant, opts: &WorkerOptions, worker: &dsarp_campaign::WorkerReport) {
+    println!(
+        "[{:>7.1?}] merge `{}`: {} shard leases ({} reclaimed), {} cells re-run \
+         locally, {} wait rounds",
+        t0.elapsed(),
+        opts.owner,
+        worker.shards_leased,
+        worker.reclaimed,
+        worker.simulated,
+        worker.wait_rounds
+    );
 }
 
 fn reduce_main_grid(

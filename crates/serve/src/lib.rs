@@ -1,0 +1,380 @@
+//! Campaign-as-a-service: the HTTP shard/lease server behind
+//! `experiments serve`.
+//!
+//! The server owns one campaign store directory and exposes the whole
+//! distributed-drain protocol over HTTP/1.1, so workers on hosts with no
+//! shared filesystem participate through
+//! [`dsarp_campaign::RemoteStore`] exactly as local workers do through
+//! the directory:
+//!
+//! | Endpoint | Semantics |
+//! |---|---|
+//! | `GET /healthz` | liveness probe |
+//! | `GET /campaign` | identity handshake: name, shard count, format |
+//! | `GET /shards` | byte size of every shard |
+//! | `GET /shards/{nn}?offset=K` | shard bytes from `K`, clamped to whole lines |
+//! | `POST /shards/{nn}/append` | append JSON lines, deduplicating server-side |
+//! | `POST /leases/{nn}` | acquire / renew / release a shard lease |
+//! | `GET /cells/{fingerprint}` | one record; fingerprint doubles as ETag |
+//! | `GET /export/grid_{sweep}.csv` | assembled grid CSV with content ETag |
+//!
+//! Leases taken over HTTP are the same `shard-NN.lock` files local
+//! workers use — acquire runs [`Lease::acquire`] with the caller's owner
+//! id, renew/release run the stateless by-owner paths — so a SIGKILLed
+//! remote worker's lease goes stale and is reclaimed by any surviving
+//! worker, local or remote, with no extra machinery.
+//!
+//! Reads are incremental and tear-free: `GET /shards/{nn}` resumes from
+//! the client's offset and [`Store::read_tail`] withholds bytes past the
+//! last newline, so a reader polling during a concurrent append never
+//! observes a torn JSON line. Records are content-addressed, which makes
+//! `GET /cells/{fp}` trivially cacheable: the fingerprint IS the ETag,
+//! and a matching `If-None-Match` short-circuits to `304 Not Modified`
+//! without touching the store.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dsarp_campaign::fingerprint::fingerprint_bytes;
+use dsarp_campaign::lease::{self, Acquire, Lease};
+use dsarp_campaign::remote::{AppendReply, CampaignInfo, LeaseReply, LeaseRequest, SizesReply};
+use dsarp_campaign::store::{Record, ShardTail, FORMAT_VERSION, SHARDS};
+use dsarp_campaign::{CampaignClient, CampaignSpec, Fingerprint, Store};
+use dsarp_sim::experiments::report;
+use minihttp::{Request, Response, Server};
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// In-memory view of one shard, grown incrementally from the shard file.
+/// `offset` is how far the file has been decoded; records keep
+/// first-per-fingerprint wins, matching [`Store`] load semantics.
+#[derive(Debug, Default)]
+struct ShardView {
+    offset: u64,
+    fps: HashSet<u128>,
+    records: HashMap<u128, Record>,
+}
+
+/// One campaign store served over HTTP.
+#[derive(Debug)]
+pub struct CampaignServer {
+    dir: PathBuf,
+    spec: CampaignSpec,
+    store: Store,
+    views: Vec<Mutex<ShardView>>,
+}
+
+impl CampaignServer {
+    /// Opens (or creates) the campaign's store under `root` and prepares
+    /// to serve it. The manifest compatibility check is the same one
+    /// local runs perform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and manifest mismatches.
+    pub fn new(root: &Path, spec: CampaignSpec) -> io::Result<Self> {
+        let manifest = serde_json::to_value(&spec).expect("specs serialize");
+        let store = Store::open(root, &spec.name, &manifest)?;
+        Ok(CampaignServer {
+            dir: store.dir().to_path_buf(),
+            spec,
+            store,
+            views: (0..SHARDS)
+                .map(|_| Mutex::new(ShardView::default()))
+                .collect(),
+        })
+    }
+
+    /// The campaign this server hosts.
+    pub fn campaign_name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// The campaign store directory being served.
+    pub fn campaign_dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Serves requests on `server` until its handle is shut down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop errors.
+    pub fn serve(self, server: Server) -> io::Result<()> {
+        let this = Arc::new(self);
+        server.serve(move |req| this.handle(req))
+    }
+
+    /// Routes one request. Public so tests can drive the server without
+    /// sockets.
+    pub fn handle(&self, req: &Request) -> Response {
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        let out = match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => Ok(Response::text(200, "ok")),
+            ("GET", ["campaign"]) => Ok(self.campaign_info()),
+            ("GET", ["shards"]) => Ok(self.shard_sizes()),
+            ("GET", ["shards", nn]) => self.shard_tail(nn, req),
+            ("POST", ["shards", nn, "append"]) => self.shard_append(nn, req),
+            ("POST", ["leases", nn]) => self.lease_op(nn, req),
+            ("GET", ["cells", fp]) => self.cell(fp, req),
+            ("GET", ["export", file]) => self.export(file, req),
+            _ => Ok(Response::text(
+                404,
+                format!("no route for {} {}", req.method, req.path),
+            )),
+        };
+        out.unwrap_or_else(|e| {
+            let status = match e.kind() {
+                io::ErrorKind::InvalidData | io::ErrorKind::InvalidInput => 400,
+                // An undrained campaign is a conflict with the request,
+                // not an absent resource: the URL is right, the store
+                // isn't ready for it yet.
+                io::ErrorKind::NotFound => 409,
+                _ => 500,
+            };
+            Response::text(status, e.to_string())
+        })
+    }
+
+    fn campaign_info(&self) -> Response {
+        let info = CampaignInfo {
+            name: self.spec.name.clone(),
+            shards: SHARDS,
+            format_version: FORMAT_VERSION,
+        };
+        Response::json(200, serde_json::to_string(&info).expect("info serializes"))
+    }
+
+    fn shard_sizes(&self) -> Response {
+        let reply = SizesReply {
+            sizes: (0..SHARDS).map(|s| self.store.shard_size(s)).collect(),
+        };
+        Response::json(200, serde_json::to_string(&reply).expect("sizes serialize"))
+    }
+
+    fn parse_shard(nn: &str) -> io::Result<usize> {
+        match nn.parse::<usize>() {
+            Ok(shard) if shard < SHARDS => Ok(shard),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("bad shard `{nn}` (00..{:02})", SHARDS - 1),
+            )),
+        }
+    }
+
+    fn shard_tail(&self, nn: &str, req: &Request) -> io::Result<Response> {
+        let shard = Self::parse_shard(nn)?;
+        let offset: u64 = match req.query_param("offset") {
+            Some(text) => text.parse().map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidInput, format!("bad offset `{text}`"))
+            })?,
+            None => 0,
+        };
+        let tail: ShardTail = Store::read_tail(&self.dir, shard, offset)?;
+        Ok(Response::with_body(200, "application/x-ndjson", tail.bytes)
+            .header("x-next-offset", &tail.next_offset.to_string())
+            .header("x-shard-reset", if tail.reset { "1" } else { "0" }))
+    }
+
+    /// Brings one shard's in-memory view up to date with its file. Also
+    /// how appends see records other processes wrote directly to the
+    /// directory (mixed local/remote topologies).
+    fn refresh_view(&self, shard: usize) -> io::Result<std::sync::MutexGuard<'_, ShardView>> {
+        let mut view = self.views[shard].lock().expect("shard view lock poisoned");
+        let tail = Store::read_tail(&self.dir, shard, view.offset)?;
+        if tail.reset {
+            *view = ShardView::default();
+        }
+        for line in String::from_utf8_lossy(&tail.bytes).lines() {
+            if let Some((fp, record)) = Store::decode_line(line) {
+                if view.fps.insert(fp.0) {
+                    view.records.insert(fp.0, record);
+                }
+            }
+        }
+        view.offset = tail.next_offset;
+        Ok(view)
+    }
+
+    fn shard_append(&self, nn: &str, req: &Request) -> io::Result<Response> {
+        let shard = Self::parse_shard(nn)?;
+        let body = String::from_utf8_lossy(&req.body);
+        // Decode every line before appending any: a half-applied body
+        // would make the client's retry semantics murky.
+        let mut incoming = Vec::new();
+        for line in body.lines().filter(|l| !l.trim().is_empty()) {
+            let (fp, record) = Store::decode_line(line).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "undecodable record line")
+            })?;
+            if Store::shard_of(fp) != shard {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "record {fp} routes to shard {}, not {shard}",
+                        Store::shard_of(fp)
+                    ),
+                ));
+            }
+            incoming.push((fp, record));
+        }
+        let mut view = self.refresh_view(shard)?;
+        let (mut appended, mut deduped) = (0, 0);
+        for (fp, record) in incoming {
+            // First record wins: a fingerprint already in the shard keeps
+            // its original line, and the duplicate is dropped here rather
+            // than appended and skipped at every future load.
+            if view.fps.contains(&fp.0) {
+                deduped += 1;
+                continue;
+            }
+            self.store.append(fp, &record)?;
+            view.fps.insert(fp.0);
+            view.records.insert(fp.0, record);
+            appended += 1;
+        }
+        view.offset = self.store.shard_size(shard);
+        let reply = AppendReply { appended, deduped };
+        Ok(Response::json(
+            200,
+            serde_json::to_string(&reply).expect("reply serializes"),
+        ))
+    }
+
+    fn lease_op(&self, nn: &str, req: &Request) -> io::Result<Response> {
+        let shard = Self::parse_shard(nn)?;
+        let body: LeaseRequest = serde_json::from_str(&String::from_utf8_lossy(&req.body))
+            .map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad lease request: {e}"),
+                )
+            })?;
+        if body.owner.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "lease request without owner",
+            ));
+        }
+        match body.op.as_str() {
+            "acquire" => {
+                let reply = match Lease::acquire(&self.dir, shard, &body.owner, body.ttl_ms)? {
+                    // Drop (not release) the Lease value: the lock file on
+                    // disk IS the lease. The remote owner renews it through
+                    // the stateless by-owner path below, and if it dies,
+                    // the lock goes stale and is reclaimed like any other.
+                    Acquire::Acquired(lock) => LeaseReply {
+                        acquired: true,
+                        reclaimed: lock.reclaimed(),
+                        evicted_stale: false,
+                        holder: None,
+                    },
+                    Acquire::Held {
+                        holder,
+                        evicted_stale,
+                    } => LeaseReply {
+                        acquired: false,
+                        reclaimed: false,
+                        evicted_stale,
+                        holder: Some(holder),
+                    },
+                };
+                Ok(Response::json(
+                    200,
+                    serde_json::to_string(&reply).expect("reply serializes"),
+                ))
+            }
+            "renew" => match lease::renew_as(&self.dir, shard, &body.owner, body.ttl_ms) {
+                Ok(()) => Ok(Response::text(200, "renewed")),
+                // Ownership loss is a conflict the client must not retry,
+                // not a server fault.
+                Err(e) if e.kind() == io::ErrorKind::Other => {
+                    Ok(Response::text(409, e.to_string()))
+                }
+                Err(e) => Err(e),
+            },
+            "release" => {
+                lease::release_as(&self.dir, shard, &body.owner)?;
+                Ok(Response::text(200, "released"))
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown lease op `{other}` (acquire|renew|release)"),
+            )),
+        }
+    }
+
+    fn cell(&self, fp_text: &str, req: &Request) -> io::Result<Response> {
+        let fp = Fingerprint::parse(fp_text).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("bad fingerprint `{fp_text}`"),
+            )
+        })?;
+        let etag = format!("\"{fp}\"");
+        // Records are content-addressed and immutable: a client holding
+        // this fingerprint's ETag cannot hold a stale body, so the 304
+        // path never touches the store.
+        if req.header("if-none-match") == Some(etag.as_str()) {
+            return Ok(Response::new(304).header("etag", &etag));
+        }
+        let view = self.refresh_view(Store::shard_of(fp))?;
+        match view.records.get(&fp.0) {
+            Some(record) => Ok(Response::json(
+                200,
+                serde_json::to_string(record).expect("records serialize"),
+            )
+            .header("etag", &etag)),
+            None => Ok(Response::text(404, format!("no record {fp}"))),
+        }
+    }
+
+    /// `GET /export/grid_{sweep}.csv`, where `{sweep}` is the sweep name
+    /// with `/` and spaces replaced by `-` — the same file names
+    /// `experiments run` writes under `--out`. The ETag is a content hash
+    /// of the CSV, so pollers pay for assembly only when records changed
+    /// the output.
+    fn export(&self, file: &str, req: &Request) -> io::Result<Response> {
+        let Some(sanitized) = file
+            .strip_prefix("grid_")
+            .and_then(|f| f.strip_suffix(".csv"))
+        else {
+            return Ok(Response::text(
+                404,
+                format!("unknown export `{file}` (want grid_<sweep>.csv)"),
+            ));
+        };
+        let Some(sweep) = self
+            .spec
+            .sweeps
+            .iter()
+            .map(|s| s.name.as_str())
+            .find(|name| name.replace(['/', ' '], "-") == sanitized)
+        else {
+            let known: Vec<String> = self
+                .spec
+                .sweeps
+                .iter()
+                .map(|s| format!("grid_{}.csv", s.name.replace(['/', ' '], "-")))
+                .collect();
+            return Ok(Response::text(
+                404,
+                format!("no sweep matches `{file}`; exports: {}", known.join(", ")),
+            ));
+        };
+        let mut records = HashMap::new();
+        for shard in 0..SHARDS {
+            let view = self.refresh_view(shard)?;
+            records.extend(view.records.iter().map(|(k, v)| (*k, v.clone())));
+        }
+        let grids = CampaignClient::new(self.spec.clone()).assemble(&records)?;
+        let grid = grids.get(sweep).expect("assembled spec sweep");
+        let csv = report::to_csv(grid.rows());
+        let etag = format!("\"{}\"", fingerprint_bytes(csv.as_bytes()));
+        if req.header("if-none-match") == Some(etag.as_str()) {
+            return Ok(Response::new(304).header("etag", &etag));
+        }
+        Ok(Response::with_body(200, "text/csv", csv.into_bytes()).header("etag", &etag))
+    }
+}

@@ -1,0 +1,537 @@
+//! Campaign-server acceptance tests: the HTTP shard/lease protocol, torn
+//! line freedom under concurrent read-while-append, ETag/304 caching, CLI
+//! mode hardening, and the flagship scenario — two `--store-url` workers
+//! with no shared campaign directory, one SIGKILLed mid-run, whose merged
+//! grids are byte-identical to a fresh single-process local run.
+
+use dsarp_campaign::store::{Record, SHARDS};
+use dsarp_campaign::{
+    export, lease, AcquireOutcome, Campaign, CampaignSpec, Fingerprint, RemoteStore, Store,
+    StoreBackend, SweepSpec, WorkloadSet,
+};
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use dsarp_serve::CampaignServer;
+use dsarp_sim::experiments::harness::Scale;
+use dsarp_sim::experiments::report;
+use minihttp::{Client, Request, Server, ServerHandle};
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_experiments");
+
+fn tiny_scale() -> Scale {
+    Scale {
+        dram_cycles: 2_000,
+        alone_cycles: 1_000,
+        per_category: 1,
+        threads: 2,
+        warmup_ops: 500,
+    }
+}
+
+fn small_spec(name: &str) -> CampaignSpec {
+    CampaignSpec::new(name, tiny_scale())
+        .with_sweep(SweepSpec::new(
+            "alpha",
+            WorkloadSet::Intensive { cores: 2 },
+            &[Mechanism::RefAb, Mechanism::Dsarp],
+            &[Density::G8],
+        ))
+        .with_sweep(SweepSpec::new(
+            "beta",
+            WorkloadSet::Intensive { cores: 2 },
+            &[Mechanism::RefAb, Mechanism::RefPb],
+            &[Density::G8],
+        ))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("dsarp-serve-tests")
+        .join(format!("{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Starts an in-process campaign server on a free port, returning its
+/// URL, host:port, and a shutdown handle.
+fn start_server(root: &Path, spec: CampaignSpec) -> (String, String, ServerHandle) {
+    let http = Server::bind("127.0.0.1:0").unwrap();
+    let addr = http.local_addr().unwrap();
+    let handle = http.handle().unwrap();
+    let server = CampaignServer::new(root, spec).unwrap();
+    std::thread::spawn(move || server.serve(http).unwrap());
+    (format!("http://{addr}"), addr.to_string(), handle)
+}
+
+fn get(path: &str, query: &[(&str, &str)], headers: &[(&str, &str)]) -> Request {
+    Request {
+        method: "GET".into(),
+        path: path.into(),
+        query: query
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+        headers: headers
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+        body: Vec::new(),
+    }
+}
+
+/// Mode-invalid invocations refuse with a nonzero exit naming the
+/// offending token — never a silent fallback to some other behavior.
+#[test]
+fn cli_refuses_invalid_modes_naming_the_token() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["frobnicate"], "unknown subcommand `frobnicate`"),
+        (&["run", "--bogus"], "unknown argument `--bogus`"),
+        (
+            &["compact", "--store-url", "http://localhost:9"],
+            "--store-url",
+        ),
+        (&["run", "--store-url", "http://localhost:9"], "--store-url"),
+        (
+            &["serve", "--store-url", "http://localhost:9"],
+            "--store-url",
+        ),
+        (
+            &[
+                "worker",
+                "--store-url",
+                "http://localhost:9",
+                "--campaign",
+                "d",
+            ],
+            "--campaign conflicts with --store-url",
+        ),
+        (
+            &["worker", "--store-url", "http://localhost:9", "--fresh"],
+            "--fresh conflicts with --store-url",
+        ),
+        (&["run", "--listen", "127.0.0.1:0"], "--listen"),
+        (&["worker", "--ttl-ms"], "missing value for --ttl-ms"),
+    ];
+    for (args, needle) in cases {
+        let out = Command::new(BIN).args(*args).output().unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "`{}` must exit 2, got {:?}:\n{stderr}",
+            args.join(" "),
+            out.status.code()
+        );
+        assert!(
+            stderr.contains(needle),
+            "`{}` must name `{needle}`:\n{stderr}",
+            args.join(" ")
+        );
+    }
+}
+
+/// The full lease lifecycle over HTTP: acquire, contention with holder
+/// identity, renew-by-owner, permanent refusal of a non-owner renew,
+/// release, and stale reclaim after a dead owner's TTL lapses.
+#[test]
+fn http_leases_contend_renew_release_and_reclaim() {
+    let dir = tmpdir("http-lease");
+    let (url, _, handle) = start_server(&dir, small_spec("lease"));
+    let a = RemoteStore::connect(&url, "lease").unwrap();
+    let b = RemoteStore::connect(&url, "lease").unwrap();
+
+    match a.acquire(3, "owner-a", 60_000).unwrap() {
+        AcquireOutcome::Acquired { reclaimed } => assert!(!reclaimed),
+        AcquireOutcome::Held { holder, .. } => panic!("vacant shard held by {holder:?}"),
+    }
+    match b.acquire(3, "owner-b", 60_000).unwrap() {
+        AcquireOutcome::Held {
+            holder,
+            evicted_stale,
+        } => {
+            assert_eq!(holder.owner, "owner-a");
+            assert!(!evicted_stale, "a live lease must not be evicted");
+        }
+        AcquireOutcome::Acquired { .. } => panic!("live lease double-acquired over HTTP"),
+    }
+    a.renew(3, "owner-a", 60_000).unwrap();
+    let err = b.renew(3, "owner-b", 60_000).unwrap_err();
+    assert_eq!(
+        err.kind(),
+        std::io::ErrorKind::PermissionDenied,
+        "a non-owner renew must map to a permanent (409) error, got {err}"
+    );
+    a.release(3, "owner-a").unwrap();
+
+    // owner-b takes the shard with a 50 ms TTL and "dies" (no renew, no
+    // release): after the TTL lapses, owner-a reclaims the stale lease —
+    // the exact path a SIGKILLed remote worker leaves behind.
+    match b.acquire(3, "owner-b", 50).unwrap() {
+        AcquireOutcome::Acquired { .. } => {}
+        AcquireOutcome::Held { holder, .. } => panic!("released shard held by {holder:?}"),
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let mut reclaimed = false;
+    for _ in 0..5 {
+        match a.acquire(3, "owner-a", 60_000).unwrap() {
+            AcquireOutcome::Acquired { reclaimed: r } => {
+                reclaimed = r;
+                break;
+            }
+            AcquireOutcome::Held { evicted_stale, .. } => {
+                assert!(evicted_stale, "the 50 ms lease must look stale by now");
+            }
+        }
+    }
+    assert!(
+        reclaimed,
+        "the dead owner's lease must be reclaimed over HTTP"
+    );
+    a.release(3, "owner-a").unwrap();
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A reader polling the incremental shard endpoint during a concurrent
+/// append stream never observes a torn JSON line: every chunk ends at a
+/// newline boundary and every line decodes, until all records are seen.
+#[test]
+fn concurrent_reader_never_observes_torn_lines() {
+    let dir = tmpdir("torn");
+    let (_, host, handle) = start_server(&dir, small_spec("torn"));
+    let n: usize = 200;
+
+    let writer_host = host.clone();
+    let writer = std::thread::spawn(move || {
+        let mut client = Client::new(writer_host);
+        for i in 0..n {
+            // i * SHARDS routes every record to shard 0; a long label
+            // makes lines span write-buffer boundaries.
+            let fp = Fingerprint((i * SHARDS) as u128);
+            let rec = Record::alone(fp, format!("w{i}-{}", "x".repeat(257)), i as f64);
+            let resp = client
+                .request(
+                    "POST",
+                    "/shards/00/append",
+                    &[],
+                    Store::encode_line(&rec).as_bytes(),
+                )
+                .unwrap();
+            assert_eq!(resp.status, 200, "append {i}: {}", resp.text_body());
+        }
+    });
+
+    let mut client = Client::new(host);
+    let mut offset = 0u64;
+    let mut seen = HashSet::new();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while seen.len() < n {
+        assert!(Instant::now() < deadline, "saw {}/{n} records", seen.len());
+        let resp = client
+            .request("GET", &format!("/shards/00?offset={offset}"), &[], &[])
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text_body());
+        assert!(
+            resp.body.is_empty() || resp.body.ends_with(b"\n"),
+            "chunk must end at a line boundary, got {:?}...",
+            &resp.body[resp.body.len().saturating_sub(40)..]
+        );
+        for line in std::str::from_utf8(&resp.body).unwrap().lines() {
+            let (fp, _) = Store::decode_line(line)
+                .unwrap_or_else(|| panic!("torn/unparseable line: {line:?}"));
+            assert!(seen.insert(fp.0), "record {fp} delivered twice");
+        }
+        offset = resp
+            .header_value("x-next-offset")
+            .expect("x-next-offset header")
+            .parse()
+            .unwrap();
+    }
+    writer.join().unwrap();
+
+    // Server-side dedup: re-appending an existing line reports deduped=1
+    // and appends nothing (first record wins).
+    let rec = Record::alone(Fingerprint(0), "dup".into(), 9.9);
+    let resp = client
+        .request(
+            "POST",
+            "/shards/00/append",
+            &[],
+            Store::encode_line(&rec).as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.text_body().contains("\"appended\":0") && resp.text_body().contains("\"deduped\":1"),
+        "duplicate append must dedup: {}",
+        resp.text_body()
+    );
+    let records = Store::read_all(&dir.join("torn")).unwrap();
+    assert_eq!(records.len(), n, "dedup must not append a second copy");
+    assert_ne!(records[&0].label, "dup", "first record must win");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Cells are content-addressed, so the fingerprint doubles as a strong
+/// ETag (304 without a store read); grid exports hash their CSV bytes.
+#[test]
+fn cells_and_exports_honor_etags() {
+    let dir = tmpdir("etag");
+    let spec = small_spec("etag");
+
+    // An undrained campaign cannot be exported: 409, not a bogus grid.
+    let empty = dir.join("empty");
+    let undrained = CampaignServer::new(&empty, spec.clone()).unwrap();
+    let resp = undrained.handle(&get("/export/grid_alpha.csv", &[], &[]));
+    assert_eq!(resp.status, 409, "{}", resp.text_body());
+    assert!(resp.text_body().contains("not drained"));
+
+    // Drain locally, then serve the same store directory.
+    let report = Campaign::open(&dir, spec.clone()).unwrap().run().unwrap();
+    assert!(report.stats.simulated > 0);
+    let server = CampaignServer::new(&dir, spec).unwrap();
+
+    let records = Store::read_all(&dir.join("etag")).unwrap();
+    let fp = Fingerprint(*records.keys().next().unwrap());
+    let path = format!("/cells/{fp}");
+    let resp = server.handle(&get(&path, &[], &[]));
+    assert_eq!(resp.status, 200, "{}", resp.text_body());
+    let etag = resp.header_value("etag").expect("cell etag").to_string();
+    assert_eq!(etag, format!("\"{fp}\""), "the fingerprint IS the ETag");
+    let resp = server.handle(&get(&path, &[], &[("if-none-match", &etag)]));
+    assert_eq!(resp.status, 304);
+    assert!(resp.body.is_empty(), "a 304 carries no body");
+
+    let missing = format!("/cells/{}", Fingerprint(u128::MAX));
+    assert_eq!(server.handle(&get(&missing, &[], &[])).status, 404);
+
+    let resp = server.handle(&get("/export/grid_alpha.csv", &[], &[]));
+    assert_eq!(resp.status, 200, "{}", resp.text_body());
+    let expected = report::to_csv(report.grids["alpha"].rows());
+    assert_eq!(
+        resp.body,
+        expected.as_bytes(),
+        "the export must be byte-identical to the local CSV writer"
+    );
+    let etag = resp.header_value("etag").expect("export etag").to_string();
+    let resp = server.handle(&get(
+        "/export/grid_alpha.csv",
+        &[],
+        &[("if-none-match", &etag)],
+    ));
+    assert_eq!(resp.status, 304);
+    assert_eq!(
+        server
+            .handle(&get("/export/grid_nope.csv", &[], &[]))
+            .status,
+        404
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+fn lock_files(campaign_dir: &Path) -> Vec<PathBuf> {
+    std::fs::read_dir(lease::lease_dir(campaign_dir))
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "lock"))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn wait_success(mut child: Child, what: &str, timeout: Duration) -> String {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match child.try_wait().unwrap() {
+            Some(status) => {
+                let out = child.wait_with_output().unwrap();
+                let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+                assert!(
+                    status.success(),
+                    "{what} failed ({status}):\n--- stdout\n{stdout}\n--- stderr\n{}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                return stdout;
+            }
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("{what} did not exit within {timeout:?}");
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn parse_summary_count(out: &str, suffix: &str) -> usize {
+    let idx = out
+        .find(suffix)
+        .unwrap_or_else(|| panic!("no `{suffix}` in output:\n{out}"));
+    out[..idx]
+        .split_whitespace()
+        .last()
+        .and_then(|w| w.trim_start_matches('(').parse().ok())
+        .unwrap_or_else(|| panic!("unparseable count before `{suffix}`:\n{out}"))
+}
+
+fn remote_worker_cmd(url: &str, spec: &Path, owner: &str) -> Command {
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "worker",
+        "--store-url",
+        url,
+        "--spec",
+        spec.to_str().unwrap(),
+        "--owner",
+        owner,
+        "--ttl-ms",
+        "5000",
+        "--poll-ms",
+        "50",
+    ])
+    .stdout(Stdio::piped())
+    .stderr(Stdio::piped());
+    cmd
+}
+
+/// The flagship acceptance scenario: an `experiments serve` subprocess
+/// owns the store; two `--store-url` workers (no shared campaign
+/// directory) drain it after a third is SIGKILLed mid-run; the HTTP-held
+/// stale lease is reclaimed; and `merge --store-url` produces grids
+/// byte-identical to a fresh single-process local run of the same spec.
+#[test]
+fn remote_workers_survive_sigkill_and_merge_matches_local() {
+    let dir = tmpdir("remote-kill");
+    let server_store = dir.join("server-store");
+    let spec = small_spec("remote");
+    let spec_path = dir.join("spec.json");
+    std::fs::write(&spec_path, spec.to_json()).unwrap();
+    let campaign_dir = server_store.join(&spec.name);
+
+    // 1. The server subprocess; its first stdout line carries the URL.
+    let mut server = Command::new(BIN)
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--campaign",
+            server_store.to_str().unwrap(),
+            "--spec",
+            spec_path.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut first_line = String::new();
+    BufReader::new(server.stdout.as_mut().unwrap())
+        .read_line(&mut first_line)
+        .unwrap();
+    let url = first_line
+        .split_whitespace()
+        .find(|w| w.starts_with("http://"))
+        .unwrap_or_else(|| panic!("no URL in server banner: {first_line:?}"))
+        .to_string();
+
+    // 2. A slow victim worker over HTTP, SIGKILLed as soon as its lease
+    //    lands (the lock file appears in the server's store).
+    let mut victim_cmd = remote_worker_cmd(&url, &spec_path, "victim");
+    victim_cmd.env("DSARP_JOB_DELAY_MS", "150");
+    let mut victim = victim_cmd.spawn().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while lock_files(&campaign_dir).is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "victim never acquired a lease over HTTP"
+        );
+        assert!(
+            victim.try_wait().unwrap().is_none(),
+            "victim exited before it could be killed mid-run"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    victim.kill().unwrap(); // SIGKILL: no release, HTTP-held lock left behind
+    victim.wait().unwrap();
+    assert!(
+        !lock_files(&campaign_dir).is_empty(),
+        "the killed remote worker must leave its lock in the server's store"
+    );
+
+    // 3. Two surviving remote workers drain the campaign, reclaiming the
+    //    stale lease through the server after its 5 s TTL.
+    let a = remote_worker_cmd(&url, &spec_path, "w-a").spawn().unwrap();
+    let b = remote_worker_cmd(&url, &spec_path, "w-b").spawn().unwrap();
+    let out_a = wait_success(a, "remote worker w-a", Duration::from_secs(120));
+    let out_b = wait_success(b, "remote worker w-b", Duration::from_secs(120));
+    let reclaimed: usize = [&out_a, &out_b]
+        .iter()
+        .map(|out| parse_summary_count(out, " reclaimed from dead owners"))
+        .sum();
+    assert!(
+        reclaimed >= 1,
+        "a survivor must reclaim the victim's stale HTTP lease:\n--- w-a\n{out_a}\n--- w-b\n{out_b}"
+    );
+    assert!(
+        lock_files(&campaign_dir).is_empty(),
+        "all remote leases must be released after the drain"
+    );
+
+    // 4. Remote merge: drains (already done), snapshots over HTTP, and
+    //    reduces — no local campaign directory involved.
+    let merge_out = dir.join("merged");
+    let merge = Command::new(BIN)
+        .args([
+            "merge",
+            "--store-url",
+            &url,
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--owner",
+            "merge",
+            "--ttl-ms",
+            "5000",
+            "--poll-ms",
+            "50",
+            "--out",
+            merge_out.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    wait_success(merge, "remote merge", Duration::from_secs(120));
+
+    // 5. Reference: a fresh single-process run of the same spec, exported
+    //    through the identical writer — byte-for-byte equality.
+    let ref_out = dir.join("ref-out");
+    let report = Campaign::open(&dir.join("ref-store"), small_spec("remote"))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(report.stats.simulated > 0);
+    for (name, grid) in &report.grids {
+        let file = format!("grid_{}", name.replace(['/', ' '], "-"));
+        export::write_grid(&ref_out, &file, grid).unwrap();
+        let merged = std::fs::read(merge_out.join(format!("{file}.csv")))
+            .unwrap_or_else(|e| panic!("remote merge must write {file}.csv: {e}"));
+        let reference = std::fs::read(ref_out.join(format!("{file}.csv"))).unwrap();
+        assert_eq!(
+            merged, reference,
+            "remote-merged grid `{name}` must be byte-identical to a local single-process run"
+        );
+    }
+
+    server.kill().unwrap();
+    server.wait().unwrap();
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,630 @@
+//! Minimal HTTP/1.1 server and client over std TCP.
+//!
+//! Vendored offline stand-in (the build environment has no registry
+//! access): implements exactly the surface the campaign server and its
+//! remote-store client need, nothing more.
+//!
+//! * **Framing**: request and response bodies are `Content-Length` only —
+//!   no chunked transfer, no trailers. Requests without a length header
+//!   have an empty body.
+//! * **Connections**: keep-alive by default (HTTP/1.1 semantics); either
+//!   side may send `Connection: close`. The server runs one thread per
+//!   connection; the client holds one reusable connection and
+//!   transparently reconnects once when a kept-alive socket has gone
+//!   stale.
+//! * **Limits**: request lines, headers and bodies are size-capped so a
+//!   misbehaving peer cannot balloon memory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Longest accepted request/status line or single header line, in bytes.
+const MAX_LINE: usize = 16 * 1024;
+/// Most headers accepted per message.
+const MAX_HEADERS: usize = 128;
+/// Largest accepted body, request or response (shard files stay far
+/// below this; a longer body is a protocol error, not a use case).
+const MAX_BODY: usize = 256 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component, without the query string.
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first query parameter named `name`, if any.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One HTTP response, built by handlers and returned by the client.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `304`, `404`, ...).
+    pub status: u16,
+    /// Headers with lower-cased names. `content-length` and `connection`
+    /// are managed by the transport; setting them here is ignored.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with `status`.
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A response carrying `body` with the given content type.
+    pub fn with_body(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        Response::new(status)
+            .header("content-type", content_type)
+            .body(body)
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response::with_body(
+            status,
+            "text/plain; charset=utf-8",
+            body.into().into_bytes(),
+        )
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response::with_body(status, "application/json", body.into().into_bytes())
+    }
+
+    /// Adds one header (name stored lower-cased).
+    #[must_use]
+    pub fn header(mut self, name: &str, value: &str) -> Self {
+        self.headers
+            .push((name.to_ascii_lowercase(), value.to_string()));
+        self
+    }
+
+    /// Replaces the body.
+    #[must_use]
+    pub fn body(mut self, body: impl Into<Vec<u8>>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    /// The first header named `name` (case-insensitive), if any.
+    pub fn header_value(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn text_body(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            204 => "No Content",
+            304 => "Not Modified",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            _ => "Status",
+        }
+    }
+}
+
+fn read_line_limited(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                if line.is_empty() {
+                    return Ok(None); // clean EOF between messages
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-line",
+                ));
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "header line too long",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn read_headers(reader: &mut impl BufRead) -> io::Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_limited(reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed in headers")
+        })?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "too many headers",
+            ));
+        }
+        match line.split_once(':') {
+            Some((name, value)) => {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+            }
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed header line `{line}`"),
+                ))
+            }
+        }
+    }
+}
+
+fn content_length(headers: &[(String, String)]) -> io::Result<usize> {
+    let Some((_, v)) = headers.iter().find(|(k, _)| k == "content-length") else {
+        return Ok(0);
+    };
+    let len: usize = v
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
+    if len > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    Ok(len)
+}
+
+fn read_body(reader: &mut impl BufRead, len: usize) -> io::Result<Vec<u8>> {
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+fn wants_close(headers: &[(String, String)]) -> bool {
+    headers
+        .iter()
+        .any(|(k, v)| k == "connection" && v.eq_ignore_ascii_case("close"))
+}
+
+/// Parses one request off `reader`. `Ok(None)` is a clean end-of-stream
+/// (the peer closed a kept-alive connection between requests).
+fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let Some(line) = read_line_limited(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("malformed request line `{line}`"),
+        ));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported protocol `{version}`"),
+        ));
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, content_length(&headers)?)?;
+    Ok(Some(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        query,
+        headers,
+        body,
+    }))
+}
+
+fn write_response(stream: &mut impl Write, resp: &Response, close: bool) -> io::Result<()> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, resp.reason());
+    for (k, v) in &resp.headers {
+        if k == "content-length" || k == "connection" {
+            continue;
+        }
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(&format!("content-length: {}\r\n", resp.body.len()));
+    head.push_str(if close {
+        "connection: close\r\n\r\n"
+    } else {
+        "connection: keep-alive\r\n\r\n"
+    });
+    // One write for head + body: two separate segments would interact
+    // with Nagle + delayed ACK into ~40 ms stalls per response.
+    let mut message = head.into_bytes();
+    message.extend_from_slice(&resp.body);
+    stream.write_all(&message)?;
+    stream.flush()
+}
+
+/// Parses one response off `reader`.
+fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
+    let line = read_line_limited(reader)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before status",
+        )
+    })?;
+    let mut parts = line.split_whitespace();
+    let (Some(version), Some(status)) = (parts.next(), parts.next()) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("malformed status line `{line}`"),
+        ));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported protocol `{version}`"),
+        ));
+    }
+    let status: u16 = status
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad status code"))?;
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, content_length(&headers)?)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// A bound, not-yet-serving HTTP server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+/// Stops a [`Server`]'s accept loop from another thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Signals the accept loop to exit. In-flight connections finish
+    /// their current request; idle keep-alive connections die with the
+    /// process.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: &str) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound socket address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop [`Server::serve`] from another thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (the handle needs the bound address).
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            stop: Arc::clone(&self.stop),
+        })
+    }
+
+    /// Serves connections until [`ServerHandle::shutdown`], running one
+    /// thread per connection and `handler` for every request. Handler
+    /// panics are isolated to their connection (the peer sees a closed
+    /// socket, the server keeps accepting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop errors.
+    pub fn serve<H>(self, handler: H) -> io::Result<()>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let handler = Arc::new(handler);
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                // Per-connection accept hiccups (peer reset mid-handshake)
+                // must not kill the server.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            };
+            // Responses are single coalesced writes; disable Nagle so
+            // small ones are not held back for a delayed ACK.
+            let _ = stream.set_nodelay(true);
+            let handler = Arc::clone(&handler);
+            std::thread::spawn(move || {
+                let _ = serve_connection(stream, &*handler);
+            });
+        }
+        Ok(())
+    }
+}
+
+fn serve_connection<H>(stream: TcpStream, handler: &H) -> io::Result<()>
+where
+    H: Fn(&Request) -> Response,
+{
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()), // peer closed between requests
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let resp = Response::text(400, format!("bad request: {e}"));
+                let _ = write_response(&mut writer, &resp, true);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let close = wants_close(&request.headers);
+        let response = handler(&request);
+        write_response(&mut writer, &response, close)?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+/// A keep-alive HTTP client bound to one `host:port`.
+///
+/// Not internally synchronized: wrap in a `Mutex` (or use one per thread)
+/// for concurrent use. A request on a connection the server has since
+/// closed is retried once on a fresh connection.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    conn: Option<TcpStream>,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`); connects lazily.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client {
+            addr: addr.into(),
+            conn: None,
+        }
+    }
+
+    /// The address this client targets.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn send_once(
+        conn: &mut TcpStream,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<Response> {
+        let mut head = format!("{method} {target} HTTP/1.1\r\nhost: local\r\n");
+        for (k, v) in headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+        // One write for head + body (see `write_response` on Nagle).
+        let mut message = head.into_bytes();
+        message.extend_from_slice(body);
+        conn.write_all(&message)?;
+        conn.flush()?;
+        let mut reader = BufReader::new(conn.try_clone()?);
+        read_response(&mut reader)
+    }
+
+    /// Performs one request, reusing the kept-alive connection when
+    /// possible. `target` is the path plus optional query string.
+    ///
+    /// # Errors
+    ///
+    /// Connect/transport errors; HTTP error statuses are returned as
+    /// responses, not errors.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<Response> {
+        let reused = self.conn.is_some();
+        if self.conn.is_none() {
+            let conn = TcpStream::connect(&self.addr)?;
+            let _ = conn.set_nodelay(true);
+            self.conn = Some(conn);
+        }
+        let conn = self.conn.as_mut().expect("connected above");
+        match Self::send_once(conn, method, target, headers, body) {
+            Ok(resp) => {
+                if resp
+                    .header_value("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                {
+                    self.conn = None;
+                }
+                Ok(resp)
+            }
+            Err(e) if reused => {
+                // The kept-alive socket went stale (server restarted or
+                // timed the connection out): retry once on a fresh one.
+                let _ = e;
+                self.conn = None;
+                let mut fresh = TcpStream::connect(&self.addr)?;
+                let _ = fresh.set_nodelay(true);
+                let resp = Self::send_once(&mut fresh, method, target, headers, body)?;
+                if !resp
+                    .header_value("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                {
+                    self.conn = Some(fresh);
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn_echo() -> (String, ServerHandle) {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.handle().unwrap();
+        std::thread::spawn(move || {
+            server
+                .serve(|req| {
+                    let mut resp = Response::with_body(200, "text/plain", req.body.clone())
+                        .header("x-method", &req.method)
+                        .header("x-path", &req.path);
+                    if let Some(v) = req.query_param("q") {
+                        resp = resp.header("x-q", v);
+                    }
+                    resp
+                })
+                .unwrap();
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn request_response_roundtrip_and_keepalive() {
+        let (addr, handle) = spawn_echo();
+        let mut client = Client::new(addr);
+        for i in 0..3 {
+            let body = format!("ping-{i}");
+            let resp = client
+                .request("POST", "/echo?q=v1", &[("x-try", "1")], body.as_bytes())
+                .unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.text_body(), body);
+            assert_eq!(resp.header_value("x-method"), Some("POST"));
+            assert_eq!(resp.header_value("x-path"), Some("/echo"));
+            assert_eq!(resp.header_value("x-q"), Some("v1"));
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn empty_get_and_binary_body() {
+        let (addr, handle) = spawn_echo();
+        let mut client = Client::new(addr);
+        let resp = client.request("GET", "/x", &[], &[]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.is_empty());
+        let blob: Vec<u8> = (0..=255u8).collect();
+        let resp = client.request("POST", "/bin", &[], &blob).unwrap();
+        assert_eq!(resp.body, blob);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let (addr, handle) = spawn_echo();
+        let mut client = Client::new(addr.clone());
+        assert_eq!(client.request("GET", "/", &[], &[]).unwrap().status, 200);
+        handle.shutdown();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // A fresh connection now fails to complete a request: either the
+        // connect is refused or the accepted-then-dropped socket EOFs.
+        let err = Client::new(addr).request("GET", "/", &[], &[]);
+        assert!(err.is_err(), "server must stop serving after shutdown");
+    }
+}
