@@ -1,6 +1,8 @@
 //! Raw simulator throughput: DRAM cycles per second of wall time for one
 //! 8-core memory-intensive system, per mechanism. Not a paper artifact —
-//! this tracks the engine itself.
+//! this tracks the engine itself. The `telemetry` group benches the same
+//! run with per-cycle telemetry sampling off and on, so the sampling
+//! overhead (budgeted at <= 2%) is tracked alongside.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dsarp_core::Mechanism;
@@ -28,6 +30,27 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     let cfg = SimConfig::paper(mech, Density::G32);
                     black_box(System::new(&cfg, &workload).run(cycles))
+                })
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cycles));
+    for telemetry in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if telemetry { "on" } else { "off" }),
+            &telemetry,
+            |b, &telemetry| {
+                b.iter(|| {
+                    let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G32);
+                    let mut system = System::new(&cfg, &workload);
+                    if telemetry {
+                        system.enable_telemetry();
+                    }
+                    black_box(system.run(cycles))
                 })
             },
         );

@@ -1,0 +1,568 @@
+//! Structured campaign progress events.
+//!
+//! Every notable step of a campaign run — planning, per-job simulation,
+//! append failures, lease lifecycle, transport retries — is an [`Event`].
+//! The [`EventLog`] renders each event twice:
+//!
+//! * as one flat JSON object per line into an optional JSONL sink
+//!   (`experiments ... --events PATH`), for machines; and
+//! * as the human console line the runner has always printed, for people —
+//!   progress lines to stdout when verbose, failure lines to stderr
+//!   always.
+//!
+//! Events are diagnostics only: they never feed fingerprints, shard
+//! records or grids, so enabling the log cannot perturb campaign results.
+
+use crate::lease::now_ms;
+use serde_json::{Map, Value};
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One campaign progress event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A campaign run finished planning: expansion, dedup and cache
+    /// partition are known, simulation is about to start.
+    CampaignPlanned {
+        /// Campaign name.
+        campaign: String,
+        /// Expanded cells across all sweeps.
+        cells: usize,
+        /// Distinct fingerprints after in-flight dedup.
+        unique_jobs: usize,
+        /// Cells collapsed onto another cell's simulation.
+        deduped: usize,
+        /// Unique jobs answered from the store.
+        cached: usize,
+        /// Unique jobs to simulate this run.
+        to_simulate: usize,
+        /// Worker threads simulating them.
+        threads: usize,
+    },
+    /// A campaign run finished simulating its misses.
+    CampaignSimulated {
+        /// Campaign name.
+        campaign: String,
+        /// Jobs simulated this run.
+        simulated: usize,
+        /// Wall time since the run started.
+        wall: Duration,
+    },
+    /// One cell was simulated (by the single-process executor or a
+    /// leased worker).
+    JobSimulated {
+        /// Worker id, when run under a lease.
+        owner: Option<String>,
+        /// The shard the result routes to.
+        shard: usize,
+        /// Job label.
+        label: String,
+        /// Simulation wall time.
+        wall: Duration,
+    },
+    /// A freshly simulated result could not be appended to its shard.
+    AppendFailed {
+        /// Worker id, when run under a lease.
+        owner: Option<String>,
+        /// The shard the append targeted.
+        shard: usize,
+        /// Job label.
+        label: String,
+        /// The I/O error.
+        error: String,
+    },
+    /// End-of-run persist-failure summary (the failed results stay usable
+    /// in memory this run and re-simulate next time).
+    PersistFailures {
+        /// Campaign name.
+        campaign: String,
+        /// Failed appends.
+        count: usize,
+    },
+    /// A worker leased a shard.
+    LeaseAcquired {
+        /// Worker id.
+        owner: String,
+        /// Shard number.
+        shard: usize,
+        /// Jobs missing from the shard at lease time.
+        missing_jobs: usize,
+        /// A dead owner's stale lease was evicted to take it.
+        reclaimed: bool,
+    },
+    /// A worker found a shard held by a live peer.
+    LeaseHeld {
+        /// Worker id.
+        owner: String,
+        /// Shard number.
+        shard: usize,
+        /// The holder's worker id.
+        holder: String,
+        /// This worker evicted a stale lease but lost the follow-up race.
+        evicted_stale: bool,
+    },
+    /// A worker is re-trying a lease acquire after an eviction race.
+    LeaseRetry {
+        /// Worker id.
+        owner: String,
+        /// Shard number.
+        shard: usize,
+        /// 0-based failed attempt number.
+        attempt: u32,
+        /// Back-off before the next attempt.
+        delay: Duration,
+    },
+    /// A heartbeat renewal of a held lease.
+    LeaseRenewed {
+        /// Worker id.
+        owner: String,
+        /// Shard number.
+        shard: usize,
+        /// Whether the renewal succeeded (a failure means the lease was
+        /// reclaimed after a stall; the protocol tolerates it).
+        ok: bool,
+    },
+    /// A worker released a shard lease.
+    LeaseReleased {
+        /// Worker id.
+        owner: String,
+        /// Shard number.
+        shard: usize,
+    },
+    /// A worker found every remaining shard held by live peers and slept.
+    WaitRound {
+        /// Worker id.
+        owner: String,
+        /// Cumulative wait rounds this drain.
+        rounds: usize,
+    },
+    /// A transient transport failure is being retried (remote store).
+    RetryAttempt {
+        /// What was being attempted.
+        what: String,
+        /// 0-based failed attempt number.
+        attempt: u32,
+        /// Back-off before the next attempt.
+        delay: Duration,
+        /// The transient error.
+        error: String,
+    },
+}
+
+fn ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
+fn num(n: u64) -> Value {
+    Value::Number(serde_json::Number::from_u64(n))
+}
+
+impl Event {
+    /// The event's stable snake_case name (the JSONL `event` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::CampaignPlanned { .. } => "campaign_planned",
+            Event::CampaignSimulated { .. } => "campaign_simulated",
+            Event::JobSimulated { .. } => "job_simulated",
+            Event::AppendFailed { .. } => "append_failed",
+            Event::PersistFailures { .. } => "persist_failures",
+            Event::LeaseAcquired { .. } => "lease_acquired",
+            Event::LeaseHeld { .. } => "lease_held",
+            Event::LeaseRetry { .. } => "lease_retry",
+            Event::LeaseRenewed { .. } => "lease_renewed",
+            Event::LeaseReleased { .. } => "lease_released",
+            Event::WaitRound { .. } => "wait_round",
+            Event::RetryAttempt { .. } => "retry_attempt",
+        }
+    }
+
+    /// The event as a flat JSON object: `event`, `ts_ms`, then the
+    /// variant's fields. Hand-assembled (the vendored serde has no enum
+    /// tagging attributes), so the schema is exactly what this renders.
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("event".into(), Value::String(self.name().into()));
+        m.insert("ts_ms".into(), num(now_ms()));
+        let mut put = |k: &str, v: Value| {
+            m.insert(k.into(), v);
+        };
+        match self {
+            Event::CampaignPlanned {
+                campaign,
+                cells,
+                unique_jobs,
+                deduped,
+                cached,
+                to_simulate,
+                threads,
+            } => {
+                put("campaign", Value::String(campaign.clone()));
+                put("cells", num(*cells as u64));
+                put("unique_jobs", num(*unique_jobs as u64));
+                put("deduped", num(*deduped as u64));
+                put("cached", num(*cached as u64));
+                put("to_simulate", num(*to_simulate as u64));
+                put("threads", num(*threads as u64));
+            }
+            Event::CampaignSimulated {
+                campaign,
+                simulated,
+                wall,
+            } => {
+                put("campaign", Value::String(campaign.clone()));
+                put("simulated", num(*simulated as u64));
+                put("wall_ms", num(ms(*wall)));
+            }
+            Event::JobSimulated {
+                owner,
+                shard,
+                label,
+                wall,
+            } => {
+                if let Some(owner) = owner {
+                    put("owner", Value::String(owner.clone()));
+                }
+                put("shard", num(*shard as u64));
+                put("label", Value::String(label.clone()));
+                put("wall_ms", num(ms(*wall)));
+            }
+            Event::AppendFailed {
+                owner,
+                shard,
+                label,
+                error,
+            } => {
+                if let Some(owner) = owner {
+                    put("owner", Value::String(owner.clone()));
+                }
+                put("shard", num(*shard as u64));
+                put("label", Value::String(label.clone()));
+                put("error", Value::String(error.clone()));
+            }
+            Event::PersistFailures { campaign, count } => {
+                put("campaign", Value::String(campaign.clone()));
+                put("count", num(*count as u64));
+            }
+            Event::LeaseAcquired {
+                owner,
+                shard,
+                missing_jobs,
+                reclaimed,
+            } => {
+                put("owner", Value::String(owner.clone()));
+                put("shard", num(*shard as u64));
+                put("missing_jobs", num(*missing_jobs as u64));
+                put("reclaimed", Value::Bool(*reclaimed));
+            }
+            Event::LeaseHeld {
+                owner,
+                shard,
+                holder,
+                evicted_stale,
+            } => {
+                put("owner", Value::String(owner.clone()));
+                put("shard", num(*shard as u64));
+                put("holder", Value::String(holder.clone()));
+                put("evicted_stale", Value::Bool(*evicted_stale));
+            }
+            Event::LeaseRetry {
+                owner,
+                shard,
+                attempt,
+                delay,
+            } => {
+                put("owner", Value::String(owner.clone()));
+                put("shard", num(*shard as u64));
+                put("attempt", num(u64::from(*attempt)));
+                put("delay_ms", num(ms(*delay)));
+            }
+            Event::LeaseRenewed { owner, shard, ok } => {
+                put("owner", Value::String(owner.clone()));
+                put("shard", num(*shard as u64));
+                put("ok", Value::Bool(*ok));
+            }
+            Event::LeaseReleased { owner, shard } => {
+                put("owner", Value::String(owner.clone()));
+                put("shard", num(*shard as u64));
+            }
+            Event::WaitRound { owner, rounds } => {
+                put("owner", Value::String(owner.clone()));
+                put("rounds", num(*rounds as u64));
+            }
+            Event::RetryAttempt {
+                what,
+                attempt,
+                delay,
+                error,
+            } => {
+                put("what", Value::String(what.clone()));
+                put("attempt", num(u64::from(*attempt)));
+                put("delay_ms", num(ms(*delay)));
+                put("error", Value::String(error.clone()));
+            }
+        }
+        Value::Object(m)
+    }
+
+    /// The human console line, if this event has one: `(to_stderr,
+    /// needs_verbose, line)`. Failure lines go to stderr unconditionally;
+    /// progress lines go to stdout only when verbose. The texts are the
+    /// runner's historical lines, which tooling greps.
+    fn console(&self) -> Option<(bool, bool, String)> {
+        match self {
+            Event::CampaignPlanned {
+                campaign,
+                cells,
+                unique_jobs,
+                deduped,
+                cached,
+                to_simulate,
+                threads,
+            } => Some((
+                false,
+                true,
+                format!(
+                    "campaign `{campaign}`: {cells} cells -> {unique_jobs} unique jobs \
+                     ({deduped} deduped in flight), {cached} cached, {to_simulate} to \
+                     simulate on {threads} threads"
+                ),
+            )),
+            Event::CampaignSimulated {
+                campaign,
+                simulated,
+                wall,
+            } => Some((
+                false,
+                true,
+                format!("campaign `{campaign}`: simulated {simulated} jobs in {wall:.1?}"),
+            )),
+            Event::AppendFailed {
+                shard,
+                label,
+                error,
+                ..
+            } => Some((
+                true,
+                false,
+                format!("campaign store: append failed for {label} (shard {shard}): {error}"),
+            )),
+            Event::PersistFailures { campaign, count } => Some((
+                true,
+                false,
+                format!(
+                    "campaign `{campaign}`: {count} results could not be persisted and \
+                     will re-simulate on the next run"
+                ),
+            )),
+            Event::LeaseAcquired {
+                owner,
+                shard,
+                missing_jobs,
+                reclaimed,
+            } => Some((
+                false,
+                true,
+                format!(
+                    "worker `{owner}`: leased shard {shard} ({missing_jobs} missing jobs{})",
+                    if *reclaimed {
+                        ", reclaimed from dead owner"
+                    } else {
+                        ""
+                    }
+                ),
+            )),
+            Event::LeaseHeld {
+                owner,
+                shard,
+                holder,
+                evicted_stale,
+            } => Some((
+                false,
+                true,
+                format!(
+                    "worker `{owner}`: shard {shard} held by `{holder}`{}",
+                    if *evicted_stale {
+                        " (after this worker evicted a stale lease)"
+                    } else {
+                        ""
+                    }
+                ),
+            )),
+            Event::JobSimulated { .. }
+            | Event::LeaseRetry { .. }
+            | Event::LeaseRenewed { .. }
+            | Event::LeaseReleased { .. }
+            | Event::WaitRound { .. }
+            | Event::RetryAttempt { .. } => None,
+        }
+    }
+}
+
+/// A campaign event sink: an optional JSONL file plus the console.
+///
+/// Cloneable via `Arc`; `emit` takes `&self` and is safe from executor
+/// worker threads.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    sink: Option<Mutex<std::fs::File>>,
+}
+
+impl EventLog {
+    /// A log with no JSONL sink: events only render their console lines.
+    pub fn disabled() -> Self {
+        EventLog::default()
+    }
+
+    /// Opens (appending) a JSONL sink at `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn to_path(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(EventLog {
+            sink: Some(Mutex::new(file)),
+        })
+    }
+
+    /// Whether a JSONL sink is attached.
+    pub fn is_recording(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits one event: appends its JSON line to the sink (if any) and
+    /// prints its console line (progress lines only when `verbose`).
+    /// Sink write failures are swallowed — diagnostics must never fail a
+    /// campaign.
+    pub fn emit(&self, verbose: bool, event: &Event) {
+        if let Some(sink) = &self.sink {
+            let line = event.to_json().to_string();
+            let mut f = sink.lock().expect("event sink lock");
+            let _ = writeln!(f, "{line}");
+            let _ = f.flush();
+        }
+        if let Some((to_stderr, needs_verbose, line)) = event.console() {
+            if to_stderr {
+                eprintln!("{line}");
+            } else if verbose && needs_verbose {
+                println!("{line}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_flat_json_with_name_and_timestamp() {
+        let e = Event::LeaseAcquired {
+            owner: "w-1".into(),
+            shard: 3,
+            missing_jobs: 7,
+            reclaimed: true,
+        };
+        let v = e.to_json();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("event").unwrap().as_str(), Some("lease_acquired"));
+        assert!(obj.get("ts_ms").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(obj.get("owner").unwrap().as_str(), Some("w-1"));
+        assert_eq!(obj.get("shard").unwrap().as_u64(), Some(3));
+        assert_eq!(obj.get("reclaimed"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn append_failures_name_shard_and_label() {
+        let e = Event::AppendFailed {
+            owner: Some("w-9".into()),
+            shard: 5,
+            label: "mix00/DSARP@32Gb".into(),
+            error: "disk full".into(),
+        };
+        let (to_stderr, _, line) = e.console().unwrap();
+        assert!(to_stderr);
+        assert!(line.contains("mix00/DSARP@32Gb"), "{line}");
+        assert!(line.contains("shard 5"), "{line}");
+        let obj = e.to_json();
+        assert_eq!(
+            obj.as_object().unwrap().get("label").unwrap().as_str(),
+            Some("mix00/DSARP@32Gb")
+        );
+    }
+
+    #[test]
+    fn sink_collects_one_json_line_per_event() {
+        let dir = std::env::temp_dir()
+            .join("dsarp-events-tests")
+            .join(format!("sink-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("events.jsonl");
+        let log = EventLog::to_path(&path).unwrap();
+        assert!(log.is_recording());
+        log.emit(
+            false,
+            &Event::WaitRound {
+                owner: "w".into(),
+                rounds: 1,
+            },
+        );
+        log.emit(
+            false,
+            &Event::LeaseReleased {
+                owner: "w".into(),
+                shard: 2,
+            },
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(
+            first.as_object().unwrap().get("event").unwrap().as_str(),
+            Some("wait_round")
+        );
+        let second: Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(
+            second.as_object().unwrap().get("event").unwrap().as_str(),
+            Some("lease_released")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_lines_match_legacy_console_format() {
+        let planned = Event::CampaignPlanned {
+            campaign: "paper".into(),
+            cells: 10,
+            unique_jobs: 8,
+            deduped: 2,
+            cached: 8,
+            to_simulate: 0,
+            threads: 4,
+        };
+        let (_, _, line) = planned.console().unwrap();
+        assert_eq!(
+            line,
+            "campaign `paper`: 10 cells -> 8 unique jobs (2 deduped in flight), \
+             8 cached, 0 to simulate on 4 threads"
+        );
+        let held = Event::LeaseHeld {
+            owner: "a".into(),
+            shard: 1,
+            holder: "b".into(),
+            evicted_stale: false,
+        };
+        let (_, _, line) = held.console().unwrap();
+        assert_eq!(line, "worker `a`: shard 1 held by `b`");
+    }
+}

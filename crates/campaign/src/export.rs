@@ -32,8 +32,8 @@ pub fn write_jsonl<T: serde::Serialize>(dir: &Path, name: &str, rows: &[T]) -> s
     Ok(())
 }
 
-/// Writes the campaign's cache stats and sweep inventory as
-/// `<dir>/campaign_report.json`.
+/// Writes the campaign's cache stats, per-phase wall times and sweep
+/// inventory as `<dir>/campaign_report.json`.
 ///
 /// # Errors
 ///
@@ -44,6 +44,10 @@ pub fn write_report_json(dir: &Path, report: &CampaignReport) -> std::io::Result
     doc.insert(
         "stats".into(),
         serde_json::to_value(report.stats).expect("stats serialize"),
+    );
+    doc.insert(
+        "timing".into(),
+        serde_json::to_value(report.timing).expect("timing serializes"),
     );
     let sweeps: Vec<serde_json::Value> = report
         .grids

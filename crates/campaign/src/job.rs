@@ -2,7 +2,7 @@
 
 use crate::fingerprint::{fingerprint_value, Fingerprint};
 use crate::traces::{TraceRef, TraceWorkload};
-use dsarp_sim::{SimConfig, System};
+use dsarp_sim::{RunStats, SimConfig, SimTelemetry, System};
 use dsarp_workloads::{BenchmarkSpec, Workload};
 use serde::{Deserialize, Serialize};
 use serde_json::{Map, Value};
@@ -191,6 +191,22 @@ impl Job {
         }
     }
 
+    /// [`Job::run_record`] plus the run's [`SimTelemetry`] sidecar. The
+    /// record is built from the same fields whether telemetry is sampled
+    /// or not (sampling is observationally pure), so record bytes — and
+    /// therefore shard files — are identical either way.
+    pub fn run_record_with_telemetry(
+        &self,
+        fp: Fingerprint,
+    ) -> (crate::store::Record, Option<Box<SimTelemetry>>) {
+        let (output, telemetry) = self.execute_with_telemetry(true);
+        let record = match output {
+            JobOutput::Alone(ipc) => crate::store::Record::alone(fp, self.label(), ipc),
+            JobOutput::Grid(summary) => crate::store::Record::grid(fp, self.label(), summary),
+        };
+        (record, telemetry)
+    }
+
     /// Runs the simulation.
     ///
     /// # Panics
@@ -199,43 +215,56 @@ impl Job {
     /// vanishes or its content changes between campaign expansion and
     /// execution — see [`TraceRef::open`].
     pub fn execute(&self) -> JobOutput {
-        match self {
+        self.execute_with_telemetry(false).0
+    }
+
+    /// [`Job::execute`], optionally sampling simulator telemetry.
+    pub fn execute_with_telemetry(
+        &self,
+        telemetry: bool,
+    ) -> (JobOutput, Option<Box<SimTelemetry>>) {
+        let mut stats = self.run_stats(telemetry);
+        let telemetry = stats.telemetry.take();
+        let output = match self {
+            Job::Alone { .. } | Job::TraceAlone { .. } => JobOutput::Alone(stats.ipc[0].max(1e-9)),
+            Job::Grid { .. } | Job::TraceGrid { .. } => JobOutput::Grid(RunSummary {
+                energy_per_access_nj: stats.energy_per_access_nj(),
+                total_ipc: stats.total_ipc(),
+                ipc: stats.ipc,
+            }),
+        };
+        (output, telemetry)
+    }
+
+    /// Builds the job's [`System`] and runs it to raw stats.
+    fn run_stats(&self, telemetry: bool) -> RunStats {
+        let (mut system, cycles) = match self {
             Job::Alone { cfg, bench, cycles } => {
                 let wl = Workload::alone_for(bench);
-                JobOutput::Alone(System::new(cfg, &wl).run(*cycles).ipc[0].max(1e-9))
+                (System::new(cfg, &wl), *cycles)
             }
             Job::Grid {
                 cfg,
                 workload,
                 cycles,
-            } => {
-                let stats = System::new(cfg, workload).run(*cycles);
-                JobOutput::Grid(RunSummary {
-                    energy_per_access_nj: stats.energy_per_access_nj(),
-                    total_ipc: stats.total_ipc(),
-                    ipc: stats.ipc,
-                })
-            }
+            } => (System::new(cfg, workload), *cycles),
             Job::TraceAlone { cfg, trace, cycles } => {
                 let sources = vec![Box::new(trace.open()) as Box<dyn dsarp_cpu::TraceSource>];
-                JobOutput::Alone(
-                    System::with_trace_sources(cfg, sources).run(*cycles).ipc[0].max(1e-9),
-                )
+                (System::with_trace_sources(cfg, sources), *cycles)
             }
             Job::TraceGrid {
                 cfg,
                 workload,
                 cycles,
-            } => {
-                let stats =
-                    System::with_trace_sources(cfg, workload.sources(cfg.cores)).run(*cycles);
-                JobOutput::Grid(RunSummary {
-                    energy_per_access_nj: stats.energy_per_access_nj(),
-                    total_ipc: stats.total_ipc(),
-                    ipc: stats.ipc,
-                })
-            }
+            } => (
+                System::with_trace_sources(cfg, workload.sources(cfg.cores)),
+                *cycles,
+            ),
+        };
+        if telemetry {
+            system.enable_telemetry();
         }
+        system.run(cycles)
     }
 }
 

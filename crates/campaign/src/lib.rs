@@ -73,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod events;
 pub mod export;
 pub mod fingerprint;
 pub mod job;
@@ -85,13 +86,14 @@ pub mod store;
 pub mod traces;
 
 pub use backend::{AcquireOutcome, BackendLease, LocalBackend, StoreBackend};
+pub use events::{Event, EventLog};
 pub use fingerprint::Fingerprint;
 pub use job::{Job, JobOutput, RunSummary};
 pub use lease::{Lease, LeaseInfo};
 pub use remote::RemoteStore;
 pub use retry::RetryPolicy;
 pub use runner::{
-    CacheStats, Campaign, CampaignClient, CampaignReport, WorkerOptions, WorkerReport,
+    CacheStats, Campaign, CampaignClient, CampaignReport, PhaseTiming, WorkerOptions, WorkerReport,
 };
 pub use spec::{CampaignSpec, CampaignWorkload, SweepSpec, WorkloadSet};
 pub use store::{CompactionStats, Record, Store};

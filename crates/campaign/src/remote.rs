@@ -82,6 +82,25 @@ struct ShardCache {
     records: HashMap<u128, Record>,
 }
 
+/// Callback invoked before each transient-failure back-off:
+/// `(what, attempt, delay, error)`.
+pub type RetryObserver = Box<dyn Fn(&str, u32, std::time::Duration, &io::Error) + Send + Sync>;
+
+/// Optional [`RetryObserver`] with a quiet `Debug` (closures are not
+/// `Debug`, and `RemoteStore` is).
+#[derive(Default)]
+struct ObserverCell(Option<RetryObserver>);
+
+impl std::fmt::Debug for ObserverCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "RetryObserver(set)"
+        } else {
+            "RetryObserver(unset)"
+        })
+    }
+}
+
 /// A campaign store behind an HTTP campaign server.
 #[derive(Debug)]
 pub struct RemoteStore {
@@ -90,6 +109,7 @@ pub struct RemoteStore {
     shards: Vec<Mutex<ShardCache>>,
     policy: RetryPolicy,
     seed: u64,
+    observer: ObserverCell,
 }
 
 /// Strips an optional `http://` scheme and trailing slashes, leaving
@@ -145,6 +165,7 @@ impl RemoteStore {
                 .collect(),
             policy: RetryPolicy::remote(),
             seed: retry::seed_for(url, 0),
+            observer: ObserverCell::default(),
         };
         let resp = store.request("GET", "/campaign", &[], &[], "campaign handshake")?;
         let info: CampaignInfo =
@@ -170,6 +191,13 @@ impl RemoteStore {
         &self.url
     }
 
+    /// Installs a retry observer, called before each transient-failure
+    /// back-off on any request this store makes — the campaign event log
+    /// records retries through this.
+    pub fn set_retry_observer(&mut self, observer: RetryObserver) {
+        self.observer = ObserverCell(Some(observer));
+    }
+
     /// One request with transient-failure retries; the shared connection
     /// is held across the call, serializing requests from worker threads.
     fn request(
@@ -181,10 +209,20 @@ impl RemoteStore {
         what: &str,
     ) -> io::Result<Response> {
         let mut client = self.client.lock().expect("client lock poisoned");
-        retry::retry_transient(&self.policy, self.seed, what, || {
-            let resp = client.request(method, target, headers, body)?;
-            check(resp, what)
-        })
+        retry::retry_transient_observed(
+            &self.policy,
+            self.seed,
+            what,
+            |attempt, delay, e| {
+                if let Some(observer) = &self.observer.0 {
+                    observer(what, attempt, delay, e);
+                }
+            },
+            || {
+                let resp = client.request(method, target, headers, body)?;
+                check(resp, what)
+            },
+        )
     }
 
     /// Pulls the bytes `shard` grew since the last pull into its cache.

@@ -92,6 +92,24 @@ pub fn retry_transient<T>(
     policy: &RetryPolicy,
     seed: u64,
     what: &str,
+    op: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    retry_transient_observed(policy, seed, what, |_, _, _| {}, op)
+}
+
+/// [`retry_transient`] with an observer: `on_retry(attempt, delay, error)`
+/// is called before each back-off sleep (never for the final failure or a
+/// permanent error), so callers can surface retry activity — the campaign
+/// event log records one `retry_attempt` event per call.
+///
+/// # Errors
+///
+/// As [`retry_transient`].
+pub fn retry_transient_observed<T>(
+    policy: &RetryPolicy,
+    seed: u64,
+    what: &str,
+    mut on_retry: impl FnMut(u32, Duration, &io::Error),
     mut op: impl FnMut() -> io::Result<T>,
 ) -> io::Result<T> {
     let mut attempt = 0;
@@ -99,7 +117,9 @@ pub fn retry_transient<T>(
         match op() {
             Ok(v) => return Ok(v),
             Err(e) if is_transient(e.kind()) && attempt + 1 < policy.max_attempts => {
-                std::thread::sleep(policy.delay_for(attempt, seed));
+                let delay = policy.delay_for(attempt, seed);
+                on_retry(attempt, delay, &e);
+                std::thread::sleep(delay);
                 attempt += 1;
             }
             Err(e) if is_transient(e.kind()) => {
@@ -159,6 +179,31 @@ mod tests {
         })
         .unwrap();
         assert_eq!(out, 3);
+    }
+
+    #[test]
+    fn observer_sees_each_backoff_but_not_the_final_failure() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(1),
+        };
+        let mut seen = Vec::new();
+        let err = retry_transient_observed::<()>(
+            &p,
+            5,
+            "op",
+            |attempt, delay, e| seen.push((attempt, delay, e.kind())),
+            || Err(Error::new(ErrorKind::ConnectionReset, "flaky")),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::ConnectionReset);
+        assert_eq!(seen.len(), 2, "one callback per back-off sleep");
+        assert_eq!(seen[0].0, 0);
+        assert_eq!(seen[1].0, 1);
+        assert!(seen
+            .iter()
+            .all(|(_, _, k)| *k == ErrorKind::ConnectionReset));
     }
 
     #[test]

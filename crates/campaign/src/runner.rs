@@ -18,9 +18,10 @@
 //!   byte-identical merged grids.
 
 use crate::backend::{AcquireOutcome, BackendLease, LocalBackend, StoreBackend};
+use crate::events::{Event, EventLog};
 use crate::fingerprint::Fingerprint;
 use crate::job::Job;
-use crate::lease;
+use crate::lease::{self, Renew};
 use crate::retry::{self, RetryPolicy};
 use crate::spec::{CampaignSpec, CampaignWorkload, SweepSpec};
 use crate::store::{Record, Store};
@@ -29,6 +30,7 @@ use dsarp_sim::Metrics;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Cache behaviour of one campaign run.
@@ -54,6 +56,25 @@ impl CacheStats {
     }
 }
 
+/// Wall time spent in each phase of a campaign run. Diagnostic only —
+/// written into `campaign_report.json`, never into fingerprints, records
+/// or grids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct PhaseTiming {
+    /// Workload resolution, sweep expansion and cache partition (ms).
+    pub expand_ms: u64,
+    /// Simulating the cache misses (or draining shards, for merges) (ms).
+    pub simulate_ms: u64,
+    /// Assembling per-sweep grids from the record store (ms).
+    pub assemble_ms: u64,
+    /// End-to-end run time (ms).
+    pub total_ms: u64,
+}
+
+fn elapsed_ms(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
 /// The outcome of [`Campaign::run`].
 #[derive(Debug)]
 pub struct CampaignReport {
@@ -61,6 +82,8 @@ pub struct CampaignReport {
     pub grids: BTreeMap<String, Grid>,
     /// Cache behaviour of this run.
     pub stats: CacheStats,
+    /// Per-phase wall times of this run.
+    pub timing: PhaseTiming,
 }
 
 impl CampaignReport {
@@ -265,6 +288,13 @@ pub struct Campaign {
     root: std::path::PathBuf,
     /// Print progress lines to stdout while running.
     pub verbose: bool,
+    /// Sample simulator telemetry for every cell simulated by
+    /// [`Campaign::run`], dumping one JSON sidecar per cell under
+    /// `<store dir>/telemetry/<fingerprint>.json`. Sampling is
+    /// observationally pure: fingerprints, shard records and grids are
+    /// byte-identical either way.
+    pub telemetry: bool,
+    events: Arc<EventLog>,
 }
 
 impl Campaign {
@@ -281,7 +311,15 @@ impl Campaign {
             store,
             root: root.to_path_buf(),
             verbose: false,
+            telemetry: false,
+            events: Arc::new(EventLog::disabled()),
         })
+    }
+
+    /// Attaches a structured event log; every progress event of
+    /// subsequent runs is appended to it.
+    pub fn set_events(&mut self, events: Arc<EventLog>) {
+        self.events = events;
     }
 
     /// The campaign spec.
@@ -311,6 +349,7 @@ impl Campaign {
     fn client(&self) -> std::io::Result<(CampaignClient, LocalBackend)> {
         let mut client = CampaignClient::new(self.spec.clone());
         client.verbose = self.verbose;
+        client.set_events(Arc::clone(&self.events));
         let backend = LocalBackend::open(&self.root, &self.spec.name)?;
         Ok((client, backend))
     }
@@ -343,31 +382,77 @@ impl Campaign {
             simulated: missing.len(),
             persist_failures: 0,
         };
-        if self.verbose {
-            println!(
-                "campaign `{}`: {} cells -> {} unique jobs ({} deduped in flight), \
-                 {} cached, {} to simulate on {} threads",
-                self.spec.name,
-                stats.cells,
-                stats.unique_jobs,
-                stats.deduped_in_flight(),
-                stats.cache_hits,
-                stats.simulated,
-                scale.resolved_threads(),
-            );
-        }
+        let mut timing = PhaseTiming {
+            expand_ms: elapsed_ms(t0),
+            ..PhaseTiming::default()
+        };
+        self.events.emit(
+            self.verbose,
+            &Event::CampaignPlanned {
+                campaign: self.spec.name.clone(),
+                cells: stats.cells,
+                unique_jobs: stats.unique_jobs,
+                deduped: stats.deduped_in_flight(),
+                cached: stats.cache_hits,
+                to_simulate: stats.simulated,
+                threads: scale.resolved_threads(),
+            },
+        );
 
         // 3. Simulate the misses; every completed job is appended to its
         //    shard and flushed before the worker picks up the next one, so
         //    progress survives kill/restart.
+        let t_sim = Instant::now();
+        let telemetry_dir = if self.telemetry {
+            let dir = self.store.dir().join("telemetry");
+            std::fs::create_dir_all(&dir)?;
+            Some(dir)
+        } else {
+            None
+        };
         let store = &self.store;
+        let events = &self.events;
+        let verbose = self.verbose;
         let append_errors = AtomicUsize::new(0);
         let records = parallel_map(&missing, scale.resolved_threads(), |(fp, job)| {
-            let record = job.run_record(*fp);
+            let t_job = Instant::now();
+            let record = if let Some(dir) = &telemetry_dir {
+                let (record, telemetry) = job.run_record_with_telemetry(*fp);
+                if let Some(telemetry) = telemetry {
+                    let path = dir.join(format!("{fp}.json"));
+                    let doc = serde_json::to_string(&telemetry).expect("telemetry serializes");
+                    if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
+                        eprintln!(
+                            "campaign telemetry: sidecar write failed for {}: {e}",
+                            record.label
+                        );
+                    }
+                }
+                record
+            } else {
+                job.run_record(*fp)
+            };
+            events.emit(
+                verbose,
+                &Event::JobSimulated {
+                    owner: None,
+                    shard: Store::shard_of(*fp),
+                    label: record.label.clone(),
+                    wall: t_job.elapsed(),
+                },
+            );
             if let Err(e) = store.append(*fp, &record) {
                 // Still usable in memory this run; it will re-simulate next
                 // time instead of resuming.
-                eprintln!("campaign store: append failed for {}: {e}", record.label);
+                events.emit(
+                    verbose,
+                    &Event::AppendFailed {
+                        owner: None,
+                        shard: Store::shard_of(*fp),
+                        label: record.label.clone(),
+                        error: e.to_string(),
+                    },
+                );
                 append_errors.fetch_add(1, Ordering::Relaxed);
             }
             record
@@ -375,24 +460,30 @@ impl Campaign {
         for ((fp, _), record) in missing.iter().zip(records) {
             self.store.absorb(*fp, record);
         }
+        timing.simulate_ms = elapsed_ms(t_sim);
         stats.persist_failures = append_errors.load(Ordering::Relaxed);
         if stats.persist_failures > 0 {
-            eprintln!(
-                "campaign `{}`: {} results could not be persisted and will \
-                 re-simulate on the next run",
-                self.spec.name, stats.persist_failures
+            self.events.emit(
+                self.verbose,
+                &Event::PersistFailures {
+                    campaign: self.spec.name.clone(),
+                    count: stats.persist_failures,
+                },
             );
         }
-        if self.verbose && stats.simulated > 0 {
-            println!(
-                "campaign `{}`: simulated {} jobs in {:.1?}",
-                self.spec.name,
-                stats.simulated,
-                t0.elapsed()
+        if stats.simulated > 0 {
+            self.events.emit(
+                self.verbose,
+                &Event::CampaignSimulated {
+                    campaign: self.spec.name.clone(),
+                    simulated: stats.simulated,
+                    wall: t0.elapsed(),
+                },
             );
         }
 
         // 4. Assemble per-sweep grids from the (now complete) store.
+        let t_asm = Instant::now();
         let mut grids = BTreeMap::new();
         for (sweep, workloads) in self.spec.sweeps.iter().zip(&resolved) {
             grids.insert(
@@ -400,7 +491,13 @@ impl Campaign {
                 assemble_from(&self.spec, sweep, workloads, self.store.records()),
             );
         }
-        Ok(CampaignReport { grids, stats })
+        timing.assemble_ms = elapsed_ms(t_asm);
+        timing.total_ms = elapsed_ms(t0);
+        Ok(CampaignReport {
+            grids,
+            stats,
+            timing,
+        })
     }
 
     /// Participates in a distributed drain of this campaign over its local
@@ -435,6 +532,31 @@ impl Campaign {
     }
 }
 
+/// A [`Renew`] wrapper that records each heartbeat renewal in the event
+/// log (success and failure alike; the protocol tolerates failures).
+struct ObservedLease<'a> {
+    lock: &'a BackendLease<'a>,
+    events: &'a EventLog,
+    verbose: bool,
+    owner: &'a str,
+    shard: usize,
+}
+
+impl Renew for ObservedLease<'_> {
+    fn renew(&self) -> std::io::Result<()> {
+        let outcome = self.lock.renew();
+        self.events.emit(
+            self.verbose,
+            &Event::LeaseRenewed {
+                owner: self.owner.to_string(),
+                shard: self.shard,
+                ok: outcome.is_ok(),
+            },
+        );
+        outcome
+    }
+}
+
 /// Drives a distributed campaign drain through any [`StoreBackend`]: the
 /// spec-only counterpart of [`Campaign`] for processes that may have no
 /// store directory at all (remote workers reach the shards through a
@@ -446,6 +568,7 @@ pub struct CampaignClient {
     spec: CampaignSpec,
     /// Print progress lines to stdout while running.
     pub verbose: bool,
+    events: Arc<EventLog>,
 }
 
 impl CampaignClient {
@@ -456,7 +579,14 @@ impl CampaignClient {
         CampaignClient {
             spec,
             verbose: false,
+            events: Arc::new(EventLog::disabled()),
         }
+    }
+
+    /// Attaches a structured event log; every progress event of
+    /// subsequent drains is appended to it.
+    pub fn set_events(&mut self, events: Arc<EventLog>) {
+        self.events = events;
     }
 
     /// The campaign spec.
@@ -557,22 +687,26 @@ impl CampaignClient {
                         if reclaimed {
                             report.reclaimed += 1;
                         }
-                        if self.verbose {
-                            println!(
-                                "worker `{}`: leased shard {shard} ({} missing jobs{})",
-                                opts.owner,
-                                jobs.len(),
-                                if reclaimed {
-                                    ", reclaimed from dead owner"
-                                } else {
-                                    ""
-                                },
-                            );
-                        }
+                        self.events.emit(
+                            self.verbose,
+                            &Event::LeaseAcquired {
+                                owner: opts.owner.clone(),
+                                shard,
+                                missing_jobs: jobs.len(),
+                                reclaimed,
+                            },
+                        );
                         let lock =
                             BackendLease::new(backend, shard, &opts.owner, opts.ttl_ms, reclaimed);
                         self.run_leased(backend, &lock, shard, jobs, threads, opts, &mut report)?;
                         lock.release()?;
+                        self.events.emit(
+                            self.verbose,
+                            &Event::LeaseReleased {
+                                owner: opts.owner.clone(),
+                                shard,
+                            },
+                        );
                         // Everything in this shard is now in the store:
                         // computed here, or seen during the under-lease
                         // re-read.
@@ -590,18 +724,15 @@ impl CampaignClient {
                             // the peer's.
                             report.reclaimed += 1;
                         }
-                        if self.verbose {
-                            println!(
-                                "worker `{}`: shard {shard} held by `{}`{}",
-                                opts.owner,
-                                holder.owner,
-                                if evicted_stale {
-                                    " (after this worker evicted a stale lease)"
-                                } else {
-                                    ""
-                                }
-                            );
-                        }
+                        self.events.emit(
+                            self.verbose,
+                            &Event::LeaseHeld {
+                                owner: opts.owner.clone(),
+                                shard,
+                                holder: holder.owner.clone(),
+                                evicted_stale,
+                            },
+                        );
                     }
                 }
             }
@@ -618,6 +749,13 @@ impl CampaignClient {
                 // Everything left is leased by live workers: wait for their
                 // appends (or their deaths) to show up on rescan.
                 report.wait_rounds += 1;
+                self.events.emit(
+                    self.verbose,
+                    &Event::WaitRound {
+                        owner: opts.owner.clone(),
+                        rounds: report.wait_rounds,
+                    },
+                );
                 std::thread::sleep(Duration::from_millis(opts.poll_ms));
             }
         }
@@ -647,7 +785,17 @@ impl CampaignClient {
                     ..
                 } if attempt + 1 < policy.max_attempts => {
                     report.reclaimed += 1;
-                    std::thread::sleep(policy.delay_for(attempt, seed));
+                    let delay = policy.delay_for(attempt, seed);
+                    self.events.emit(
+                        self.verbose,
+                        &Event::LeaseRetry {
+                            owner: opts.owner.clone(),
+                            shard,
+                            attempt,
+                            delay,
+                        },
+                    );
+                    std::thread::sleep(delay);
                     attempt += 1;
                 }
                 outcome => return Ok(outcome),
@@ -690,8 +838,15 @@ impl CampaignClient {
         // still safe (records are content-addressed and deterministic, so
         // the successor's appends are byte-identical duplicates).
         let heartbeat = lease::Heartbeat::new();
+        let observed = ObservedLease {
+            lock,
+            events: &self.events,
+            verbose: self.verbose,
+            owner: &opts.owner,
+            shard,
+        };
         std::thread::scope(|s| {
-            s.spawn(|| heartbeat.run(&[lock], renew_every));
+            s.spawn(|| heartbeat.run(&[&observed], renew_every));
             // Stopped via Drop, not a trailing statement: if a job panics,
             // thread::scope must still join the heartbeat thread, which
             // would otherwise renew a doomed worker's lease forever and
@@ -701,9 +856,27 @@ impl CampaignClient {
                 if opts.job_delay_ms > 0 {
                     std::thread::sleep(Duration::from_millis(opts.job_delay_ms));
                 }
+                let t_job = Instant::now();
                 let record = job.run_record(*fp);
+                self.events.emit(
+                    self.verbose,
+                    &Event::JobSimulated {
+                        owner: Some(opts.owner.clone()),
+                        shard,
+                        label: record.label.clone(),
+                        wall: t_job.elapsed(),
+                    },
+                );
                 if let Err(e) = backend.append(*fp, &record) {
-                    eprintln!("campaign store: append failed for {}: {e}", record.label);
+                    self.events.emit(
+                        self.verbose,
+                        &Event::AppendFailed {
+                            owner: Some(opts.owner.clone()),
+                            shard,
+                            label: record.label.clone(),
+                            error: e.to_string(),
+                        },
+                    );
                     append_errors.fetch_add(1, Ordering::Relaxed);
                 }
             });
@@ -767,10 +940,15 @@ impl CampaignClient {
         backend: &dyn StoreBackend,
         opts: &WorkerOptions,
     ) -> std::io::Result<(CampaignReport, WorkerReport)> {
+        let t0 = Instant::now();
         let resolved = resolve_sweeps_of(&self.spec)?;
+        let expand_ms = elapsed_ms(t0);
+        let t_drain = Instant::now();
         let worker = self.run_worker_with(backend, &resolved, opts)?;
+        let simulate_ms = elapsed_ms(t_drain);
         // Snapshot every shard — including records other workers appended
         // during the drain — before assembling.
+        let t_asm = Instant::now();
         let records = backend.snapshot()?;
         let stats = CacheStats {
             cells: worker.cells,
@@ -789,6 +967,19 @@ impl CampaignClient {
                 assemble_from(&self.spec, sweep, workloads, &records),
             );
         }
-        Ok((CampaignReport { grids, stats }, worker))
+        let timing = PhaseTiming {
+            expand_ms,
+            simulate_ms,
+            assemble_ms: elapsed_ms(t_asm),
+            total_ms: elapsed_ms(t0),
+        };
+        Ok((
+            CampaignReport {
+                grids,
+                stats,
+                timing,
+            },
+            worker,
+        ))
     }
 }

@@ -191,3 +191,74 @@ fn campaign_grid_matches_direct_grid_compute() {
 fn spec_seed() -> u64 {
     dsarp_sim::experiments::harness::WORKLOAD_SEED
 }
+
+/// Every record line of a campaign store, sorted — append order across
+/// worker threads is racy, so byte-identity is asserted on the sorted
+/// line set, not on raw shard files.
+fn sorted_record_lines(campaign_dir: &std::path::Path) -> Vec<String> {
+    let mut lines = Vec::new();
+    for shard in 0..dsarp_campaign::store::SHARDS {
+        let path = dsarp_campaign::Store::shard_file(campaign_dir, shard);
+        if let Ok(text) = std::fs::read_to_string(path) {
+            lines.extend(text.lines().map(|l| format!("{shard:02} {l}")));
+        }
+    }
+    lines.sort();
+    lines
+}
+
+/// The acceptance criterion for `--telemetry`: sampling is observationally
+/// pure. The record lines and grids of a telemetry run are byte-identical
+/// to a plain run's; the telemetry lands exclusively in sidecar files, one
+/// parseable `SimTelemetry` per simulated cell.
+#[test]
+fn telemetry_sidecars_leave_records_and_grids_byte_identical() {
+    let plain_dir = tmpdir("tele-off");
+    let tele_dir = tmpdir("tele-on");
+    let plain = Campaign::open(&plain_dir, tiny_spec())
+        .unwrap()
+        .run()
+        .unwrap();
+    let mut campaign = Campaign::open(&tele_dir, tiny_spec()).unwrap();
+    campaign.telemetry = true;
+    let tele = campaign.run().unwrap();
+    assert!(plain.stats.simulated > 0 && tele.stats.simulated == plain.stats.simulated);
+
+    assert_eq!(
+        render(&plain),
+        render(&tele),
+        "grids must be byte-identical with telemetry on"
+    );
+    assert_eq!(
+        sorted_record_lines(&plain_dir.join("tiny")),
+        sorted_record_lines(&tele_dir.join("tiny")),
+        "record lines must be byte-identical with telemetry on"
+    );
+
+    let sidecars: Vec<_> = std::fs::read_dir(tele_dir.join("tiny").join("telemetry"))
+        .expect("telemetry sidecar dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    assert_eq!(
+        sidecars.len(),
+        tele.stats.simulated,
+        "one sidecar per simulated cell"
+    );
+    for path in sidecars {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let telemetry: dsarp_sim::SimTelemetry = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("unparseable sidecar {}: {e}", path.display()));
+        assert!(
+            telemetry.dram_cycles > 0,
+            "sidecar {} must carry a sampled run",
+            path.display()
+        );
+    }
+    assert!(
+        !plain_dir.join("tiny").join("telemetry").exists(),
+        "a plain run must not create the sidecar directory"
+    );
+    let _ = std::fs::remove_dir_all(plain_dir);
+    let _ = std::fs::remove_dir_all(tele_dir);
+}

@@ -86,6 +86,11 @@ pub struct MemoryController {
     shadow_ref_row: Vec<Vec<u32>>,
     shadow_sarp: Vec<Vec<Option<(usize, Cycle)>>>,
     stats: ControllerStats,
+    /// Precharges issued to close a conflicting open row for a demand
+    /// request (a strict subset of `stats.precharges`, which also counts
+    /// refresh-prep precharges). Kept outside [`ControllerStats`] so the
+    /// serialized stats stay unchanged; read by the opt-in telemetry.
+    row_conflicts: u64,
 }
 
 impl MemoryController {
@@ -112,6 +117,7 @@ impl MemoryController {
             shadow_ref_row: vec![vec![0; banks]; ranks],
             shadow_sarp: vec![vec![None; banks]; ranks],
             stats: ControllerStats::default(),
+            row_conflicts: 0,
         }
     }
 
@@ -139,6 +145,11 @@ impl MemoryController {
     /// Statistics so far.
     pub fn stats(&self) -> &ControllerStats {
         &self.stats
+    }
+
+    /// Row-conflict precharges issued for demand requests (telemetry).
+    pub fn row_conflicts(&self) -> u64 {
+        self.row_conflicts
     }
 
     /// The demand queues (read-only).
@@ -496,6 +507,7 @@ impl MemoryController {
                         if chan.can_issue(&pre, now) {
                             chan.issue(pre, now).expect("validated");
                             self.stats.precharges += 1;
+                            self.row_conflicts += 1;
                             return true;
                         }
                     }

@@ -66,6 +66,12 @@ pub struct DarpStats {
     pub write_parallelized: u64,
     /// Refreshes issued opportunistically to idle banks (Fig. 8 ③).
     pub opportunistic: u64,
+    /// Refreshes that served *postponed* debt (the bank was behind
+    /// schedule when the refresh issued).
+    pub postponed_catchup: u64,
+    /// Refreshes *pulled in* ahead of schedule (the bank was at or ahead
+    /// of schedule when the refresh issued).
+    pub pulled_in: u64,
 }
 
 impl Darp {
@@ -224,6 +230,13 @@ impl RefreshPolicy for Darp {
             panic!("DARP issued a non-per-bank refresh");
         };
         let d = &mut self.ranks[target.rank].debt[bank];
+        // Debt sign *before* the decrement distinguishes catching up
+        // postponed refreshes from pulling future ones in (§4.2.2).
+        if *d > 0 {
+            self.stats.postponed_catchup += 1;
+        } else {
+            self.stats.pulled_in += 1;
+        }
         *d -= 1;
         debug_assert!(*d >= -MAX_DEBT, "pull-in bound violated");
         let source = match self.proposal.take() {
@@ -235,6 +248,16 @@ impl RefreshPolicy for Darp {
             Source::WriteParallelized => self.stats.write_parallelized += 1,
             Source::Opportunistic => self.stats.opportunistic += 1,
         }
+    }
+
+    fn telemetry(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("darp_forced", self.stats.forced),
+            ("darp_write_parallelized", self.stats.write_parallelized),
+            ("darp_opportunistic", self.stats.opportunistic),
+            ("darp_postponed_catchup", self.stats.postponed_catchup),
+            ("darp_pulled_in", self.stats.pulled_in),
+        ]
     }
 }
 

@@ -79,6 +79,13 @@ pub trait RefreshPolicy: std::fmt::Debug + Send {
 
     /// Notification that the controller issued `target` at `now`.
     fn refresh_issued(&mut self, target: &RefreshTarget, now: Cycle);
+
+    /// Policy-specific telemetry counters as `(name, value)` pairs, for
+    /// the simulator's opt-in telemetry. Names are stable snake_case
+    /// identifiers; policies without interesting internals return nothing.
+    fn telemetry(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// The named mechanisms evaluated in the paper, as configuration values.

@@ -87,6 +87,10 @@ pub struct DramChannel {
     /// an *ablation* switch quantifying the power-integrity throttle's cost
     /// (a real device must keep it on).
     power_throttle: bool,
+    /// ACTs issued to a bank while that bank had a SARP refresh in flight
+    /// — accesses the subarray-parallelism mechanism made possible
+    /// (telemetry; always counted, only read when telemetry is enabled).
+    sarp_parallel_acts: u64,
 }
 
 impl DramChannel {
@@ -106,6 +110,7 @@ impl DramChannel {
             log: None,
             idd: IddValues::micron_8gb_ddr3_1333(),
             power_throttle: true,
+            sarp_parallel_acts: 0,
             geom,
             timing,
             sarp,
@@ -183,6 +188,12 @@ impl DramChannel {
     /// Whether (rank, bank) is unavailable due to a blocking refresh.
     pub fn bank_refresh_busy(&self, rank: usize, bank: usize, now: Cycle) -> bool {
         self.ranks[rank].bank(bank).is_refresh_busy(now) || self.ranks[rank].is_refab_busy(now)
+    }
+
+    /// ACTs issued to a bank while a SARP refresh was in flight in that
+    /// same bank — the accesses SARP parallelized with refresh.
+    pub fn sarp_parallel_acts(&self) -> u64 {
+        self.sarp_parallel_acts
     }
 
     /// Energy counters accumulated so far.
@@ -358,6 +369,11 @@ impl DramChannel {
         };
         match cmd {
             Command::Activate { rank, bank, row } => {
+                // Validation passed, so any in-flight SARP refresh in this
+                // bank targets a different subarray: a parallelized access.
+                if self.ranks[rank].bank(bank).sarp_refresh(now).is_some() {
+                    self.sarp_parallel_acts += 1;
+                }
                 let was_all_closed = self.ranks[rank].all_banks_closed();
                 self.ranks[rank]
                     .bank_mut(bank)

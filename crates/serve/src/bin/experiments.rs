@@ -7,12 +7,14 @@
 //!                       [--threads N] [--out DIR] [--campaign DIR] [--fresh]
 //!                       [--exp NAME] [--spec FILE.json] [--emit-spec FILE]
 //!                       [--traces DIR [--trace-cores N] [--trace-glob G]]
+//!                       [--events FILE.jsonl] [--telemetry]
 //! experiments worker    (--campaign DIR | --store-url URL)
 //!                       [--spec FILE | --traces DIR]
 //!                       [--owner ID] [--ttl-ms N] [--poll-ms N]
-//!                       [--threads N] [--exp NAME]
+//!                       [--threads N] [--exp NAME] [--events FILE.jsonl]
 //! experiments merge     (--campaign DIR | --store-url URL)
 //!                       [--spec FILE | --traces DIR] [... run flags]
+//! experiments status    [--campaign DIR] [--spec FILE | --traces DIR]
 //! experiments compact   --campaign DIR [--spec FILE | --traces DIR]
 //! experiments serve     [--listen ADDR] [--campaign DIR]
 //!                       [--spec FILE | --traces DIR]
@@ -29,6 +31,10 @@
 //! * `merge`: the coordinator — waits for leases to drain, reclaims dead
 //!   workers' unfinished cells (re-running them locally), then reduces
 //!   tables/figures exactly as `run` does, byte-identically.
+//! * `status`: one-shot progress table — per-shard done/missing cell
+//!   counts against the spec plus the current lease holders (live or
+//!   stale). Read-only; safe to run while workers drain. For a campaign
+//!   behind `experiments serve`, scrape `GET /status` instead.
 //! * `compact`: rewrites shards keeping only fingerprints reachable from
 //!   the spec, dropping orphaned records, duplicate appends and torn lines.
 //! * `serve`: hosts the campaign store over HTTP (prints the URL on the
@@ -51,6 +57,14 @@
 //!   the built-in paper campaign (no recompilation for new sweeps);
 //!   `--emit-spec FILE` dumps the built-in (or `--traces`) spec as a
 //!   starting point.
+//! * `--events FILE.jsonl` appends one structured JSON event per campaign
+//!   progress step (planning, per-job simulation, lease churn, remote
+//!   retries) to `FILE.jsonl` — see the README's "Observability" section
+//!   for the schema. Console output is unchanged.
+//! * `--telemetry` (run only) additionally samples per-bank simulator
+//!   telemetry and writes one sidecar JSON per simulated cell under
+//!   `<store>/telemetry/<fingerprint>.json`. Shard records and grids are
+//!   byte-identical with or without it.
 //!
 //! Outputs one CSV per artifact under `--out` (default `results/`), a
 //! combined `EXPERIMENTS_RAW.md`, and `campaign_report.json` with cache
@@ -59,8 +73,8 @@
 
 use dsarp_campaign::store::SHARDS;
 use dsarp_campaign::{
-    export, lease, traces, Campaign, CampaignClient, CampaignReport, CampaignSpec, RemoteStore,
-    Store, SweepSpec, WorkerOptions, WorkloadSet,
+    export, lease, traces, Campaign, CampaignClient, CampaignReport, CampaignSpec, Event, EventLog,
+    RemoteStore, Store, SweepSpec, WorkerOptions, WorkloadSet,
 };
 use dsarp_core::Mechanism;
 use dsarp_dram::Density;
@@ -70,6 +84,7 @@ use dsarp_sim::experiments::{
     overlap, report, table3, table4, table5, table6,
 };
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +92,7 @@ enum Cmd {
     Run,
     Worker,
     Merge,
+    Status,
     Compact,
     Serve,
     TraceCapture,
@@ -123,6 +139,10 @@ struct Args {
     capture_ops: usize,
     capture_seed: u64,
     capture_knobs_set: bool,
+    /// Structured JSONL event log destination (`--events FILE`).
+    events: Option<PathBuf>,
+    /// Per-cell simulator telemetry sidecars (`--telemetry`, run only).
+    telemetry: bool,
 }
 
 fn parse_args() -> Args {
@@ -157,6 +177,8 @@ fn parse_args() -> Args {
     // bit-exact only for loads-only streams — see the README.)
     let mut capture_seed = 0xD5A2_2014u64;
     let mut capture_knobs_set = false;
+    let mut events = None;
+    let mut telemetry = false;
     let mut trace_knobs_set = false;
     // Flags that only make sense for simulation-running subcommands; a
     // trace-capture passing one must refuse, not look configured.
@@ -176,6 +198,10 @@ fn parse_args() -> Args {
             i += 1;
             Cmd::Merge
         }
+        Some("status") => {
+            i += 1;
+            Cmd::Status
+        }
         Some("compact") => {
             i += 1;
             Cmd::Compact
@@ -189,7 +215,7 @@ fn parse_args() -> Args {
             Cmd::TraceCapture
         }
         Some(other) if !other.starts_with("--") => die(&format!(
-            "unknown subcommand `{other}` (run|worker|merge|compact|serve|trace-capture)"
+            "unknown subcommand `{other}` (run|worker|merge|status|compact|serve|trace-capture)"
         )),
         _ => Cmd::Run,
     };
@@ -239,6 +265,14 @@ fn parse_args() -> Args {
                 run_only_flags.push("--poll-ms");
                 poll_ms = next(&mut i).parse().expect("--poll-ms");
             }
+            "--events" => {
+                run_only_flags.push("--events");
+                events = Some(PathBuf::from(next(&mut i)));
+            }
+            "--telemetry" => {
+                run_only_flags.push("--telemetry");
+                telemetry = true;
+            }
             "--traces" => traces = Some(PathBuf::from(next(&mut i))),
             "--trace-cores" => {
                 trace_knobs_set = true;
@@ -273,9 +307,11 @@ fn parse_args() -> Args {
             Cmd::Worker | Cmd::Merge => {}
             _ => die(&format!(
                 "--store-url applies to worker/merge only, not `{}` \
-                 (run `experiments serve` on the host that owns the store)",
+                 (run `experiments serve` on the host that owns the store; \
+                 its GET /status endpoint replaces `status`)",
                 match cmd {
                     Cmd::Run => "run",
+                    Cmd::Status => "status",
                     Cmd::Compact => "compact",
                     Cmd::Serve => "serve",
                     Cmd::TraceCapture => "trace-capture",
@@ -292,6 +328,12 @@ fn parse_args() -> Args {
     }
     if listen.is_some() && cmd != Cmd::Serve {
         die("--listen applies to `serve` only");
+    }
+    if telemetry && cmd != Cmd::Run {
+        die("--telemetry applies to `run` only (sidecars are written by the local executor)");
+    }
+    if events.is_some() && !matches!(cmd, Cmd::Run | Cmd::Worker | Cmd::Merge) {
+        die("--events applies to run/worker/merge (the simulating subcommands)");
     }
     if cmd == Cmd::Serve && fresh {
         die("--fresh conflicts with serve (wipe the store before starting the server)");
@@ -377,6 +419,20 @@ fn parse_args() -> Args {
         capture_ops,
         capture_seed,
         capture_knobs_set,
+        events,
+        telemetry,
+    }
+}
+
+/// Opens the `--events` JSONL sink, or a disabled log when the flag is
+/// absent. Console output is identical either way.
+fn event_log(args: &Args) -> Arc<EventLog> {
+    match &args.events {
+        Some(path) => Arc::new(
+            EventLog::to_path(path)
+                .unwrap_or_else(|e| die(&format!("cannot open --events {}: {e}", path.display()))),
+        ),
+        None => Arc::new(EventLog::disabled()),
     }
 }
 
@@ -539,11 +595,79 @@ fn main() {
     let (spec, custom) = resolve_spec(&args);
     match args.cmd {
         Cmd::Worker => run_worker_cmd(&args, spec),
+        Cmd::Status => run_status_cmd(&args, &spec),
         Cmd::Compact => run_compact_cmd(&args, &spec),
         Cmd::Serve => run_serve_cmd(&args, spec),
         Cmd::Run | Cmd::Merge => run_or_merge(&args, spec, custom),
         Cmd::TraceCapture => unreachable!("handled above"),
     }
+}
+
+/// `status`: renders per-shard drain progress against the spec plus the
+/// current lease table, read-only (no lease taken, no record written).
+fn run_status_cmd(args: &Args, spec: &CampaignSpec) {
+    assert!(
+        !args.fresh,
+        "--fresh would wipe the store status is meant to inspect; use it with `run`"
+    );
+    let campaign_dir = args.campaign_dir.join(&spec.name);
+    // Expected cells per shard, from the same expansion run/worker use;
+    // cross-sweep duplicates collapse exactly as they do when simulating.
+    let mut expected: Vec<std::collections::HashSet<u128>> = (0..SHARDS)
+        .map(|_| std::collections::HashSet::new())
+        .collect();
+    for sweep in &spec.sweeps {
+        let jobs = sweep
+            .jobs(&spec.scale, spec.workload_seed)
+            .unwrap_or_else(|e| panic!("sweep `{}` failed to expand: {e}", sweep.name));
+        for job in jobs {
+            let fp = job.fingerprint();
+            expected[Store::shard_of(fp)].insert(fp.0);
+        }
+    }
+    let leases = lease::list(&campaign_dir, SHARDS);
+    let now = lease::now_ms();
+    println!(
+        "campaign `{}` at {} ({} sweeps)",
+        spec.name,
+        campaign_dir.display(),
+        spec.sweeps.len()
+    );
+    println!("shard   done missing  lease");
+    let (mut total_done, mut total_expected) = (0usize, 0usize);
+    for (shard, want) in expected.iter().enumerate() {
+        let present = Store::read_shard_fingerprints(&campaign_dir, shard)
+            .unwrap_or_else(|e| panic!("cannot read shard {shard}: {e}"));
+        let done = want.iter().filter(|fp| present.contains(fp)).count();
+        total_done += done;
+        total_expected += want.len();
+        let lease_text = match leases.iter().find(|(s, _, _)| *s == shard) {
+            Some((_, info, live)) => {
+                let age_ms = now.saturating_sub(info.heartbeat_ms);
+                format!(
+                    "{} `{}` (pid {}, heartbeat {age_ms} ms ago, ttl {} ms)",
+                    if *live { "held by" } else { "STALE from" },
+                    info.owner,
+                    info.pid,
+                    info.ttl_ms
+                )
+            }
+            None => String::from("-"),
+        };
+        println!(
+            "  {shard:02}  {done:>5} {:>7}  {lease_text}",
+            want.len() - done
+        );
+    }
+    let pct = if total_expected == 0 {
+        100.0
+    } else {
+        100.0 * total_done as f64 / total_expected as f64
+    };
+    println!(
+        "total: {total_done}/{total_expected} cells done ({pct:.1}%), {} lease files on disk",
+        leases.len()
+    );
 }
 
 /// `serve`: hosts the campaign store over HTTP until killed. The first
@@ -610,15 +734,33 @@ fn run_worker_cmd(args: &Args, spec: CampaignSpec) {
         "--fresh would wipe records other workers are producing; use it with `run`"
     );
     let opts = worker_options(args);
+    let events = event_log(args);
     let t0 = Instant::now();
     let report = match &args.store_url {
         Some(url) => {
             // Remote drain: every store and lease operation goes through
             // the campaign server; nothing is created locally.
-            let backend =
+            let mut backend =
                 RemoteStore::connect(url, &spec.name).expect("connect to campaign server");
+            if events.is_recording() {
+                // Transport back-offs land in the same JSONL stream as
+                // lease churn, so a flaky server is visible per attempt.
+                let log = Arc::clone(&events);
+                backend.set_retry_observer(Box::new(move |what, attempt, delay, error| {
+                    log.emit(
+                        false,
+                        &Event::RetryAttempt {
+                            what: what.to_string(),
+                            attempt,
+                            delay,
+                            error: error.to_string(),
+                        },
+                    );
+                }));
+            }
             let mut client = CampaignClient::new(spec);
             client.verbose = true;
+            client.set_events(events);
             client
                 .run_worker(&backend, &opts)
                 .expect("worker execution")
@@ -627,6 +769,7 @@ fn run_worker_cmd(args: &Args, spec: CampaignSpec) {
             let mut campaign =
                 Campaign::open(&args.campaign_dir, spec).expect("open campaign store");
             campaign.verbose = true;
+            campaign.set_events(events);
             campaign.run_worker(&opts).expect("worker execution")
         }
     };
@@ -792,6 +935,7 @@ fn run_or_merge(args: &Args, spec: CampaignSpec, custom: bool) {
         return;
     }
     let prefixes = required_sweeps(&args.only);
+    let events = event_log(args);
     let result = match (args.cmd, &args.store_url) {
         (Cmd::Merge, Some(url)) => {
             // Remote coordinator: drain + snapshot + assemble through the
@@ -799,10 +943,25 @@ fn run_or_merge(args: &Args, spec: CampaignSpec, custom: bool) {
             // output is byte-identical to a local merge over the same
             // records (assembly is deterministic in the record set).
             let opts = worker_options(args);
-            let backend =
+            let mut backend =
                 RemoteStore::connect(url, &spec.name).expect("connect to campaign server");
+            if events.is_recording() {
+                let log = Arc::clone(&events);
+                backend.set_retry_observer(Box::new(move |what, attempt, delay, error| {
+                    log.emit(
+                        false,
+                        &Event::RetryAttempt {
+                            what: what.to_string(),
+                            attempt,
+                            delay,
+                            error: error.to_string(),
+                        },
+                    );
+                }));
+            }
             let mut client = CampaignClient::new(spec);
             client.verbose = true;
+            client.set_events(events);
             let (result, worker) = client.merge(&backend, &opts).expect("campaign merge");
             print_merge_report(&t0, &opts, &worker);
             result
@@ -811,6 +970,8 @@ fn run_or_merge(args: &Args, spec: CampaignSpec, custom: bool) {
             let mut campaign =
                 Campaign::open(&args.campaign_dir, spec).expect("open campaign store");
             campaign.verbose = true;
+            campaign.telemetry = args.telemetry;
+            campaign.set_events(events);
             if cmd == Cmd::Merge {
                 let opts = worker_options(args);
                 let (result, worker) = campaign.merge(&opts).expect("campaign merge");

@@ -17,6 +17,8 @@
 //! | `POST /leases/{nn}` | acquire / renew / release a shard lease |
 //! | `GET /cells/{fingerprint}` | one record; fingerprint doubles as ETag |
 //! | `GET /export/grid_{sweep}.csv` | assembled grid CSV with content ETag |
+//! | `GET /metrics` | server metrics, Prometheus text exposition |
+//! | `GET /status` | campaign progress + lease table as JSON |
 //!
 //! Leases taken over HTTP are the same `shard-NN.lock` files local
 //! workers use — acquire runs [`Lease::acquire`] with the caller's owner
@@ -31,6 +33,13 @@
 //! `GET /cells/{fp}` trivially cacheable: the fingerprint IS the ETag,
 //! and a matching `If-None-Match` short-circuits to `304 Not Modified`
 //! without touching the store.
+//!
+//! Every request is also counted into a [`dsarp_obs::Registry`]:
+//! `dsarp_http_requests_total{method,route,code}`,
+//! `dsarp_http_request_duration_us{route}` and the request/response byte
+//! counters, scraped at `GET /metrics`. Routes are normalized (the shard
+//! number or fingerprint collapses to a `{..}` placeholder), so label
+//! cardinality is bounded by the route table above, not by traffic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,12 +49,14 @@ use dsarp_campaign::lease::{self, Acquire, Lease};
 use dsarp_campaign::remote::{AppendReply, CampaignInfo, LeaseReply, LeaseRequest, SizesReply};
 use dsarp_campaign::store::{Record, ShardTail, FORMAT_VERSION, SHARDS};
 use dsarp_campaign::{CampaignClient, CampaignSpec, Fingerprint, Store};
+use dsarp_obs::{Counter, Family, Histogram, Registry};
 use dsarp_sim::experiments::report;
 use minihttp::{Request, Response, Server};
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// In-memory view of one shard, grown incrementally from the shard file.
 /// `offset` is how far the file has been decoded; records keep
@@ -57,6 +68,78 @@ struct ShardView {
     records: HashMap<u128, Record>,
 }
 
+/// Request-level server metrics, registered once and bumped per request.
+#[derive(Debug)]
+struct ServerMetrics {
+    registry: Registry,
+    requests: Arc<Family<Counter>>,
+    latency: Arc<Family<Histogram>>,
+    request_bytes: Arc<Counter>,
+    response_bytes: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let requests = registry.counter_family(
+            "dsarp_http_requests_total",
+            "HTTP requests served, by method, normalized route and status class",
+            &["method", "route", "code"],
+        );
+        let latency = registry.histogram_family(
+            "dsarp_http_request_duration_us",
+            "Request handling latency in microseconds, by normalized route",
+            &["route"],
+        );
+        let request_bytes = registry.counter(
+            "dsarp_http_request_bytes_total",
+            "Request body bytes received",
+        );
+        let response_bytes = registry.counter(
+            "dsarp_http_response_bytes_total",
+            "Response body bytes sent",
+        );
+        ServerMetrics {
+            registry,
+            requests,
+            latency,
+            request_bytes,
+            response_bytes,
+        }
+    }
+}
+
+/// The normalized route label for a request: path parameters (shard
+/// number, fingerprint, export file) collapse to `{..}` so metric label
+/// cardinality is bounded by the route table, not by traffic.
+fn route_label(method: &str, segments: &[&str]) -> &'static str {
+    match (method, segments) {
+        ("GET", ["healthz"]) => "/healthz",
+        ("GET", ["campaign"]) => "/campaign",
+        ("GET", ["shards"]) => "/shards",
+        ("GET", ["shards", _]) => "/shards/{..}",
+        ("POST", ["shards", _, "append"]) => "/shards/{..}/append",
+        ("POST", ["leases", _]) => "/leases/{..}",
+        ("GET", ["cells", _]) => "/cells/{..}",
+        ("GET", ["export", _]) => "/export/{..}",
+        ("GET", ["metrics"]) => "/metrics",
+        ("GET", ["status"]) => "/status",
+        _ => "other",
+    }
+}
+
+/// `NNN` → `"2xx"`-style status class, the `code` label of
+/// `dsarp_http_requests_total`.
+fn status_class(status: u16) -> &'static str {
+    match status / 100 {
+        2 => "2xx",
+        3 => "3xx",
+        4 => "4xx",
+        5 => "5xx",
+        _ => "other",
+    }
+}
+
 /// One campaign store served over HTTP.
 #[derive(Debug)]
 pub struct CampaignServer {
@@ -64,6 +147,7 @@ pub struct CampaignServer {
     spec: CampaignSpec,
     store: Store,
     views: Vec<Mutex<ShardView>>,
+    metrics: ServerMetrics,
 }
 
 impl CampaignServer {
@@ -84,6 +168,7 @@ impl CampaignServer {
             views: (0..SHARDS)
                 .map(|_| Mutex::new(ShardView::default()))
                 .collect(),
+            metrics: ServerMetrics::new(),
         })
     }
 
@@ -107,11 +192,29 @@ impl CampaignServer {
         server.serve(move |req| this.handle(req))
     }
 
-    /// Routes one request. Public so tests can drive the server without
-    /// sockets.
+    /// Routes one request and records it into the server metrics. Public
+    /// so tests can drive the server without sockets.
     pub fn handle(&self, req: &Request) -> Response {
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
-        let out = match (req.method.as_str(), segments.as_slice()) {
+        let route = route_label(&req.method, &segments);
+        // Resolve the series once per request, then drop the handles: the
+        // per-request path is not hot enough to justify caching them.
+        let start = Instant::now();
+        let resp = self.route(req, &segments);
+        let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.metrics
+            .requests
+            .with_labels(&[&req.method, route, status_class(resp.status)])
+            .inc();
+        self.metrics.latency.with_labels(&[route]).observe(us);
+        self.metrics.request_bytes.add(req.body.len() as u64);
+        self.metrics.response_bytes.add(resp.body.len() as u64);
+        resp
+    }
+
+    /// The uninstrumented route table behind [`CampaignServer::handle`].
+    fn route(&self, req: &Request, segments: &[&str]) -> Response {
+        let out = match (req.method.as_str(), segments) {
             ("GET", ["healthz"]) => Ok(Response::text(200, "ok")),
             ("GET", ["campaign"]) => Ok(self.campaign_info()),
             ("GET", ["shards"]) => Ok(self.shard_sizes()),
@@ -120,6 +223,8 @@ impl CampaignServer {
             ("POST", ["leases", nn]) => self.lease_op(nn, req),
             ("GET", ["cells", fp]) => self.cell(fp, req),
             ("GET", ["export", file]) => self.export(file, req),
+            ("GET", ["metrics"]) => Ok(self.metrics_text()),
+            ("GET", ["status"]) => self.status_json(),
             _ => Ok(Response::text(
                 404,
                 format!("no route for {} {}", req.method, req.path),
@@ -136,6 +241,71 @@ impl CampaignServer {
             };
             Response::text(status, e.to_string())
         })
+    }
+
+    /// `GET /metrics`: the registry in Prometheus text exposition format.
+    /// The scrape itself is counted, but into the NEXT scrape's view (a
+    /// response cannot include its own accounting).
+    fn metrics_text(&self) -> Response {
+        Response::with_body(
+            200,
+            "text/plain; version=0.0.4",
+            self.metrics.registry.render_prometheus(),
+        )
+    }
+
+    /// `GET /status`: campaign identity, per-shard record counts/bytes and
+    /// the lease table as one JSON object — the remote twin of the
+    /// `experiments status` subcommand.
+    fn status_json(&self) -> io::Result<Response> {
+        fn num(n: u64) -> serde_json::Value {
+            serde_json::Value::Number(serde_json::Number::from_u64(n))
+        }
+        let now = lease::now_ms();
+        let leases = lease::list(&self.dir, SHARDS);
+        let mut shards = Vec::new();
+        let mut total_records = 0u64;
+        for shard in 0..SHARDS {
+            let records = self.refresh_view(shard)?.records.len() as u64;
+            total_records += records;
+            let mut m = serde_json::Map::new();
+            m.insert("shard".into(), num(shard as u64));
+            m.insert("records".into(), num(records));
+            m.insert("bytes".into(), num(self.store.shard_size(shard)));
+            let lease_value = match leases.iter().find(|(s, _, _)| *s == shard) {
+                Some((_, info, live)) => {
+                    let mut l = serde_json::Map::new();
+                    l.insert(
+                        "owner".into(),
+                        serde_json::Value::String(info.owner.clone()),
+                    );
+                    l.insert("pid".into(), num(u64::from(info.pid)));
+                    l.insert("live".into(), serde_json::Value::Bool(*live));
+                    l.insert(
+                        "heartbeat_ms_ago".into(),
+                        num(now.saturating_sub(info.heartbeat_ms)),
+                    );
+                    l.insert("ttl_ms".into(), num(info.ttl_ms));
+                    serde_json::Value::Object(l)
+                }
+                None => serde_json::Value::Null,
+            };
+            m.insert("lease".into(), lease_value);
+            shards.push(serde_json::Value::Object(m));
+        }
+        let mut doc = serde_json::Map::new();
+        doc.insert(
+            "campaign".into(),
+            serde_json::Value::String(self.spec.name.clone()),
+        );
+        doc.insert("format_version".into(), num(u64::from(FORMAT_VERSION)));
+        doc.insert("sweeps".into(), num(self.spec.sweeps.len() as u64));
+        doc.insert("records".into(), num(total_records));
+        doc.insert("shards".into(), serde_json::Value::Array(shards));
+        Ok(Response::json(
+            200,
+            serde_json::Value::Object(doc).to_string(),
+        ))
     }
 
     fn campaign_info(&self) -> Response {

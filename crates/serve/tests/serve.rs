@@ -117,6 +117,12 @@ fn cli_refuses_invalid_modes_naming_the_token() {
         ),
         (&["run", "--listen", "127.0.0.1:0"], "--listen"),
         (&["worker", "--ttl-ms"], "missing value for --ttl-ms"),
+        (
+            &["status", "--store-url", "http://localhost:9"],
+            "--store-url",
+        ),
+        (&["worker", "--telemetry"], "--telemetry"),
+        (&["compact", "--events", "e.jsonl"], "--events"),
     ];
     for (args, needle) in cases {
         let out = Command::new(BIN).args(*args).output().unwrap();
@@ -336,6 +342,216 @@ fn cells_and_exports_honor_etags() {
         404
     );
 
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Sums every series of one Prometheus counter family in an exposition
+/// text (histogram series have `_bucket`/`_sum`/`_count` suffixes and are
+/// excluded by the `{`-or-space check right after the name).
+fn counter_total(text: &str, name: &str) -> u64 {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter(|l| {
+            l.strip_prefix(name)
+                .is_some_and(|rest| rest.starts_with('{') || rest.starts_with(' '))
+        })
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|w| w.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("unparseable sample line: {l:?}"))
+        })
+        .sum()
+}
+
+/// Asserts one Prometheus exposition text is well-formed: every line is a
+/// comment or a `name[{labels}] value` sample with balanced braces, and
+/// every sample's metric was announced by a `# TYPE` header.
+fn assert_well_formed_exposition(text: &str) {
+    let mut typed = HashSet::new();
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            typed.insert(rest.split(' ').next().unwrap().to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line without a value: {line:?}");
+        });
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value in {line:?}"
+        );
+        let name = series.split('{').next().unwrap();
+        assert_eq!(
+            series.contains('{'),
+            series.ends_with('}'),
+            "unbalanced label block in {line:?}"
+        );
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| typed.contains(*b))
+            .unwrap_or(name);
+        assert!(
+            typed.contains(base),
+            "sample `{name}` has no preceding # TYPE header"
+        );
+    }
+}
+
+/// `GET /metrics` scraped concurrently with append traffic: every scrape
+/// is well-formed exposition text, counters are monotonic across scrapes,
+/// and the final view accounts for every append; `GET /status` then
+/// reports the records those appends landed.
+#[test]
+fn metrics_scrape_is_well_formed_and_monotonic_under_append_load() {
+    let dir = tmpdir("metrics");
+    let (_, host, handle) = start_server(&dir, small_spec("metrics"));
+    let n: usize = 100;
+
+    let writer_host = host.clone();
+    let writer = std::thread::spawn(move || {
+        let mut client = Client::new(writer_host);
+        for i in 0..n {
+            // i * SHARDS routes every record to shard 0.
+            let fp = Fingerprint((i * SHARDS) as u128);
+            let rec = Record::alone(fp, format!("m{i}"), i as f64);
+            let resp = client
+                .request(
+                    "POST",
+                    "/shards/00/append",
+                    &[],
+                    Store::encode_line(&rec).as_bytes(),
+                )
+                .unwrap();
+            assert_eq!(resp.status, 200, "append {i}: {}", resp.text_body());
+        }
+    });
+
+    let mut client = Client::new(host);
+    let (mut last_requests, mut last_bytes) = (0u64, 0u64);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut final_pass = false;
+    loop {
+        assert!(Instant::now() < deadline, "writer never finished");
+        let resp = client.request("GET", "/metrics", &[], &[]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(
+            resp.header_value("content-type")
+                .is_some_and(|ct| ct.starts_with("text/plain")),
+            "metrics must be text exposition, got {:?}",
+            resp.header_value("content-type")
+        );
+        let text = resp.text_body();
+        assert_well_formed_exposition(&text);
+        let requests = counter_total(&text, "dsarp_http_requests_total");
+        let bytes = counter_total(&text, "dsarp_http_response_bytes_total");
+        assert!(
+            requests >= last_requests && bytes >= last_bytes,
+            "counters went backwards: {last_requests}->{requests}, {last_bytes}->{bytes}"
+        );
+        (last_requests, last_bytes) = (requests, bytes);
+        if final_pass {
+            // All appends were counted before their responses were sent,
+            // so the post-join scrape must account for every one of them.
+            let needle =
+                "dsarp_http_requests_total{method=\"POST\",route=\"/shards/{..}/append\",code=\"2xx\"}";
+            let appends = text
+                .lines()
+                .find(|l| l.starts_with(needle))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|w| w.parse::<usize>().ok())
+                .unwrap_or_else(|| panic!("no append series in:\n{text}"));
+            assert_eq!(appends, n, "every append must be counted");
+            assert!(
+                text.contains(
+                    "dsarp_http_request_duration_us_bucket{route=\"/metrics\",le=\"+Inf\"}"
+                ),
+                "the latency histogram must cover the /metrics route itself:\n{text}"
+            );
+            break;
+        }
+        if writer.is_finished() {
+            final_pass = true;
+        }
+    }
+    writer.join().unwrap();
+
+    // /status: the appends above are visible as shard-0 records, and no
+    // lease is held.
+    let resp = client.request("GET", "/status", &[], &[]).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text_body());
+    let doc: serde_json::Value = serde_json::from_str(&resp.text_body()).unwrap();
+    assert_eq!(
+        doc.get("campaign").and_then(|v| v.as_str()),
+        Some("metrics")
+    );
+    assert_eq!(doc.get("records").and_then(|v| v.as_u64()), Some(n as u64));
+    let shards = doc.get("shards").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(shards.len(), SHARDS);
+    assert_eq!(
+        shards[0].get("records").and_then(|v| v.as_u64()),
+        Some(n as u64)
+    );
+    assert!(
+        shards
+            .iter()
+            .all(|s| matches!(s.get("lease"), Some(serde_json::Value::Null))),
+        "no lease should be held: {}",
+        resp.text_body()
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// `experiments status` renders the drain progress table read-only: 0%
+/// against an empty store, 100% after a local drain, naming stale leases.
+#[test]
+fn status_subcommand_reports_progress_table() {
+    let dir = tmpdir("status-cli");
+    let spec = small_spec("statuscli");
+    let spec_path = dir.join("spec.json");
+    std::fs::write(&spec_path, spec.to_json()).unwrap();
+    let status_cmd = || {
+        let out = Command::new(BIN)
+            .args([
+                "status",
+                "--campaign",
+                dir.to_str().unwrap(),
+                "--spec",
+                spec_path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "status failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let before = status_cmd();
+    assert!(
+        before.contains("cells done (0.0%)"),
+        "empty store must read 0%:\n{before}"
+    );
+
+    let report = Campaign::open(&dir, spec.clone()).unwrap().run().unwrap();
+    assert!(report.stats.simulated > 0);
+    let after = status_cmd();
+    assert!(
+        after.contains(&format!(
+            "total: {}/{} cells done (100.0%)",
+            report.stats.unique_jobs, report.stats.unique_jobs
+        )),
+        "drained store must read 100%:\n{after}"
+    );
     let _ = std::fs::remove_dir_all(dir);
 }
 

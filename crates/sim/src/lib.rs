@@ -33,7 +33,9 @@ pub mod config;
 pub mod experiments;
 pub mod metrics;
 pub mod system;
+pub mod telemetry;
 
 pub use config::SimConfig;
 pub use metrics::{AloneIpcCache, Metrics};
 pub use system::{RunStats, System};
+pub use telemetry::SimTelemetry;

@@ -147,6 +147,7 @@ mod tests {
             llc: Default::default(),
             energy: Default::default(),
             max_refresh_gap: None,
+            telemetry: None,
         }
     }
 

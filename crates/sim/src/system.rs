@@ -5,6 +5,7 @@
 //! 666.67 MHz command clock).
 
 use crate::config::SimConfig;
+use crate::telemetry::SimTelemetry;
 use dsarp_core::{Completion, ControllerStats, MemoryController, Request};
 use dsarp_cpu::{
     AccessResult, Core, CoreStats, Llc, LlcParams, LlcResult, LlcStats, MemoryInterface,
@@ -37,6 +38,10 @@ pub struct RunStats {
     /// Largest per-bank refresh gap observed (cycles), when retention
     /// tracking was enabled.
     pub max_refresh_gap: Option<u64>,
+    /// Internal-behavior telemetry, when [`System::enable_telemetry`] was
+    /// called; `None` (and free) otherwise. Telemetry is observationally
+    /// pure: every other field is identical with or without it.
+    pub telemetry: Option<Box<SimTelemetry>>,
 }
 
 impl RunStats {
@@ -142,6 +147,9 @@ pub struct System {
     max_spill: usize,
     now: Cycle,
     retention_tracking: bool,
+    /// Per-cycle telemetry accumulator (bank cycle accounting, queue-depth
+    /// samples); counter-derived fields are filled at collect time.
+    telemetry: Option<Box<SimTelemetry>>,
 }
 
 impl System {
@@ -245,6 +253,7 @@ impl System {
             max_spill: 0,
             now: 0,
             retention_tracking: false,
+            telemetry: None,
         }
     }
 
@@ -254,6 +263,19 @@ impl System {
         for c in &mut self.chans {
             c.enable_retention_tracking();
         }
+    }
+
+    /// Enables per-cycle telemetry sampling (bank busy/refresh-blocked
+    /// cycles, read-queue depth) plus counter-derived refresh and
+    /// row-locality breakdowns in [`RunStats::telemetry`]. Off by default;
+    /// sampling never influences scheduling, so results are identical
+    /// either way.
+    pub fn enable_telemetry(&mut self) {
+        self.telemetry = Some(Box::new(SimTelemetry::for_geometry(
+            self.geom.channels(),
+            self.geom.ranks_per_channel(),
+            self.geom.banks_per_rank(),
+        )));
     }
 
     /// Enables DRAM command logging on every channel (timeline examples).
@@ -304,6 +326,25 @@ impl System {
             for c in &completions {
                 if c.core != usize::MAX {
                     self.cores[c.core].complete(c.id);
+                }
+            }
+
+            // Sample telemetry against post-command state for this cycle.
+            if let Some(tel) = &mut self.telemetry {
+                let ranks = self.geom.ranks_per_channel();
+                let banks = self.geom.banks_per_rank();
+                for (ci, (mc, chan)) in self.mcs.iter().zip(self.chans.iter()).enumerate() {
+                    tel.read_queue_depth.observe(mc.queues().read_len() as u64);
+                    for r in 0..ranks {
+                        for b in 0..banks {
+                            let bt = &mut tel.banks[(ci * ranks + r) * banks + b];
+                            if chan.bank_refresh_busy(r, b, now) {
+                                bt.refresh_blocked_cycles += 1;
+                            } else if !chan.rank(r).bank(b).is_closed() {
+                                bt.busy_cycles += 1;
+                            }
+                        }
+                    }
                 }
             }
 
@@ -360,6 +401,39 @@ impl System {
         } else {
             None
         };
+        // Fill the counter-derived telemetry fields from cumulative stats.
+        // The stored accumulator only ever carries the per-cycle samples,
+        // so assigning fresh totals keeps repeated `run` calls consistent.
+        let telemetry = self.telemetry.as_ref().map(|acc| {
+            let mut t = acc.clone();
+            t.dram_cycles = self.now;
+            let mut refreshes = crate::telemetry::RefreshTelemetry::default();
+            let (mut hits, mut misses, mut conflicts) = (0, 0, 0);
+            for (mc, chan) in self.mcs.iter().zip(self.chans.iter()) {
+                let s = mc.stats();
+                refreshes.refab += s.refab_issued;
+                refreshes.refpb += s.refpb_issued;
+                refreshes.sarp_parallel_acts += chan.sarp_parallel_acts();
+                hits += s.row_hits;
+                misses += s.acts;
+                conflicts += mc.row_conflicts();
+                for (name, v) in mc.policy().telemetry() {
+                    match name {
+                        "darp_forced" => refreshes.darp_forced += v,
+                        "darp_write_parallelized" => refreshes.darp_write_parallelized += v,
+                        "darp_opportunistic" => refreshes.darp_opportunistic += v,
+                        "darp_postponed_catchup" => refreshes.darp_postponed_catchup += v,
+                        "darp_pulled_in" => refreshes.darp_pulled_in += v,
+                        _ => {}
+                    }
+                }
+            }
+            t.refreshes = refreshes;
+            t.row_hits = hits;
+            t.row_misses = misses;
+            t.row_conflicts = conflicts;
+            t
+        });
         RunStats {
             insts: self.cores.iter().map(|c| c.retired()).collect(),
             ipc: self.cores.iter().map(|c| c.ipc()).collect(),
@@ -369,6 +443,7 @@ impl System {
             llc: *self.llc.stats(),
             energy,
             max_refresh_gap,
+            telemetry,
         }
     }
 }
