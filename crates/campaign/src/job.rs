@@ -2,7 +2,7 @@
 
 use crate::fingerprint::{fingerprint_value, Fingerprint};
 use crate::traces::{TraceRef, TraceWorkload};
-use dsarp_sim::{RunStats, SimConfig, SimTelemetry, System};
+use dsarp_sim::{RunStats, SimConfig, SimTelemetry, SystemBuilder};
 use dsarp_workloads::{BenchmarkSpec, Workload};
 use serde::{Deserialize, Serialize};
 use serde_json::{Map, Value};
@@ -199,7 +199,18 @@ impl Job {
         &self,
         fp: Fingerprint,
     ) -> (crate::store::Record, Option<Box<SimTelemetry>>) {
-        let (output, telemetry) = self.execute_with_telemetry(true);
+        self.run_record_with(fp, true, false)
+    }
+
+    /// [`Job::run_record`] with both execution options explicit (see
+    /// [`Job::execute_with`]).
+    pub fn run_record_with(
+        &self,
+        fp: Fingerprint,
+        telemetry: bool,
+        per_cycle: bool,
+    ) -> (crate::store::Record, Option<Box<SimTelemetry>>) {
+        let (output, telemetry) = self.execute_with(telemetry, per_cycle);
         let record = match output {
             JobOutput::Alone(ipc) => crate::store::Record::alone(fp, self.label(), ipc),
             JobOutput::Grid(summary) => crate::store::Record::grid(fp, self.label(), summary),
@@ -215,15 +226,22 @@ impl Job {
     /// vanishes or its content changes between campaign expansion and
     /// execution — see [`TraceRef::open`].
     pub fn execute(&self) -> JobOutput {
-        self.execute_with_telemetry(false).0
+        self.execute_with(false, false).0
     }
 
-    /// [`Job::execute`], optionally sampling simulator telemetry.
-    pub fn execute_with_telemetry(
+    /// [`Job::execute`], optionally sampling simulator telemetry and/or
+    /// forcing per-cycle stepping (`per_cycle` — [`System::run_per_cycle`]
+    /// instead of the skip-ahead [`System::run`]; results are identical by
+    /// the simulator's exactness guarantee, only wall time differs).
+    ///
+    /// [`System::run`]: dsarp_sim::System::run
+    /// [`System::run_per_cycle`]: dsarp_sim::System::run_per_cycle
+    pub fn execute_with(
         &self,
         telemetry: bool,
+        per_cycle: bool,
     ) -> (JobOutput, Option<Box<SimTelemetry>>) {
-        let mut stats = self.run_stats(telemetry);
+        let mut stats = self.run_stats(telemetry, per_cycle);
         let telemetry = stats.telemetry.take();
         let output = match self {
             Job::Alone { .. } | Job::TraceAlone { .. } => JobOutput::Alone(stats.ipc[0].max(1e-9)),
@@ -236,35 +254,61 @@ impl Job {
         (output, telemetry)
     }
 
-    /// Builds the job's [`System`] and runs it to raw stats.
-    fn run_stats(&self, telemetry: bool) -> RunStats {
-        let (mut system, cycles) = match self {
+    /// Builds the job's [`dsarp_sim::System`] and runs it to raw stats.
+    fn run_stats(&self, telemetry: bool, per_cycle: bool) -> RunStats {
+        fn run(
+            builder: SystemBuilder<'_>,
+            cycles: u64,
+            telemetry: bool,
+            per_cycle: bool,
+        ) -> RunStats {
+            let mut system = builder.telemetry(telemetry).build();
+            if per_cycle {
+                system.run_per_cycle(cycles)
+            } else {
+                system.run(cycles)
+            }
+        }
+        match self {
             Job::Alone { cfg, bench, cycles } => {
                 let wl = Workload::alone_for(bench);
-                (System::new(cfg, &wl), *cycles)
+                run(
+                    SystemBuilder::new(cfg).workload(&wl),
+                    *cycles,
+                    telemetry,
+                    per_cycle,
+                )
             }
             Job::Grid {
                 cfg,
                 workload,
                 cycles,
-            } => (System::new(cfg, workload), *cycles),
+            } => run(
+                SystemBuilder::new(cfg).workload(workload),
+                *cycles,
+                telemetry,
+                per_cycle,
+            ),
             Job::TraceAlone { cfg, trace, cycles } => {
                 let sources = vec![Box::new(trace.open()) as Box<dyn dsarp_cpu::TraceSource>];
-                (System::with_trace_sources(cfg, sources), *cycles)
+                run(
+                    SystemBuilder::new(cfg).trace_sources(sources),
+                    *cycles,
+                    telemetry,
+                    per_cycle,
+                )
             }
             Job::TraceGrid {
                 cfg,
                 workload,
                 cycles,
-            } => (
-                System::with_trace_sources(cfg, workload.sources(cfg.cores)),
+            } => run(
+                SystemBuilder::new(cfg).trace_sources(workload.sources(cfg.cores)),
                 *cycles,
+                telemetry,
+                per_cycle,
             ),
-        };
-        if telemetry {
-            system.enable_telemetry();
         }
-        system.run(cycles)
     }
 }
 

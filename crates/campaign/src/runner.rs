@@ -294,6 +294,14 @@ pub struct Campaign {
     /// observationally pure: fingerprints, shard records and grids are
     /// byte-identical either way.
     pub telemetry: bool,
+    /// Force per-cycle stepping ([`dsarp_sim::System::run_per_cycle`]) for
+    /// every cell simulated by [`Campaign::run`], instead of the default
+    /// event-driven skip-ahead loop. The simulator's exactness guarantee
+    /// makes the two modes byte-identical in every record, grid and
+    /// telemetry sidecar; this switch exists to *demonstrate* that (the CI
+    /// smoke diffs a `--no-skip-ahead` cold run against a default cold
+    /// run) and to isolate the skip-ahead engine when debugging.
+    pub per_cycle: bool,
     events: Arc<EventLog>,
 }
 
@@ -312,6 +320,7 @@ impl Campaign {
             root: root.to_path_buf(),
             verbose: false,
             telemetry: false,
+            per_cycle: false,
             events: Arc::new(EventLog::disabled()),
         })
     }
@@ -413,11 +422,12 @@ impl Campaign {
         let store = &self.store;
         let events = &self.events;
         let verbose = self.verbose;
+        let per_cycle = self.per_cycle;
         let append_errors = AtomicUsize::new(0);
         let records = parallel_map(&missing, scale.resolved_threads(), |(fp, job)| {
             let t_job = Instant::now();
             let record = if let Some(dir) = &telemetry_dir {
-                let (record, telemetry) = job.run_record_with_telemetry(*fp);
+                let (record, telemetry) = job.run_record_with(*fp, true, per_cycle);
                 if let Some(telemetry) = telemetry {
                     let path = dir.join(format!("{fp}.json"));
                     let doc = serde_json::to_string(&telemetry).expect("telemetry serializes");
@@ -430,7 +440,7 @@ impl Campaign {
                 }
                 record
             } else {
-                job.run_record(*fp)
+                job.run_record_with(*fp, false, per_cycle).0
             };
             events.emit(
                 verbose,

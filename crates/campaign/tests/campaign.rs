@@ -262,3 +262,67 @@ fn telemetry_sidecars_leave_records_and_grids_byte_identical() {
     let _ = std::fs::remove_dir_all(plain_dir);
     let _ = std::fs::remove_dir_all(tele_dir);
 }
+
+/// Reads every telemetry sidecar of a campaign as `(file name, bytes)`,
+/// sorted by name (names are job fingerprints, so order is stable).
+fn sidecar_bytes(campaign_dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(campaign_dir.join("telemetry"))
+        .expect("telemetry sidecar dir")
+        .filter_map(Result::ok)
+        .map(|e| {
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The exactness property the event-driven loop is pinned by: a
+/// `CampaignSpec::paper`-subset grid run with skip-ahead is
+/// observationally identical — every record line (RunStats cell for
+/// cell), every grid CSV, every telemetry sidecar byte — to the same
+/// grid forced through per-cycle stepping.
+#[test]
+fn skip_ahead_campaign_equals_per_cycle_cell_for_cell() {
+    // A real slice of the paper evaluation, kept small enough for CI:
+    // Table 3's 2-core sensitivity sweep (REFab vs DSARP on intensive
+    // mixes) plus the alone-IPC runs its weighted-speedup cells need.
+    let spec = || {
+        let mut s = CampaignSpec::paper(tiny_scale()).filtered(&["table3/cores2"]);
+        s.name = "paper-subset".into();
+        s
+    };
+    let run = |dir: &PathBuf, per_cycle: bool| {
+        let mut campaign = Campaign::open(dir, spec()).unwrap();
+        campaign.telemetry = true;
+        campaign.per_cycle = per_cycle;
+        campaign.run().unwrap()
+    };
+    let fast_dir = tmpdir("prop-skip");
+    let slow_dir = tmpdir("prop-percycle");
+    let fast = run(&fast_dir, false);
+    let slow = run(&slow_dir, true);
+    assert!(fast.stats.simulated > 0, "cold run must simulate");
+    assert_eq!(fast.stats.simulated, slow.stats.simulated);
+
+    assert_eq!(
+        render(&fast),
+        render(&slow),
+        "grid CSVs must be identical across stepping modes"
+    );
+    assert_eq!(
+        sorted_record_lines(&fast_dir.join("paper-subset")),
+        sorted_record_lines(&slow_dir.join("paper-subset")),
+        "record lines must be identical across stepping modes"
+    );
+    assert_eq!(
+        sidecar_bytes(&fast_dir.join("paper-subset")),
+        sidecar_bytes(&slow_dir.join("paper-subset")),
+        "telemetry sidecars must be identical across stepping modes"
+    );
+    let _ = std::fs::remove_dir_all(fast_dir);
+    let _ = std::fs::remove_dir_all(slow_dir);
+}

@@ -257,6 +257,72 @@ impl MemoryController {
         }
     }
 
+    /// The earliest cycle strictly after `now` at which [`Self::step`] could
+    /// do observable work — deliver a completion, enter/advance writeback
+    /// mode, act on the refresh policy, or issue a demand command — or
+    /// `None` when the controller is fully quiescent (empty queues, nothing
+    /// in flight, and a policy that never fires). Call it *after* `step(now)`
+    /// so it sees this cycle's post-command state.
+    ///
+    /// The result is a conservative lower bound under the dead-span
+    /// assumption (no commands issue and no requests arrive in between):
+    /// skipping the intervening cycles and stepping again at the returned
+    /// cycle is indistinguishable from stepping every cycle. `None` must
+    /// never strand the clock — callers advance to their own horizon.
+    pub fn next_event(&self, chan: &DramChannel, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut consider = |t: Cycle| {
+            let t = t.max(now + 1);
+            next = Some(next.map_or(t, |n| n.min(t)));
+        };
+        // Finished reads must be delivered at exactly their per-cycle time.
+        for c in &self.inflight {
+            consider(c.ready_at);
+        }
+        // Writeback-mode hysteresis mutates queue bookkeeping every cycle
+        // while draining (and on the entering edge); never skip those.
+        if self.queues.in_drain_mode() || self.queues.drain_imminent() {
+            return Some(now + 1);
+        }
+        // Refresh policy deadlines (tREFI expiries, idle windows, DARP
+        // pools). The policy reports `now + 1` whenever it would act.
+        let ctx = PolicyContext {
+            now,
+            queues: &self.queues,
+            chan,
+        };
+        if let Some(t) = self.policy.next_event(&ctx) {
+            consider(t);
+        }
+        // Demand candidates: for every queued read, the earliest cycle its
+        // next command (column on a row hit, PRE on a conflict, ACT on a
+        // closed bank) clears all timing gates. This is a superset of what
+        // FR-FCFS would pick — extra wake-ups are exact, missed ones are
+        // not. Queued writes need no events here: outside writeback mode
+        // they are not servable, and entering it is gated above.
+        for req in self.queues.reads() {
+            let (rank, bank) = (req.loc.rank, req.loc.bank);
+            let cmd = match chan.rank(rank).bank(bank).open_row() {
+                Some(row) if row == req.loc.row => Command::Read {
+                    rank,
+                    bank,
+                    col: req.loc.col,
+                    auto_precharge: false,
+                },
+                Some(_) => Command::Precharge { rank, bank },
+                None => Command::Activate {
+                    rank,
+                    bank,
+                    row: req.loc.row,
+                },
+            };
+            if let Some(t) = chan.earliest_issue(&cmd, now) {
+                consider(t);
+            }
+        }
+        next
+    }
+
     fn refresh_command(target: &RefreshTarget) -> Command {
         match target.kind {
             RefreshKind::AllBank(fgr) => Command::RefreshAllBank {
@@ -875,6 +941,106 @@ mod tests {
         assert!(
             max_inflight >= 2,
             "overlap mechanism should run concurrent REFpb, saw {max_inflight}"
+        );
+    }
+
+    #[test]
+    fn next_event_none_never_strands_an_idle_controller() {
+        // NoRefresh + empty queues: fully quiescent, no events — and
+        // stepping anyway must do nothing (the caller may batch to any
+        // horizon).
+        let (mut chan, mut mc, _, _) = setup(Mechanism::NoRefresh);
+        assert_eq!(mc.next_event(&chan, 123), None);
+        chan.enable_command_log();
+        let before = *mc.stats();
+        let done = run(&mut mc, &mut chan, 124, 10_000);
+        assert!(done.is_empty());
+        assert_eq!(*mc.stats(), before);
+        assert!(chan.take_command_log().is_empty());
+    }
+
+    #[test]
+    fn next_event_tracks_head_blocked_read_then_completion() {
+        let (mut chan, mut mc, _, t) = setup(Mechanism::NoRefresh);
+        mc.try_enqueue_read(Request::read(1, loc(0, 0, 5, 3), 0, 0));
+        let mut done = Vec::new();
+        mc.step(&mut chan, 0, &mut done); // ACT at 0
+                                          // Head read blocked on tRCD: the next event is its column command.
+        assert_eq!(mc.next_event(&chan, 0), Some(t.rcd));
+        for now in 1..=t.rcd {
+            mc.step(&mut chan, now, &mut done);
+        }
+        // Read issued at tRCD; only the in-flight completion remains.
+        let ready = t.rcd + t.cl + t.bl;
+        assert_eq!(mc.next_event(&chan, t.rcd), Some(ready));
+        for now in (t.rcd + 1)..=ready {
+            mc.step(&mut chan, now, &mut done);
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(mc.next_event(&chan, ready), None, "all quiet again");
+    }
+
+    #[test]
+    fn next_event_reports_refab_deadline() {
+        let (mut chan, mut mc, _, t) = setup(Mechanism::RefAb);
+        let mut done = Vec::new();
+        mc.step(&mut chan, 0, &mut done);
+        // Empty queues: the only future event is the first tREFIab expiry.
+        assert_eq!(mc.next_event(&chan, 0), Some(t.refi_ab));
+        // At the deadline rank 0 refreshes; rank 1 still owes one, so the
+        // policy reports an immediate event (no skipping).
+        mc.step(&mut chan, t.refi_ab, &mut done);
+        assert_eq!(mc.stats().refab_issued, 1);
+        assert_eq!(mc.next_event(&chan, t.refi_ab), Some(t.refi_ab + 1));
+        mc.step(&mut chan, t.refi_ab + 1, &mut done);
+        assert_eq!(mc.stats().refab_issued, 2);
+        // Both served: sleep until the next interval.
+        assert_eq!(mc.next_event(&chan, t.refi_ab + 1), Some(2 * t.refi_ab));
+    }
+
+    #[test]
+    fn next_event_reports_refpb_deadline_and_stale_rank() {
+        let (mut chan, mut mc, _, t) = setup(Mechanism::RefPb);
+        let mut done = Vec::new();
+        mc.step(&mut chan, 0, &mut done);
+        assert_eq!(mc.next_event(&chan, 0), Some(t.refi_pb));
+        // At the tick rank 0 refreshes and decide returns before accruing
+        // rank 1: the policy must refuse to skip (stale rank).
+        mc.step(&mut chan, t.refi_pb, &mut done);
+        assert_eq!(mc.stats().refpb_issued, 1);
+        assert_eq!(mc.next_event(&chan, t.refi_pb), Some(t.refi_pb + 1));
+    }
+
+    #[test]
+    fn next_event_darp_sleeps_until_tick_once_pulled_in() {
+        // Once every bank is pulled in to the -8 floor, DARP's pool is
+        // empty and the controller sleeps until the next tREFIpb tick —
+        // and the skipped span is provably dead (no commands issue).
+        let (mut chan, mut mc, _, t) = setup(Mechanism::Darp);
+        let mut done = Vec::new();
+        let mut now = 0;
+        let horizon = 300 * t.rfc_pb;
+        let wake = loop {
+            mc.step(&mut chan, now, &mut done);
+            match mc.next_event(&chan, now) {
+                // Short sleeps (blocked-until-slot-free) happen during
+                // pull-in; only a span longer than tRFCpb means the pool
+                // is empty and the policy is waiting for a schedule tick.
+                Some(w) if w > now + t.rfc_pb + 2 => break w,
+                _ => {}
+            }
+            now += 1;
+            assert!(now < horizon, "DARP never reached a skippable state");
+        };
+        assert_eq!(wake % t.refi_pb, 0, "wake {wake} is a schedule tick");
+        // The span in between is dead time.
+        chan.enable_command_log();
+        for c in (now + 1)..wake {
+            mc.step(&mut chan, c, &mut done);
+        }
+        assert!(
+            chan.take_command_log().is_empty(),
+            "skipped span must be command-free"
         );
     }
 

@@ -108,6 +108,13 @@ impl RequestQueues {
         self.draining
     }
 
+    /// Whether the next [`Self::update_drain_mode`] call would *enter*
+    /// writeback mode. While neither draining nor imminent, `update_drain_mode`
+    /// is a no-op, which is what lets the skip-ahead loop elide it.
+    pub fn drain_imminent(&self) -> bool {
+        !self.draining && self.writes.len() >= self.high
+    }
+
     /// Pending reads, oldest first.
     pub fn reads(&self) -> &[Request] {
         &self.reads

@@ -101,6 +101,50 @@ impl RefreshPolicy for AdaptiveRefresh {
         self.owed_quarters[target.rank] = self.owed_quarters[target.rank].saturating_sub(quarters);
         self.last_mode[target.rank] = mode;
     }
+
+    fn next_event(&self, ctx: &PolicyContext<'_>) -> Option<Cycle> {
+        let now = ctx.now;
+        let mut next: Option<Cycle> = None;
+        let mut consider = |t: Cycle| {
+            if t > now {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        for r in 0..self.owed_quarters.len() {
+            if self.next_due[r] <= now {
+                return Some(now + 1); // unaccrued quarters
+            }
+            consider(self.next_due[r]);
+            // Idleness tracking mutates on busy/idle edges; a disagreement
+            // with the queues means the next decide must run.
+            let busy = ctx.queues.rank_has_demand(r);
+            match (busy, self.idle_since[r]) {
+                (false, None) | (true, Some(_)) => return Some(now + 1),
+                _ => {}
+            }
+            let owed = self.owed_quarters[r];
+            let rank = ctx.chan.rank(r);
+            if rank.is_refab_busy(now) {
+                if owed > 0 {
+                    consider(rank.refab_until());
+                }
+                continue;
+            }
+            if owed >= 4 {
+                return Some(now + 1); // a full 1x unit is due right now
+            }
+            if owed >= 1 {
+                if let Some(since) = self.idle_since[r] {
+                    let crossing = since + self.idle_window;
+                    if now >= crossing {
+                        return Some(now + 1); // idle long enough for 4x mode
+                    }
+                    consider(crossing);
+                }
+            }
+        }
+        next
+    }
 }
 
 #[cfg(test)]

@@ -72,6 +72,38 @@ impl RefreshPolicy for AllBankRefresh {
         debug_assert!(matches!(target.kind, RefreshKind::AllBank(_)));
         self.pending[target.rank] = self.pending[target.rank].saturating_sub(1);
     }
+
+    fn next_event(&self, ctx: &PolicyContext<'_>) -> Option<Cycle> {
+        let now = ctx.now;
+        let mut next: Option<Cycle> = None;
+        let mut consider = |t: Cycle| {
+            if t > now {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        for r in 0..self.next_due.len() {
+            if self.next_due[r] <= now {
+                return Some(now + 1); // unaccrued debt: no skipping
+            }
+            consider(self.next_due[r]);
+            if self.pending[r] > 0 {
+                let rank = ctx.chan.rank(r);
+                if rank.is_refab_busy(now) {
+                    consider(rank.refab_until());
+                } else if let Some(until) = rank
+                    .banks()
+                    .filter_map(|b| b.sarp_refresh(now).map(|s| s.until))
+                    .max()
+                {
+                    // SARP-ab gate clears once every in-flight window ends.
+                    consider(until);
+                } else {
+                    return Some(now + 1); // decide would act right now
+                }
+            }
+        }
+        next
+    }
 }
 
 #[cfg(test)]

@@ -250,6 +250,107 @@ impl RefreshPolicy for Darp {
         }
     }
 
+    fn next_event(&self, ctx: &PolicyContext<'_>) -> Option<Cycle> {
+        let now = ctx.now;
+        // Unaccrued ticks: decide must run to advance debt.
+        for st in &self.ranks {
+            if st.next_tick <= now {
+                return Some(now + 1);
+            }
+        }
+        // Would decide() act right now? Replicate its scans read-only (no
+        // RNG draw — decide only consumes randomness when its candidate
+        // pool is non-empty, which is exactly the would-act case reported
+        // as `now + 1` here, so the RNG stream is preserved across skips).
+        for (r, st) in self.ranks.iter().enumerate() {
+            if ctx.chan.rank(r).is_refpb_busy(now) {
+                continue;
+            }
+            if st
+                .debt
+                .iter()
+                .enumerate()
+                .any(|(b, &d)| d >= MAX_DEBT && Self::bank_refreshable(ctx, r, b))
+            {
+                return Some(now + 1); // forced refresh due
+            }
+        }
+        if self.wrp && ctx.queues.in_drain_mode() {
+            for (r, st) in self.ranks.iter().enumerate() {
+                if ctx.chan.rank(r).is_refpb_busy(now) {
+                    continue;
+                }
+                if (0..st.debt.len())
+                    .any(|b| st.debt[b] > -MAX_DEBT && Self::bank_refreshable(ctx, r, b))
+                {
+                    return Some(now + 1); // Algorithm 1 would fire
+                }
+            }
+        }
+        for (r, st) in self.ranks.iter().enumerate() {
+            if ctx.chan.rank(r).is_refpb_busy(now) {
+                continue;
+            }
+            for b in 0..st.debt.len() {
+                if !ctx.queues.bank_has_demand(r, b)
+                    && st.debt[b] > -MAX_DEBT
+                    && Self::bank_refreshable(ctx, r, b)
+                {
+                    return Some(now + 1); // opportunistic pool non-empty
+                }
+            }
+        }
+        // Nothing actionable now: wake when a tick accrues or when a
+        // candidate bank's refresh blockers have all cleared.
+        let mut next: Option<Cycle> = None;
+        let mut consider = |t: Cycle| {
+            if t > now {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        for (r, st) in self.ranks.iter().enumerate() {
+            consider(st.next_tick);
+            let rk = ctx.chan.rank(r);
+            for (b, &d) in st.debt.iter().enumerate() {
+                let forced_candidate = d >= MAX_DEBT;
+                let pool_candidate = d > -MAX_DEBT && !ctx.queues.bank_has_demand(r, b);
+                if !forced_candidate && !pool_candidate {
+                    continue;
+                }
+                // The bank becomes refreshable when *all* active blockers
+                // expire; their maximum is exact while nothing new issues.
+                let mut clear = now + 1;
+                let mut blocked = false;
+                if rk.is_refpb_busy(now) {
+                    if let Some(free) = rk.refpb_slot_free(now) {
+                        clear = clear.max(free);
+                        blocked = true;
+                    }
+                }
+                if rk.is_refab_busy(now) {
+                    clear = clear.max(rk.refab_until());
+                    blocked = true;
+                }
+                let bank = rk.bank(b);
+                if bank.is_refresh_busy(now) {
+                    clear = clear.max(bank.refresh_until());
+                    blocked = true;
+                }
+                if let Some(s) = bank.sarp_refresh(now) {
+                    clear = clear.max(s.until);
+                    blocked = true;
+                }
+                if !blocked {
+                    // Refreshable already — the would-act scans above must
+                    // have caught it; be conservative regardless.
+                    return Some(now + 1);
+                }
+                consider(clear);
+            }
+        }
+        next
+    }
+
     fn telemetry(&self) -> Vec<(&'static str, u64)> {
         vec![
             ("darp_forced", self.stats.forced),

@@ -121,6 +121,52 @@ impl RefreshPolicy for ElasticRefresh {
         let s = &mut self.ranks[target.rank];
         s.pending = s.pending.saturating_sub(1);
     }
+
+    fn next_event(&self, ctx: &PolicyContext<'_>) -> Option<Cycle> {
+        let now = ctx.now;
+        let mut next: Option<Cycle> = None;
+        let mut consider = |t: Cycle| {
+            if t > now {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        for (r, s) in self.ranks.iter().enumerate() {
+            if s.next_due <= now {
+                return Some(now + 1); // unaccrued debt (decide returned early)
+            }
+            consider(s.next_due);
+            // The idle-period estimator mutates on busy/idle edges; if the
+            // tracked state disagrees with the queues (a request arrived
+            // after this cycle's decide), the next decide call is a
+            // non-idempotent mutation and must not be skipped.
+            let busy = ctx.queues.rank_has_demand(r);
+            match (busy, s.idle_since) {
+                (false, None) | (true, Some(_)) => return Some(now + 1),
+                _ => {}
+            }
+            if s.pending == 0 {
+                continue;
+            }
+            let rank = ctx.chan.rank(r);
+            if rank.is_refab_busy(now) {
+                consider(rank.refab_until());
+                continue;
+            }
+            if s.pending >= MAX_POSTPONED {
+                return Some(now + 1); // would force right now
+            }
+            if let Some(since) = s.idle_since {
+                let crossing = since + self.idle_threshold(r, s.pending);
+                if now >= crossing {
+                    return Some(now + 1); // idle threshold already met
+                }
+                consider(crossing);
+            }
+            // Busy rank below the cap: only accrual (next_due) changes its
+            // state, and that is already in the minimum.
+        }
+        next
+    }
 }
 
 #[cfg(test)]

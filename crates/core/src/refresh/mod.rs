@@ -80,6 +80,24 @@ pub trait RefreshPolicy: std::fmt::Debug + Send {
     /// Notification that the controller issued `target` at `now`.
     fn refresh_issued(&mut self, target: &RefreshTarget, now: Cycle);
 
+    /// The earliest cycle strictly after `ctx.now` at which this policy's
+    /// [`Self::decide`] could first return a different (non-`None`)
+    /// directive, assuming no commands issue and no requests arrive in
+    /// between, or `None` when the policy can never act again on its own
+    /// (e.g. [`NoRefresh`]).
+    ///
+    /// This is the policy's event source for the skip-ahead loop. The
+    /// contract is *conservative*: returning an earlier cycle than necessary
+    /// (including `ctx.now + 1`, the default, which disables skipping) is
+    /// always exact; returning a later cycle than the true next action
+    /// would break cycle-exactness. Implementations must return
+    /// `ctx.now + 1` whenever `decide` would act *right now*, so the
+    /// controller never skips over a cycle in which the policy wants to
+    /// issue, mask demand, or mutate non-idempotent state.
+    fn next_event(&self, ctx: &PolicyContext<'_>) -> Option<Cycle> {
+        Some(ctx.now + 1)
+    }
+
     /// Policy-specific telemetry counters as `(name, value)` pairs, for
     /// the simulator's opt-in telemetry. Names are stable snake_case
     /// identifiers; policies without interesting internals return nothing.

@@ -19,6 +19,10 @@ impl RefreshPolicy for NoRefresh {
     fn refresh_issued(&mut self, _target: &RefreshTarget, _now: Cycle) {
         unreachable!("NoRefresh never requests a refresh");
     }
+
+    fn next_event(&self, _ctx: &PolicyContext<'_>) -> Option<Cycle> {
+        None
+    }
 }
 
 #[cfg(test)]

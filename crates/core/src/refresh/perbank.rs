@@ -77,6 +77,32 @@ impl RefreshPolicy for PerBankRefresh {
         self.pending[target.rank] = self.pending[target.rank].saturating_sub(1);
         self.rr[target.rank] = (self.rr[target.rank] + 1) % self.banks;
     }
+
+    fn next_event(&self, ctx: &PolicyContext<'_>) -> Option<Cycle> {
+        let now = ctx.now;
+        let mut next: Option<Cycle> = None;
+        let mut consider = |t: Cycle| {
+            if t > now {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        for r in 0..self.next_due.len() {
+            if self.next_due[r] <= now {
+                // decide() accrues inside its per-rank scan and returns
+                // early on the first actionable rank, so later ranks can be
+                // behind: no skipping until they catch up.
+                return Some(now + 1);
+            }
+            consider(self.next_due[r]);
+            if self.pending[r] > 0 {
+                match ctx.chan.rank(r).refpb_slot_free(now) {
+                    Some(free) => consider(free), // rank serialized until then
+                    None => return Some(now + 1), // decide would act right now
+                }
+            }
+        }
+        next
+    }
 }
 
 #[cfg(test)]

@@ -52,7 +52,7 @@ pub mod mshr;
 pub mod trace;
 pub mod trace_file;
 
-pub use crate::core::{Core, CoreParams, CoreStats};
+pub use crate::core::{Core, CoreIdle, CoreParams, CoreStats, StallKind};
 pub use llc::{Llc, LlcParams, LlcResult, LlcStats};
 pub use mshr::{MshrTable, ReqToken};
 pub use trace::{MemKind, TraceOp, TraceSource};

@@ -37,6 +37,12 @@ impl MshrTable {
         self.entries.iter().all(Option::is_some)
     }
 
+    /// Whether an in-flight entry for `line` exists (a [`Self::merge`] for
+    /// it would succeed). Non-mutating probe for the idle detector.
+    pub fn contains_line(&self, line: u64) -> bool {
+        self.entries.iter().flatten().any(|e| e.line == line)
+    }
+
     /// Finds the in-flight entry for `line`, if any, and attaches `waiter`.
     /// Returns `true` when the miss was merged.
     pub fn merge(&mut self, line: u64, waiter: Option<u64>) -> bool {

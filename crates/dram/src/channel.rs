@@ -216,6 +216,128 @@ impl DramChannel {
         self.check(cmd, now).is_ok()
     }
 
+    /// The cycle of the most recent successfully issued command, if any.
+    pub fn last_issue(&self) -> Option<Cycle> {
+        self.last_issue
+    }
+
+    /// The earliest cycle `t >= now` at which every *time-based* gate in
+    /// [`DramChannel::check`] admits `cmd`, or `None` when a *state-based*
+    /// gate (bad address, wrong open/closed bank state) blocks it until some
+    /// other command changes device state.
+    ///
+    /// This is an event source for the skip-ahead loop and is exact only
+    /// under its dead-span assumption: no command issues to this channel in
+    /// `[now, t)`, so every timing register is frozen and each gate clears
+    /// precisely when its window expires. The command-bus gate is ignored —
+    /// callers only ask after a cycle where nothing issued.
+    pub fn earliest_issue(&self, cmd: &Command, now: Cycle) -> Option<Cycle> {
+        let rank_idx = cmd.rank();
+        if rank_idx >= self.ranks.len() {
+            return None;
+        }
+        let rank = &self.ranks[rank_idx];
+        if let Some(b) = cmd.bank() {
+            if b >= rank.num_banks() {
+                return None;
+            }
+        }
+        match *cmd {
+            Command::Activate { bank, row, .. } => {
+                if row as usize >= self.geom.rows_per_bank() {
+                    return None;
+                }
+                let b = rank.bank(bank);
+                if !b.is_closed() {
+                    return None;
+                }
+                let mut t = now
+                    .max(rank.refab_until())
+                    .max(b.refresh_until())
+                    .max(b.next_act());
+                if let Some(r) = b.sarp_refresh(now) {
+                    if self.geom.subarray_of_row(row) == r.subarray {
+                        t = t.max(r.until);
+                    }
+                }
+                Some(t.max(rank.earliest_act_allowed(t, &self.timing)))
+            }
+            Command::Precharge { bank, .. } => {
+                let b = rank.bank(bank);
+                if b.is_closed() {
+                    return None;
+                }
+                Some(
+                    now.max(rank.refab_until())
+                        .max(b.refresh_until())
+                        .max(b.next_pre()),
+                )
+            }
+            Command::PrechargeAll { .. } => {
+                let mut t = now.max(rank.refab_until());
+                for b in rank.banks() {
+                    if !b.is_closed() {
+                        t = t.max(b.next_pre());
+                    }
+                }
+                Some(t)
+            }
+            Command::Read { bank, col, .. } | Command::Write { bank, col, .. } => {
+                if col as usize >= self.geom.cols_per_row() {
+                    return None;
+                }
+                let b = rank.bank(bank);
+                if b.is_closed() {
+                    return None;
+                }
+                let bus = if matches!(cmd, Command::Read { .. }) {
+                    self.next_rd
+                } else {
+                    self.next_wr
+                };
+                Some(
+                    now.max(rank.refab_until())
+                        .max(b.refresh_until())
+                        .max(b.next_col())
+                        .max(bus),
+                )
+            }
+            Command::RefreshAllBank { .. } => {
+                if !rank.all_banks_closed() {
+                    return None;
+                }
+                let mut t = now.max(rank.refab_until());
+                if let Some(free) = rank.refpb_slot_free(now) {
+                    t = t.max(free);
+                }
+                for b in rank.banks() {
+                    t = t.max(b.refresh_until()).max(b.next_act());
+                    if let Some(r) = b.sarp_refresh(now) {
+                        t = t.max(r.until);
+                    }
+                }
+                Some(t.max(rank.earliest_act_allowed(t, &self.timing)))
+            }
+            Command::RefreshPerBank { bank, .. } => {
+                let b = rank.bank(bank);
+                if !b.is_closed() {
+                    return None;
+                }
+                let mut t = now
+                    .max(rank.refab_until())
+                    .max(b.refresh_until())
+                    .max(b.next_act());
+                if let Some(free) = rank.refpb_slot_free(now) {
+                    t = t.max(free);
+                }
+                if let Some(r) = b.sarp_refresh(now) {
+                    t = t.max(r.until);
+                }
+                Some(t.max(rank.earliest_act_allowed(t, &self.timing)))
+            }
+        }
+    }
+
     /// Validates `cmd` at `now` without issuing it.
     ///
     /// # Errors
@@ -794,6 +916,61 @@ mod tests {
             auto_precharge: false,
         };
         assert_eq!(c.check(&rd, 0), Err(IssueError::BadAddress));
+    }
+
+    #[test]
+    fn earliest_issue_matches_pointwise_check() {
+        // A busy SARP channel: an in-flight REFpb (bank 0, subarray 0), an
+        // open row in bank 1, and a recent read on the data bus.
+        let mut c = chan(SarpSupport::Enabled);
+        c.issue(Command::RefreshPerBank { rank: 0, bank: 0 }, 0)
+            .unwrap();
+        c.issue(act(0, 1, 3), 5).unwrap();
+        c.issue(
+            Command::Read {
+                rank: 0,
+                bank: 1,
+                col: 2,
+                auto_precharge: false,
+            },
+            14,
+        )
+        .unwrap();
+        let cmds = [
+            act(0, 0, 8_192), // other subarray of the refreshing bank
+            act(0, 0, 5),     // conflicting subarray: waits for the refresh
+            act(0, 2, 1),
+            Command::Read {
+                rank: 0,
+                bank: 1,
+                col: 3,
+                auto_precharge: false,
+            },
+            Command::Write {
+                rank: 0,
+                bank: 1,
+                col: 3,
+                auto_precharge: false,
+            },
+            Command::Precharge { rank: 0, bank: 1 },
+            Command::Precharge { rank: 0, bank: 0 }, // closed: state-blocked
+            Command::RefreshPerBank { rank: 0, bank: 2 },
+            Command::RefreshAllBank {
+                rank: 0,
+                fgr: FgrMode::X1,
+            }, // bank 1 open: state-blocked
+        ];
+        const HORIZON: Cycle = 400;
+        for cmd in &cmds {
+            for now in 15..120 {
+                let reported = c.earliest_issue(cmd, now);
+                let probed = (now..now + HORIZON).find(|&t| c.check(cmd, t).is_ok());
+                assert_eq!(
+                    reported, probed,
+                    "cmd={cmd:?} now={now}: earliest_issue disagrees with check()"
+                );
+            }
+        }
     }
 
     #[test]

@@ -90,6 +90,27 @@ impl Rank {
         self.refpb_deadlines.iter().copied().max().unwrap_or(0)
     }
 
+    /// When the rank is `REFpb`-saturated at `now`, the earliest cycle a
+    /// slot frees up (the *minimum* in-flight deadline); `None` while a
+    /// slot is already free.
+    pub fn refpb_slot_free(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_refpb_busy(now) {
+            self.refpb_deadlines
+                .iter()
+                .copied()
+                .filter(|&d| d > now)
+                .min()
+        } else {
+            None
+        }
+    }
+
+    /// First cycle after the rank's blocking `REFab` window (0 if none was
+    /// ever issued). `is_refab_busy(c)` is exactly `c < refab_until()`.
+    pub fn refab_until(&self) -> Cycle {
+        self.refab_until
+    }
+
     /// Sets the concurrent `REFpb` limit (footnote-5 extension; 1 = JEDEC).
     pub(crate) fn set_max_refpb(&mut self, max: usize) {
         assert!(max >= 1);
@@ -127,6 +148,42 @@ impl Rank {
             t = t.max(fourth_last + self.effective_faw(now, timing));
         }
         t
+    }
+
+    /// The earliest cycle `c >= now` at which `next_act_allowed(c) == c` —
+    /// i.e. when the rank's activation rate limits next admit an ACT.
+    ///
+    /// Unlike [`Rank::next_act_allowed`] (which answers "how long must an
+    /// ACT issued *now* wait"), this solves for the release time directly,
+    /// which requires handling the SARP inflation window's two regimes:
+    /// the effective `tRRD`/`tFAW` are inflated for query cycles before
+    /// `sarp_until` and nominal after it, so the earliest legal cycle is
+    /// the inflated-regime bound if it lands inside the window, and
+    /// otherwise the nominal bound clamped to the window's end.
+    pub fn earliest_act_allowed(&self, now: Cycle, timing: &TimingParams) -> Cycle {
+        let bound = |rrd: u64, faw: u64| {
+            let mut t = now;
+            if self.act_count > 0 {
+                let last = self.act_history[((self.act_count - 1) % 4) as usize];
+                t = t.max(last + rrd);
+            }
+            if self.act_count >= 4 {
+                let fourth_last = self.act_history[(self.act_count % 4) as usize];
+                t = t.max(fourth_last + faw);
+            }
+            t
+        };
+        if now >= self.sarp_until {
+            return bound(timing.rrd, timing.faw);
+        }
+        let inflate = |v: u64| ((v as f64) * self.sarp_factor).ceil() as u64;
+        let t_inflated = bound(inflate(timing.rrd), inflate(timing.faw));
+        if t_inflated < self.sarp_until {
+            t_inflated
+        } else {
+            // Nominal rates only apply from the window's end onward.
+            bound(timing.rrd, timing.faw).max(self.sarp_until)
+        }
     }
 
     /// Records an activation at `t` (ACTs and refreshes both count toward
@@ -241,6 +298,41 @@ mod tests {
         r.start_refpb(301, 500);
         assert_eq!(r.refpb_in_flight(302), 2);
         assert_eq!(r.refpb_until(), 500);
+    }
+
+    #[test]
+    fn earliest_act_allowed_matches_pointwise_probe() {
+        let t = timing();
+        let mut r = Rank::new(8);
+        for i in 0..4 {
+            r.record_act(i * t.rrd);
+        }
+        // A SARP window ending mid-history exercises both regimes of the
+        // two-regime solve (inflated release inside the window, nominal
+        // release clamped to its end).
+        r.start_sarp_window(18, 2.25);
+        for now in 0..60 {
+            let e = r.earliest_act_allowed(now, &t);
+            assert!(e >= now);
+            assert_eq!(r.next_act_allowed(e, &t), e, "now={now}: {e} not legal");
+            for c in now..e {
+                assert!(
+                    r.next_act_allowed(c, &t) > c,
+                    "now={now}: {c} legal before reported {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refpb_slot_free_reports_min_inflight_deadline() {
+        let mut r = Rank::new(8);
+        r.set_max_refpb(2);
+        r.start_refpb(0, 300);
+        assert_eq!(r.refpb_slot_free(10), None, "one slot still free");
+        r.start_refpb(10, 310);
+        assert_eq!(r.refpb_slot_free(10), Some(300), "earliest deadline frees");
+        assert_eq!(r.refpb_slot_free(305), None, "first window already over");
     }
 
     #[test]

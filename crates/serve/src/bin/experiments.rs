@@ -7,7 +7,7 @@
 //!                       [--threads N] [--out DIR] [--campaign DIR] [--fresh]
 //!                       [--exp NAME] [--spec FILE.json] [--emit-spec FILE]
 //!                       [--traces DIR [--trace-cores N] [--trace-glob G]]
-//!                       [--events FILE.jsonl] [--telemetry]
+//!                       [--events FILE.jsonl] [--telemetry] [--no-skip-ahead]
 //! experiments worker    (--campaign DIR | --store-url URL)
 //!                       [--spec FILE | --traces DIR]
 //!                       [--owner ID] [--ttl-ms N] [--poll-ms N]
@@ -65,6 +65,12 @@
 //!   telemetry and writes one sidecar JSON per simulated cell under
 //!   `<store>/telemetry/<fingerprint>.json`. Shard records and grids are
 //!   byte-identical with or without it.
+//! * `--no-skip-ahead` (run only) forces per-cycle stepping
+//!   ([`dsarp_sim::System::run_per_cycle`]) instead of the event-driven
+//!   skip-ahead loop. Every record, grid and telemetry sidecar is
+//!   byte-identical either way (the simulator's exactness guarantee);
+//!   the flag exists to demonstrate that and to isolate the skip-ahead
+//!   engine when debugging. Wall time is the only difference.
 //!
 //! Outputs one CSV per artifact under `--out` (default `results/`), a
 //! combined `EXPERIMENTS_RAW.md`, and `campaign_report.json` with cache
@@ -143,6 +149,8 @@ struct Args {
     events: Option<PathBuf>,
     /// Per-cell simulator telemetry sidecars (`--telemetry`, run only).
     telemetry: bool,
+    /// Force per-cycle stepping (`--no-skip-ahead`, run only).
+    per_cycle: bool,
 }
 
 fn parse_args() -> Args {
@@ -179,6 +187,7 @@ fn parse_args() -> Args {
     let mut capture_knobs_set = false;
     let mut events = None;
     let mut telemetry = false;
+    let mut per_cycle = false;
     let mut trace_knobs_set = false;
     // Flags that only make sense for simulation-running subcommands; a
     // trace-capture passing one must refuse, not look configured.
@@ -273,6 +282,10 @@ fn parse_args() -> Args {
                 run_only_flags.push("--telemetry");
                 telemetry = true;
             }
+            "--no-skip-ahead" => {
+                run_only_flags.push("--no-skip-ahead");
+                per_cycle = true;
+            }
             "--traces" => traces = Some(PathBuf::from(next(&mut i))),
             "--trace-cores" => {
                 trace_knobs_set = true;
@@ -331,6 +344,12 @@ fn parse_args() -> Args {
     }
     if telemetry && cmd != Cmd::Run {
         die("--telemetry applies to `run` only (sidecars are written by the local executor)");
+    }
+    if per_cycle && cmd != Cmd::Run {
+        die(
+            "--no-skip-ahead applies to `run` only (workers always use the default loop; \
+             results are identical by the exactness guarantee)",
+        );
     }
     if events.is_some() && !matches!(cmd, Cmd::Run | Cmd::Worker | Cmd::Merge) {
         die("--events applies to run/worker/merge (the simulating subcommands)");
@@ -421,6 +440,7 @@ fn parse_args() -> Args {
         capture_knobs_set,
         events,
         telemetry,
+        per_cycle,
     }
 }
 
@@ -971,6 +991,7 @@ fn run_or_merge(args: &Args, spec: CampaignSpec, custom: bool) {
                 Campaign::open(&args.campaign_dir, spec).expect("open campaign store");
             campaign.verbose = true;
             campaign.telemetry = args.telemetry;
+            campaign.per_cycle = args.per_cycle;
             campaign.set_events(events);
             if cmd == Cmd::Merge {
                 let opts = worker_options(args);

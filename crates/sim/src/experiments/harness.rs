@@ -3,7 +3,7 @@
 
 use crate::config::SimConfig;
 use crate::metrics::{gmean, improvement_pct, Metrics};
-use crate::system::System;
+use crate::system::SystemBuilder;
 use dsarp_core::Mechanism;
 use dsarp_dram::Density;
 use dsarp_workloads::{IntensityCategory, Workload};
@@ -274,7 +274,12 @@ impl Grid {
             let base = make_cfg(&Mechanism::NoRefresh, d).with_warmup_ops(scale.warmup_ops);
             let cfg = base.alone();
             let wl = Workload::alone_for(bench);
-            System::new(&cfg, &wl).run(scale.alone_cycles).ipc[0].max(1e-9)
+            SystemBuilder::new(&cfg)
+                .workload(&wl)
+                .build()
+                .run(scale.alone_cycles)
+                .ipc[0]
+                .max(1e-9)
         });
         let alone: HashMap<(&str, Density), f64> = alone_keys
             .iter()
@@ -294,7 +299,10 @@ impl Grid {
         let rows = parallel_map(&tuples, threads, |(wi, m, d)| {
             let wl = &workloads[*wi];
             let cfg = make_cfg(m, d).with_warmup_ops(scale.warmup_ops);
-            let stats = System::new(&cfg, wl).run(scale.dram_cycles);
+            let stats = SystemBuilder::new(&cfg)
+                .workload(wl)
+                .build()
+                .run(scale.dram_cycles);
             let alone_ipcs: Vec<f64> = wl
                 .benchmarks
                 .iter()

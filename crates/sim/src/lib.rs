@@ -17,12 +17,12 @@
 //! ```
 //! use dsarp_core::Mechanism;
 //! use dsarp_dram::Density;
-//! use dsarp_sim::{SimConfig, System};
+//! use dsarp_sim::{SimConfig, SystemBuilder};
 //! use dsarp_workloads::mixes;
 //!
 //! let wl = &mixes::paper_workloads(8, 42)[80]; // a memory-intensive mix
 //! let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G32);
-//! let stats = System::new(&cfg, wl).run(20_000);
+//! let stats = SystemBuilder::new(&cfg).workload(wl).build().run(20_000);
 //! assert!(stats.total_ipc() > 0.0);
 //! ```
 
@@ -37,5 +37,5 @@ pub mod telemetry;
 
 pub use config::SimConfig;
 pub use metrics::{AloneIpcCache, Metrics};
-pub use system::{RunStats, System};
+pub use system::{RunStats, System, SystemBuilder};
 pub use telemetry::SimTelemetry;

@@ -8,8 +8,8 @@ use crate::config::SimConfig;
 use crate::telemetry::SimTelemetry;
 use dsarp_core::{Completion, ControllerStats, MemoryController, Request};
 use dsarp_cpu::{
-    AccessResult, Core, CoreStats, Llc, LlcParams, LlcResult, LlcStats, MemoryInterface,
-    TraceSource,
+    AccessResult, Core, CoreIdle, CoreStats, Llc, LlcParams, LlcResult, LlcStats, MemoryInterface,
+    StallKind, TraceSource,
 };
 use dsarp_dram::{
     Cycle, DramChannel, EnergyBreakdown, Geometry, IddValues, PowerModel, CPU_CYCLES_PER_DRAM_CYCLE,
@@ -134,8 +134,141 @@ impl MemoryInterface for MemBridge<'_> {
     }
 }
 
-/// The simulated system. Construct with [`System::new`], drive with
-/// [`System::run`].
+/// What a lagging core does across its batched span (computed by the
+/// skip-ahead planner, applied arithmetically at settlement).
+#[derive(Debug, Clone, Copy)]
+enum CorePlan {
+    /// Pure stall: advance the cycle counter and one stall counter.
+    Stall(StallKind),
+    /// Pure bubble execution: retire/issue arithmetic (see
+    /// [`Core::skip_bubbles`]).
+    Bubbles,
+    /// Issue-only execution behind an unexpired window head (see
+    /// [`Core::skip_blocked_head`]).
+    BlockedHead,
+}
+
+/// A core lagging behind the DRAM clock under a self-contained plan.
+///
+/// The plan's validity depends only on the core's own state, so the core
+/// needs no attention until either its `horizon` arrives or a memory
+/// completion addressed to it forces an early settlement. Lagged cores
+/// make no LLC or memory accesses, so leaving them behind preserves the
+/// exact inter-core access order of per-cycle stepping.
+#[derive(Debug, Clone, Copy)]
+struct CoreLag {
+    plan: CorePlan,
+    /// First DRAM cycle the core has not yet executed.
+    synced: Cycle,
+    /// First DRAM cycle at which the plan expires and the core must step.
+    horizon: Cycle,
+}
+
+/// Builds a [`System`]: configuration, then trace sources, then
+/// observability toggles, then [`SystemBuilder::build`].
+///
+/// ```
+/// use dsarp_core::Mechanism;
+/// use dsarp_dram::Density;
+/// use dsarp_sim::{SimConfig, SystemBuilder};
+/// use dsarp_workloads::mixes;
+///
+/// let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G8);
+/// let wl = mixes::intensive_mixes(8, 1)[0].clone();
+/// let mut sys = SystemBuilder::new(&cfg).workload(&wl).telemetry(true).build();
+/// let stats = sys.run(1_000);
+/// assert!(stats.telemetry.is_some());
+/// ```
+pub struct SystemBuilder<'a> {
+    cfg: &'a SimConfig,
+    workload: Option<&'a Workload>,
+    sources: Option<Vec<Box<dyn TraceSource>>>,
+    telemetry: bool,
+    retention_tracking: bool,
+    command_log: bool,
+}
+
+impl<'a> SystemBuilder<'a> {
+    /// Starts a builder for `cfg`. Provide exactly one instruction stream
+    /// before building: [`Self::workload`] (synthetic generators) or
+    /// [`Self::trace_sources`] (explicit per-core sources).
+    pub fn new(cfg: &'a SimConfig) -> Self {
+        Self {
+            cfg,
+            workload: None,
+            sources: None,
+            telemetry: false,
+            retention_tracking: false,
+            command_log: false,
+        }
+    }
+
+    /// Drives each core with a synthetic trace generated from `workload`
+    /// (one benchmark per core). Replaces any earlier stream choice.
+    pub fn workload(mut self, workload: &'a Workload) -> Self {
+        self.workload = Some(workload);
+        self.sources = None;
+        self
+    }
+
+    /// Drives the cores with explicit trace sources (one per core, in core
+    /// order) — the trace-driven path. Replaces any earlier stream choice.
+    pub fn trace_sources(mut self, sources: Vec<Box<dyn TraceSource>>) -> Self {
+        self.sources = Some(sources);
+        self.workload = None;
+        self
+    }
+
+    /// Enables per-cycle telemetry sampling (see [`RunStats::telemetry`]).
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Enables per-refresh retention bookkeeping
+    /// ([`RunStats::max_refresh_gap`]).
+    pub fn retention_tracking(mut self, on: bool) -> Self {
+        self.retention_tracking = on;
+        self
+    }
+
+    /// Enables DRAM command logging on every channel
+    /// ([`System::take_command_log`]).
+    pub fn command_log(mut self, on: bool) -> Self {
+        self.command_log = on;
+        self
+    }
+
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no instruction stream was provided, if a workload has
+    /// fewer benchmarks than configured cores, or if fewer trace sources
+    /// than cores were given.
+    pub fn build(self) -> System {
+        let mut sys = match (self.workload, self.sources) {
+            (Some(wl), None) => System::new(self.cfg, wl),
+            (None, Some(srcs)) => System::with_trace_sources(self.cfg, srcs),
+            (None, None) => panic!("SystemBuilder: provide a workload or trace sources"),
+            (Some(_), Some(_)) => unreachable!("stream setters clear each other"),
+        };
+        if self.telemetry {
+            sys.enable_telemetry();
+        }
+        if self.retention_tracking {
+            sys.enable_retention_tracking();
+        }
+        if self.command_log {
+            sys.enable_command_log();
+        }
+        sys
+    }
+}
+
+/// The simulated system. Construct with [`SystemBuilder`], drive with
+/// [`System::run`] (event-driven skip-ahead) or [`System::run_per_cycle`]
+/// (forced per-cycle stepping; same results, slower).
 pub struct System {
     cores: Vec<Core>,
     llc: Llc,
@@ -155,6 +288,10 @@ pub struct System {
 impl System {
     /// Builds the system for `cfg` running `workload` (one benchmark per
     /// core; the workload must have at least `cfg.cores` entries).
+    ///
+    /// Deprecated in favour of
+    /// [`SystemBuilder::new(cfg).workload(wl).build()`](SystemBuilder);
+    /// kept as a thin equivalent for existing callers.
     ///
     /// # Panics
     ///
@@ -186,6 +323,10 @@ impl System {
     /// campaign scale. Sources receive the same functional warmup as
     /// synthetic traces: the first `cfg.warmup_ops` memory operations of
     /// each source prime the LLC with no timing before cycle 0.
+    ///
+    /// Deprecated in favour of
+    /// [`SystemBuilder::new(cfg).trace_sources(v).build()`](SystemBuilder);
+    /// kept as a thin equivalent for existing callers.
     ///
     /// # Panics
     ///
@@ -270,6 +411,16 @@ impl System {
     /// row-locality breakdowns in [`RunStats::telemetry`]. Off by default;
     /// sampling never influences scheduling, so results are identical
     /// either way.
+    ///
+    /// The sampling contract is **once per channel per DRAM cycle**,
+    /// against post-command state; when [`System::run`] batches a dead
+    /// span, the identical per-cycle samples are folded in arithmetically
+    /// ([`crate::telemetry::DepthHistogram::observe_n`]), so the histogram
+    /// and bank counters are byte-identical to per-cycle stepping.
+    ///
+    /// Deprecated in favour of
+    /// [`SystemBuilder::telemetry`]; kept as a thin equivalent for
+    /// existing callers.
     pub fn enable_telemetry(&mut self) {
         self.telemetry = Some(Box::new(SimTelemetry::for_geometry(
             self.geom.channels(),
@@ -300,10 +451,40 @@ impl System {
         &self.mcs[ch]
     }
 
-    /// Runs for `dram_cycles` more DRAM cycles and returns cumulative stats.
+    /// Runs for `dram_cycles` more DRAM cycles and returns cumulative
+    /// stats, skipping ahead over provably dead time.
+    ///
+    /// After each normally stepped cycle, every layer is asked for its next
+    /// event: controllers report timing-constraint expiries, refresh
+    /// deadlines and scheduling windows ([`MemoryController::next_event`]),
+    /// cores report stall wake-ups and batched-execution horizons
+    /// ([`Core::idle_probe`], [`Core::bubble_run`],
+    /// [`Core::blocked_head_run`]). A core whose plan is self-contained —
+    /// it makes no memory accesses and its validity depends only on its own
+    /// state — *lags* behind the DRAM clock at zero per-cycle cost and is
+    /// settled arithmetically when its horizon arrives or a completion
+    /// addressed to it lands. When every core lags and the controllers are
+    /// quiet too, the clock itself jumps to the earliest event in one step,
+    /// batching the remaining per-cycle bookkeeping (telemetry samples)
+    /// across the span. Every event source is a conservative lower bound —
+    /// waking early costs only time — so results are **exactly** those of
+    /// [`System::run_per_cycle`], field for field.
     pub fn run(&mut self, dram_cycles: u64) -> RunStats {
+        self.run_loop(dram_cycles, true)
+    }
+
+    /// Runs for `dram_cycles` more DRAM cycles stepping every single cycle
+    /// (no skip-ahead). Exposed for exactness tests and as the CLI's
+    /// `--no-skip-ahead` mode; results equal [`System::run`].
+    pub fn run_per_cycle(&mut self, dram_cycles: u64) -> RunStats {
+        self.run_loop(dram_cycles, false)
+    }
+
+    fn run_loop(&mut self, dram_cycles: u64, skip: bool) -> RunStats {
         let end = self.now + dram_cycles;
         let mut completions: Vec<Completion> = Vec::with_capacity(16);
+        let mut lags: Vec<Option<CoreLag>> = vec![None; self.cores.len()];
+        let mut resume: Vec<u8> = vec![0; self.cores.len()];
         while self.now < end {
             let now = self.now;
 
@@ -325,6 +506,10 @@ impl System {
             }
             for c in &completions {
                 if c.core != usize::MAX {
+                    // A completion invalidates the target core's plan:
+                    // catch the core up to this cycle, then deliver at the
+                    // same CPU time per-cycle stepping would have.
+                    Self::settle(&mut self.cores[c.core], &mut lags[c.core], now);
                     self.cores[c.core].complete(c.id);
                 }
             }
@@ -348,7 +533,24 @@ impl System {
                 }
             }
 
-            // Micro-step the cores.
+            // Settle cores whose plan expires this cycle; they re-plan and
+            // step below.
+            for (core, lag) in self.cores.iter_mut().zip(lags.iter_mut()) {
+                if lag.is_some_and(|l| now >= l.horizon) {
+                    Self::settle(core, lag, now);
+                }
+            }
+
+            // Plan each unlagged core once per cycle: a span of at least
+            // one DRAM cycle starts a lag; a shorter span is applied
+            // immediately and the core resumes micro-stepping mid-cycle.
+            if skip {
+                self.plan_cores(now, &mut lags, &mut resume);
+            }
+
+            // Micro-step the active cores. Lagged and batched-over phases
+            // make no memory accesses, so skipping them preserves the
+            // CPU-major interleaving of the remaining LLC traffic exactly.
             let mut bridge = MemBridge {
                 llc: &mut self.llc,
                 mcs: &mut self.mcs,
@@ -358,14 +560,178 @@ impl System {
                 wb_spill: &mut self.wb_spill,
                 max_spill: &mut self.max_spill,
             };
-            for _ in 0..CPU_CYCLES_PER_DRAM_CYCLE {
-                for core in &mut self.cores {
-                    core.step(&mut bridge);
+            for phase in 0..CPU_CYCLES_PER_DRAM_CYCLE {
+                for ((core, lag), from) in self.cores.iter_mut().zip(lags.iter()).zip(resume.iter())
+                {
+                    if lag.is_none() && u64::from(*from) <= phase {
+                        core.step(&mut bridge);
+                    }
                 }
             }
             self.now += 1;
+
+            if skip && self.now < end && lags.iter().all(Option::is_some) {
+                // With every core lagging, the DRAM clock itself can jump
+                // over the dead gap (telemetry is batched arithmetically;
+                // the cores' lags already cover the span).
+                if let Some(span) = self.dead_span(now, end, &lags) {
+                    self.batch_telemetry(now, span);
+                    self.now = now + 1 + span;
+                }
+            }
+        }
+        // Settle outstanding lags so reported stats cover every cycle.
+        for (core, lag) in self.cores.iter_mut().zip(lags.iter_mut()) {
+            Self::settle(core, lag, end);
         }
         self.collect()
+    }
+
+    /// Applies a lagging core's plan up to (excluding) DRAM cycle `upto`
+    /// and clears the lag. No-op for active cores.
+    fn settle(core: &mut Core, lag: &mut Option<CoreLag>, upto: Cycle) {
+        if let Some(l) = lag.take() {
+            debug_assert!(upto <= l.horizon, "settlement past plan horizon");
+            let d = upto - l.synced;
+            if d > 0 {
+                let cpu = d * CPU_CYCLES_PER_DRAM_CYCLE;
+                match l.plan {
+                    CorePlan::Stall(kind) => core.skip_idle(cpu, kind),
+                    CorePlan::Bubbles => core.skip_bubbles(cpu),
+                    CorePlan::BlockedHead => core.skip_blocked_head(cpu),
+                }
+            }
+        }
+    }
+
+    /// Probes each unlagged core once for a self-contained plan. A plan
+    /// spanning at least one full DRAM cycle starts a lag covering this
+    /// cycle onward; a shorter one is applied immediately and `resume`
+    /// records the micro-step phase at which the core re-enters this
+    /// cycle's step loop (the batched phases make no accesses, so the
+    /// CPU-major interleaving of the rest is untouched).
+    ///
+    /// `MemBusy` stalls are excluded: their validity depends on shared
+    /// controller queue state, which other (active) cores mutate — those
+    /// cores keep stepping per-cycle.
+    fn plan_cores(&mut self, now: Cycle, lags: &mut [Option<CoreLag>], resume: &mut [u8]) {
+        let mcs = &self.mcs;
+        let geom = &self.geom;
+        let mem_busy = move |addr: u64| {
+            let line = addr & !63u64;
+            let loc = geom.decode(line);
+            mcs[loc.channel].queues().read_len() >= 64
+                && !mcs[loc.channel].queues().forwards_read(&loc)
+        };
+        for (i, lag) in lags.iter_mut().enumerate() {
+            resume[i] = 0;
+            if lag.is_some() {
+                continue;
+            }
+            let core = &mut self.cores[i];
+            let cpu_now = core.cycles();
+            // How many CPU cycles the core is provably self-contained for.
+            let (plan, cpu_span) = match core.idle_probe(&mem_busy) {
+                CoreIdle::Stalled {
+                    kind: StallKind::MemBusy,
+                    ..
+                } => continue,
+                CoreIdle::Stalled { kind, wake } => {
+                    let span = wake.map_or(u64::MAX, |w| {
+                        debug_assert!(w > cpu_now + 1, "a stalled core cannot wake immediately");
+                        w - 1 - cpu_now
+                    });
+                    (CorePlan::Stall(kind), span)
+                }
+                CoreIdle::Active => {
+                    if let Some(n) = core.bubble_run() {
+                        (CorePlan::Bubbles, n)
+                    } else if let Some(n) = core.blocked_head_run() {
+                        (CorePlan::BlockedHead, n)
+                    } else {
+                        continue;
+                    }
+                }
+            };
+            let dram_span = cpu_span / CPU_CYCLES_PER_DRAM_CYCLE;
+            if dram_span == 0 {
+                // Sub-cycle span: batch it within this DRAM cycle.
+                match plan {
+                    CorePlan::Stall(kind) => core.skip_idle(cpu_span, kind),
+                    CorePlan::Bubbles => core.skip_bubbles(cpu_span),
+                    CorePlan::BlockedHead => core.skip_blocked_head(cpu_span),
+                }
+                resume[i] = cpu_span as u8;
+                continue;
+            }
+            *lag = Some(CoreLag {
+                plan,
+                synced: now,
+                horizon: now.saturating_add(dram_span),
+            });
+        }
+    }
+
+    /// How many DRAM cycles after `now` (just stepped) the whole system is
+    /// provably dead — no command issues, no completion delivers, every
+    /// core lags — or `None` when the very next cycle must be stepped.
+    fn dead_span(&self, now: Cycle, end: Cycle, lags: &[Option<CoreLag>]) -> Option<u64> {
+        // A channel that issued this cycle is mid-burst: step on.
+        if self.chans.iter().any(|c| c.last_issue() == Some(now)) {
+            return None;
+        }
+        // Spilled writebacks retry enqueueing every cycle.
+        if !self.wb_spill.is_empty() {
+            return None;
+        }
+        let mut span = end - 1 - now;
+        // Each lagging core must still be lagging at every skipped cycle
+        // (its horizon cycle is stepped normally).
+        for lag in lags {
+            span = span.min(lag.as_ref()?.horizon - now - 1);
+        }
+        // Controllers: min over timing expiries, refresh deadlines,
+        // scheduling windows and in-flight completions. An event at the
+        // next cycle forbids skipping.
+        for (mc, chan) in self.mcs.iter().zip(self.chans.iter()) {
+            match mc.next_event(chan, now) {
+                Some(t) if t <= now + 1 => return None,
+                Some(t) => span = span.min(t - now - 1),
+                None => {}
+            }
+        }
+        (span >= 1).then_some(span)
+    }
+
+    /// Folds the telemetry samples of `span` skipped cycles (starting at
+    /// `now + 1`) into the histogram and bank counters arithmetically,
+    /// against the frozen post-command state.
+    fn batch_telemetry(&mut self, now: Cycle, span: u64) {
+        if let Some(tel) = &mut self.telemetry {
+            let ranks = self.geom.ranks_per_channel();
+            let banks = self.geom.banks_per_rank();
+            let from = now + 1; // first skipped cycle
+            for (ci, (mc, chan)) in self.mcs.iter().zip(self.chans.iter()).enumerate() {
+                tel.read_queue_depth
+                    .observe_n(mc.queues().read_len() as u64, span);
+                for r in 0..ranks {
+                    let rank = chan.rank(r);
+                    let refab_until = rank.refab_until();
+                    for b in 0..banks {
+                        let bank = rank.bank(b);
+                        // `bank_refresh_busy(r, b, c)` over the frozen span
+                        // is exactly `c < blocked_until`.
+                        let blocked_until = bank.refresh_until().max(refab_until);
+                        let blocked = blocked_until.saturating_sub(from).min(span);
+                        let bt = &mut tel.banks[(ci * ranks + r) * banks + b];
+                        bt.refresh_blocked_cycles += blocked;
+                        if !bank.is_closed() {
+                            bt.busy_cycles += span - blocked;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Per-core statistics (cumulative).
@@ -540,5 +906,120 @@ mod tests {
         sys.enable_retention_tracking();
         let stats = sys.run(10_000);
         assert!(stats.max_refresh_gap.is_some());
+    }
+
+    #[test]
+    fn builder_matches_legacy_constructors() {
+        let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G8);
+        let wl = intensive_workload();
+        let from_builder = SystemBuilder::new(&cfg)
+            .workload(&wl)
+            .telemetry(true)
+            .build()
+            .run(5_000);
+        let mut legacy = System::new(&cfg, &wl);
+        legacy.enable_telemetry();
+        assert_eq!(from_builder, legacy.run(5_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "provide a workload or trace sources")]
+    fn builder_requires_an_instruction_stream() {
+        let cfg = SimConfig::paper(Mechanism::RefAb, Density::G8);
+        let _ = SystemBuilder::new(&cfg).build();
+    }
+
+    /// Skip-ahead vs forced per-cycle stepping across every mechanism
+    /// family on a memory-intensive mix: cumulative stats (including
+    /// telemetry, down to every histogram bucket) must be equal field for
+    /// field.
+    #[test]
+    fn skip_ahead_matches_per_cycle_intensive() {
+        for mech in [
+            Mechanism::NoRefresh,
+            Mechanism::RefAb,
+            Mechanism::RefPb,
+            Mechanism::Elastic,
+            Mechanism::AdaptiveRefresh,
+            Mechanism::Fgr2x,
+            Mechanism::Darp,
+            Mechanism::Dsarp,
+        ] {
+            let cfg = SimConfig::paper(mech, Density::G8);
+            let wl = intensive_workload();
+            let mk = || {
+                SystemBuilder::new(&cfg)
+                    .workload(&wl)
+                    .telemetry(true)
+                    .build()
+            };
+            let fast = mk().run(15_000);
+            let slow = mk().run_per_cycle(15_000);
+            assert_eq!(fast, slow, "{mech:?} diverged");
+        }
+    }
+
+    /// The payoff case: a 0%-intensive mix leaves long dead spans between
+    /// memory events; results must still be exact.
+    #[test]
+    fn skip_ahead_matches_per_cycle_low_mpki() {
+        let wl = mixes::paper_workloads(8, 1)[0].clone(); // category P0
+        for mech in [Mechanism::RefAb, Mechanism::Dsarp] {
+            let cfg = SimConfig::paper(mech, Density::G32);
+            let mk = || {
+                SystemBuilder::new(&cfg)
+                    .workload(&wl)
+                    .telemetry(true)
+                    .build()
+            };
+            let fast = mk().run(15_000);
+            let slow = mk().run_per_cycle(15_000);
+            assert_eq!(fast, slow, "{mech:?} diverged");
+        }
+    }
+
+    /// The extreme payoff case: every core runs the compute-bound
+    /// archetype, so nearly all cycles sit inside multi-cycle dead spans
+    /// and the DRAM clock jumps constantly (this is the regime the
+    /// throughput bench measures). Stresses the whole-system jump and
+    /// batched-telemetry paths, which intensive mixes rarely reach.
+    #[test]
+    fn skip_ahead_matches_per_cycle_compute_bound() {
+        let wl = Workload {
+            name: "compute".into(),
+            category: mixes::IntensityCategory::P0,
+            benchmarks: vec![&dsarp_workloads::catalogue::COMPUTE_BOUND; 8],
+        };
+        for mech in [Mechanism::RefAb, Mechanism::Dsarp] {
+            let cfg = SimConfig::paper(mech, Density::G32);
+            let mk = || {
+                SystemBuilder::new(&cfg)
+                    .workload(&wl)
+                    .telemetry(true)
+                    .build()
+            };
+            let fast = mk().run(30_000);
+            let slow = mk().run_per_cycle(30_000);
+            assert_eq!(fast, slow, "{mech:?} diverged");
+        }
+    }
+
+    /// Running in chunks (the campaign's warm-resume pattern) must not
+    /// change skip-ahead results either.
+    #[test]
+    fn skip_ahead_is_chunk_invariant() {
+        let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G8);
+        let wl = intensive_workload();
+        let mk = || {
+            SystemBuilder::new(&cfg)
+                .workload(&wl)
+                .telemetry(true)
+                .build()
+        };
+        let whole = mk().run(12_000);
+        let mut chunked = mk();
+        chunked.run(5_000);
+        chunked.run(1);
+        assert_eq!(whole, chunked.run(6_999));
     }
 }

@@ -104,6 +104,20 @@ impl DepthHistogram {
         self.count += 1;
     }
 
+    /// Records `value` as if observed on `n` consecutive samples.
+    ///
+    /// The sampling contract is **once per channel per DRAM cycle**
+    /// (`dram_cycles` is the denominator). When the skip-ahead run loop
+    /// batches a span of dead cycles, the sampled state is frozen for the
+    /// whole span, so the per-cycle samples it replaces are `n` identical
+    /// observations — this folds them in arithmetically, leaving the bucket
+    /// counts byte-identical to per-cycle stepping.
+    pub fn observe_n(&mut self, value: u64, n: u64) {
+        self.buckets[bucket_index(value)] += n;
+        self.sum += value * n;
+        self.count += n;
+    }
+
     /// Mean observed value.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -173,6 +187,19 @@ mod tests {
         assert_eq!(h.buckets[bucket_index(5)], 1);
         let nz = h.nonzero_buckets();
         assert_eq!(nz.first(), Some(&(Some(0), 1)));
+    }
+
+    #[test]
+    fn observe_n_equals_repeated_observe() {
+        let mut a = DepthHistogram::default();
+        let mut b = DepthHistogram::default();
+        for _ in 0..37 {
+            a.observe(5);
+        }
+        b.observe_n(5, 37);
+        assert_eq!(a, b);
+        b.observe_n(0, 0); // zero-length span is a no-op
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -317,6 +317,28 @@ static CATALOGUE: &[BenchmarkSpec] = &[
     },
 ];
 
+/// A maximally compute-bound archetype in the povray/gamess class
+/// (measured MPKI ≈ 0.07): thousands of instructions between LLC accesses,
+/// nearly all of which hit a cache-resident hot set. Deliberately kept out
+/// of [`all`] and the random-mix pools — the catalogue's non-intensive
+/// archetypes floor at `mem_interval` 25, which keeps cores busy with
+/// in-flight LLC hits, whereas this one leaves long dead spans between
+/// memory events. The skip-ahead throughput bench and exactness tests use
+/// it as the payoff/stress case for the event-driven loop.
+pub static COMPUTE_BOUND: BenchmarkSpec = BenchmarkSpec {
+    name: "compute_bound",
+    mem_interval: 4000,
+    store_frac: 0.2,
+    stream_frac: 0.0,
+    num_streams: 1,
+    stream_stride: 64,
+    working_set: 64 * MB,
+    hot_frac: 0.97,
+    hot_bytes: 128 * KB,
+    dep_frac: 0.1,
+    class: MemClass::NonIntensive,
+};
+
 /// All archetypes.
 pub fn all() -> &'static [BenchmarkSpec] {
     CATALOGUE
