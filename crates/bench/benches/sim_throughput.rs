@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dsarp_core::Mechanism;
 use dsarp_dram::Density;
-use dsarp_sim::{SimConfig, System, SystemBuilder};
+use dsarp_sim::{SimConfig, SystemBuilder};
 use dsarp_workloads::mixes;
 use std::hint::black_box;
 
@@ -33,7 +33,12 @@ fn bench(c: &mut Criterion) {
             |b, &mech| {
                 b.iter(|| {
                     let cfg = SimConfig::paper(mech, Density::G32);
-                    black_box(System::new(&cfg, &workload).run(cycles))
+                    black_box(
+                        SystemBuilder::new(&cfg)
+                            .workload(&workload)
+                            .build()
+                            .run(cycles),
+                    )
                 })
             },
         );
@@ -50,7 +55,7 @@ fn bench(c: &mut Criterion) {
             |b, &telemetry| {
                 b.iter(|| {
                     let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G32);
-                    let mut system = System::new(&cfg, &workload);
+                    let mut system = SystemBuilder::new(&cfg).workload(&workload).build();
                     if telemetry {
                         system.enable_telemetry();
                     }

@@ -1,45 +1,60 @@
-//! Trace ingestion throughput: parsing and content-hashing a captured
-//! Ramulator-format trace file.
+//! Trace ingestion throughput: parsing, content-hashing and streaming
+//! captured trace files in every v1 dialect.
 //!
-//! Every campaign expansion re-reads, re-validates and re-hashes every
-//! trace a `TraceDir` sweep references (that is what detects on-disk
-//! edits), so parse + hash throughput bounds how cheap a warm trace-driven
-//! replay can be. The trace is a generated 100 k-request synthetic stream
-//! — the size the README's capture workflow produces per core.
+//! Every campaign expansion validates and content-hashes every trace a
+//! `TraceDir` sweep references (that is what detects on-disk edits), so
+//! ingestion throughput bounds how cheap a warm trace-driven replay can
+//! be. Three pipelines are measured, at 100 k and 1 M requests:
+//!
+//! * the legacy two-pass text pipeline (`parse_100k` + `hash_100k` — the
+//!   pre-v1 expansion cost, kept as the comparison baseline);
+//! * the single-pass scanner (`scan_*`) that validates, counts and
+//!   hashes in one pass per dialect — the ISSUE's acceptance bar is
+//!   `scan_bin_*` at ≥ 5x the combined `parse_100k` + `hash_100k`
+//!   throughput;
+//! * binary streaming replay (`stream_bin_1m`): a full cyclic pass of
+//!   `BinTraceSource::next_op` over a million-record file, with the
+//!   buffer pinned to O(chunk) (never a whole-file `Vec`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dsarp_campaign::fingerprint::fingerprint_bytes;
 use dsarp_campaign::traces::TraceRef;
-use dsarp_cpu::FileTrace;
+use dsarp_cpu::trace_v1::{self, READ_CHUNK};
+use dsarp_cpu::{
+    scan_trace_bytes, BinTraceSource, FileTrace, Materialize, TraceDialect, TraceSource,
+};
 use dsarp_workloads::SyntheticTrace;
 use std::hint::black_box;
 use std::io::Write;
 use std::path::PathBuf;
 
 const REQUESTS: usize = 100_000;
+const REQUESTS_1M: usize = 1_000_000;
 
-/// Exports a 100k-request trace of the first catalogue archetype.
-fn trace_bytes() -> Vec<u8> {
+/// Exports a trace of the first catalogue archetype in `dialect`.
+fn trace_bytes(dialect: TraceDialect, requests: usize) -> Vec<u8> {
     let spec = &dsarp_workloads::catalogue::all()[0];
     let mut source = SyntheticTrace::new(spec, 0, 1, 0xBE7C_2014);
-    let mut bytes = Vec::with_capacity(REQUESTS * 16);
-    dsarp_cpu::trace_file::export(&mut source, REQUESTS, &mut bytes).unwrap();
+    let mut bytes = Vec::with_capacity(requests * 16);
+    trace_v1::export_dialect(&mut source, requests, &mut bytes, dialect).unwrap();
     bytes
 }
 
-fn bench(c: &mut Criterion) {
-    let bytes = trace_bytes();
-    let path: PathBuf = std::env::temp_dir().join(format!(
-        "dsarp-trace-bench-{}-100k.trace",
-        std::process::id()
-    ));
+fn tmpfile(tag: &str, bytes: &[u8]) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("dsarp-trace-bench-{}-{tag}", std::process::id()));
     let mut f = std::fs::File::create(&path).unwrap();
-    f.write_all(&bytes).unwrap();
-    drop(f);
+    f.write_all(bytes).unwrap();
+    path
+}
+
+/// The pre-v1 baseline: strict parse and content hash as two whole-file
+/// passes, plus the current single-read resolution (`TraceRef::load`).
+fn bench_text_baseline(c: &mut Criterion) {
+    let bytes = trace_bytes(TraceDialect::Text, REQUESTS);
+    let path = tmpfile("100k.trace", &bytes);
 
     let mut g = c.benchmark_group("trace_ingest");
-    g.throughput(criterion::Throughput::Bytes(bytes.len() as u64));
-
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
     g.bench_function("parse_100k", |b| {
         b.iter(|| {
             let t = FileTrace::parse_bytes_strict(black_box(&bytes)).unwrap();
@@ -50,7 +65,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(fingerprint_bytes(black_box(&bytes))))
     });
     // The whole per-file resolution pipeline campaigns run at expansion:
-    // read from disk + strict parse + content hash.
+    // read from disk + validate + count + hash + snapshot, in one pass.
     g.bench_function("resolve_100k", |b| {
         b.iter(|| {
             let r = TraceRef::load(black_box(&path)).unwrap();
@@ -61,5 +76,66 @@ fn bench(c: &mut Criterion) {
     let _ = std::fs::remove_file(&path);
 }
 
-criterion_group!(benches, bench);
+/// Single-pass validate+count+hash per dialect, 100 k and 1 M requests.
+fn bench_scan_dialects(c: &mut Criterion) {
+    let dialects = [TraceDialect::Text, TraceDialect::TextExt, TraceDialect::Bin];
+    for (requests, tag, samples) in [(REQUESTS, "100k", 10usize), (REQUESTS_1M, "1m", 5)] {
+        let mut g = c.benchmark_group("trace_scan");
+        g.sample_size(samples);
+        for dialect in dialects {
+            let bytes = trace_bytes(dialect, requests);
+            g.throughput(Throughput::Bytes(bytes.len() as u64));
+            let name = format!("scan_{}_{tag}", dialect.label().replace('-', "_"));
+            g.bench_function(name.as_str(), |b| {
+                b.iter(|| {
+                    let s = scan_trace_bytes(black_box(&bytes), Materialize::No).unwrap();
+                    black_box((s.entries, s.hash))
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+/// Streaming replay of a million-record binary trace: one full cyclic
+/// pass of decoded ops with the buffer bounded by `READ_CHUNK`.
+fn bench_bin_streaming(c: &mut Criterion) {
+    let bytes = trace_bytes(TraceDialect::Bin, REQUESTS_1M);
+    let hash = trace_v1::hash_trace_bytes(TraceDialect::Bin, &bytes);
+    let path = tmpfile("1m.dtrace", &bytes);
+
+    let mut g = c.benchmark_group("trace_stream");
+    g.sample_size(5);
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("stream_bin_1m", |b| {
+        b.iter(|| {
+            let mut src = BinTraceSource::open(&path, hash).unwrap();
+            let mut acc = 0u64;
+            for _ in 0..src.len() {
+                acc = acc.wrapping_add(src.next_op().addr);
+            }
+            // The structural memory bound: replay never buffers more than
+            // one chunk, whatever the trace length.
+            assert!(src.buffer_capacity() <= READ_CHUNK);
+            black_box(acc)
+        })
+    });
+    // Single-pass resolution of the same file from disk (what a campaign
+    // expansion pays per binary trace).
+    g.bench_function("resolve_bin_1m", |b| {
+        b.iter(|| {
+            let r = TraceRef::load(black_box(&path)).unwrap();
+            black_box((r.entries, r.content_hash))
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(
+    benches,
+    bench_text_baseline,
+    bench_scan_dialects,
+    bench_bin_streaming
+);
 criterion_main!(benches);

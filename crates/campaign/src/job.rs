@@ -290,7 +290,7 @@ impl Job {
                 per_cycle,
             ),
             Job::TraceAlone { cfg, trace, cycles } => {
-                let sources = vec![Box::new(trace.open()) as Box<dyn dsarp_cpu::TraceSource>];
+                let sources = vec![trace.open()];
                 run(
                     SystemBuilder::new(cfg).trace_sources(sources),
                     *cycles,
@@ -378,11 +378,8 @@ mod tests {
     #[test]
     fn trace_fingerprints_key_on_content_not_path() {
         use crate::traces::{TraceRef, TraceWorkload};
-        let tref = |path: &str, name: &str, hash: u128| TraceRef {
-            path: path.into(),
-            name: name.into(),
-            content_hash: Fingerprint(hash),
-            entries: 10,
+        let tref = |path: &str, name: &str, hash: u128| {
+            TraceRef::detached(path, name, Fingerprint(hash), 10)
         };
         let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G32).with_cores(2);
         let grid = |a: TraceRef, b: TraceRef| Job::TraceGrid {

@@ -1,5 +1,6 @@
-//! Trace-driven campaign workloads: directories of captured
-//! Ramulator-format trace files, content-hashed into job fingerprints.
+//! Trace-driven campaign workloads: directories of captured trace files
+//! (any v1 dialect — plain text, `text-ext`, or binary `.dtrace`),
+//! content-hashed into job fingerprints.
 //!
 //! A [`TraceRef`] names one trace file together with the 128-bit FNV hash
 //! of its raw bytes; the hash — never the path — is what
@@ -9,21 +10,37 @@
 //! [`TraceWorkload`] bundles `cores` traces into one multi-programmed
 //! mix, the trace equivalent of a [`dsarp_workloads::Workload`].
 //!
+//! Resolution is **single-pass**: [`TraceRef::load`] validates, counts
+//! and content-hashes each file in one chunked read
+//! ([`dsarp_cpu::read_trace_path`]). Text-dialect traces keep their
+//! parsed ops as a shared snapshot, so [`TraceRef::open`] replays them
+//! with zero further disk reads; binary traces stream from disk with
+//! O(chunk) memory ([`dsarp_cpu::BinTraceSource`]), re-verifying the
+//! content hash on every full pass. Either way a warm expansion plus
+//! execution costs one read per trace file, never the former
+//! read-twice-hash-twice.
+//!
 //! Enumeration is deterministic and host-independent: directory entries
 //! are matched by file *name* against a glob (`*`/`?` wildcards), sorted
 //! byte-wise, and chunked into consecutive `cores`-wide bundles (a final
 //! short bundle wraps around to the start of the sorted list, so every
 //! trace appears in at least one bundle).
 //!
-//! Every trace is validated at resolution time with the strict parser
-//! ([`FileTrace::parse_bytes_strict`]): a torn or truncated file is a
+//! Every trace is validated at resolution time with the strict scanner:
+//! a torn or truncated file — text missing its final newline, or a
+//! `.dtrace` whose length disagrees with its header — is a
 //! [`TraceSetError`] naming the offending path, not a silently wrong
 //! simulation.
 
-use crate::fingerprint::{fingerprint_bytes, Fingerprint};
-use dsarp_cpu::{FileTrace, TraceFileError, TraceSource};
+use crate::fingerprint::Fingerprint;
+use dsarp_cpu::{
+    read_trace_path, BinTraceSource, Materialize, SharedCyclicTrace, TraceDialect, TraceFileError,
+    TraceOp, TraceSource,
+};
 use dsarp_workloads::{SyntheticTrace, Workload};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Why a trace workload set failed to resolve. Every variant names the
 /// file (or directory) at fault — `worker`, `merge` and `compact` surface
@@ -89,22 +106,50 @@ impl From<TraceSetError> for std::io::Error {
 }
 
 /// One validated trace file: path for replay, content hash for identity.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores the replay snapshot and the read counter — two refs
+/// are equal when they name the same file with the same resolved
+/// identity (path, name, dialect, hash, entry count).
+#[derive(Debug, Clone)]
 pub struct TraceRef {
     /// Where the trace lives (as given; workers sharing a store must see
     /// the same paths, exactly like the store directory itself).
     pub path: PathBuf,
     /// File stem — the workload-facing name (labels, grid rows).
     pub name: String,
-    /// FNV-1a-128 hash of the file's raw bytes. The only part of a
-    /// `TraceRef` that enters job fingerprints.
+    /// FNV-1a-128 hash of the file's raw bytes under its dialect's fold
+    /// (byte-wise for text dialects, word-wise for `.dtrace`). The only
+    /// part of a `TraceRef` that enters job fingerprints.
     pub content_hash: Fingerprint,
     /// Trace entries parsed at validation (stores count separately).
     pub entries: usize,
+    /// Which encoding the file uses, detected at [`TraceRef::load`].
+    pub dialect: TraceDialect,
+    /// Text dialects: the ops parsed at resolution, shared by every
+    /// [`TraceRef::open`] so execution replays the resolved bytes with
+    /// zero further reads. `None` for binary traces (streamed) and
+    /// [`TraceRef::detached`] refs (re-read at open).
+    ops: Option<Arc<[TraceOp]>>,
+    /// Whole-file disk reads attributed to this ref (shared by clones).
+    reads: Arc<AtomicU64>,
 }
 
+impl PartialEq for TraceRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.path == other.path
+            && self.name == other.name
+            && self.content_hash == other.content_hash
+            && self.entries == other.entries
+            && self.dialect == other.dialect
+    }
+}
+
+impl Eq for TraceRef {}
+
 impl TraceRef {
-    /// Reads, strictly validates and hashes one trace file.
+    /// Reads, strictly validates, counts and content-hashes one trace
+    /// file in a single chunked pass, detecting its dialect. Text-dialect
+    /// ops are kept as the replay snapshot.
     ///
     /// # Errors
     ///
@@ -112,14 +157,16 @@ impl TraceRef {
     /// (malformed / empty / truncated) trace.
     pub fn load(path: impl Into<PathBuf>) -> Result<Self, TraceSetError> {
         let path = path.into();
-        let bytes = std::fs::read(&path).map_err(|source| TraceSetError::Io {
-            path: path.clone(),
-            source,
-        })?;
-        let trace =
-            FileTrace::parse_bytes_strict(&bytes).map_err(|source| TraceSetError::Invalid {
-                path: path.clone(),
-                source,
+        let summary =
+            read_trace_path(&path, Materialize::TextOnly).map_err(|source| match source {
+                TraceFileError::Io(source) => TraceSetError::Io {
+                    path: path.clone(),
+                    source,
+                },
+                source => TraceSetError::Invalid {
+                    path: path.clone(),
+                    source,
+                },
             })?;
         let name = path
             .file_stem()
@@ -128,39 +175,89 @@ impl TraceRef {
         Ok(TraceRef {
             path,
             name,
-            content_hash: fingerprint_bytes(&bytes),
-            entries: trace.len(),
+            content_hash: Fingerprint(summary.hash),
+            entries: summary.entries,
+            dialect: summary.dialect,
+            ops: summary.ops.map(Arc::from),
+            reads: Arc::new(AtomicU64::new(1)),
         })
     }
 
-    /// Re-reads the trace for execution, verifying the bytes still match
-    /// [`TraceRef::content_hash`].
+    /// Builds a ref from already-known identity without touching the
+    /// filesystem — for tests and for reconstructing refs from stored
+    /// metadata. The dialect is assumed plain text and there is no replay
+    /// snapshot, so [`TraceRef::open`] re-reads and re-verifies the file.
+    pub fn detached(
+        path: impl Into<PathBuf>,
+        name: impl Into<String>,
+        content_hash: Fingerprint,
+        entries: usize,
+    ) -> Self {
+        TraceRef {
+            path: path.into(),
+            name: name.into(),
+            content_hash,
+            entries,
+            dialect: TraceDialect::Text,
+            ops: None,
+            reads: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Whole-file disk reads this ref (and its clones) have performed —
+    /// the resolution read plus any re-reads at open. Streaming binary
+    /// replay counts one read per [`TraceRef::open`].
+    pub fn disk_reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Opens the trace for execution as an infinite cyclic source.
+    ///
+    /// Text dialects replay the snapshot parsed at resolution — zero
+    /// disk reads, and by construction exactly the bytes the fingerprint
+    /// was derived from. Binary traces stream from disk in O(chunk)
+    /// memory; the content hash is re-folded and checked on every full
+    /// pass, so a mid-campaign edit panics (naming the file) instead of
+    /// replaying different bytes under a stale fingerprint.
     ///
     /// # Panics
     ///
-    /// Panics (with a message naming the file) if the file disappeared,
-    /// fails to parse, or its content changed since resolution — the job
-    /// fingerprint was derived from the resolved bytes, so replaying
-    /// different ones would cache a wrong result under the wrong key.
-    pub fn open(&self) -> FileTrace {
-        let bytes = std::fs::read(&self.path).unwrap_or_else(|e| {
+    /// Panics (with a message naming the file) if the file disappeared or
+    /// — for refs without a snapshot — no longer matches
+    /// [`TraceRef::content_hash`].
+    pub fn open(&self) -> Box<dyn TraceSource> {
+        if let Some(ops) = &self.ops {
+            return Box::new(SharedCyclicTrace::new(Arc::clone(ops)));
+        }
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        if self.dialect == TraceDialect::Bin {
+            let source =
+                BinTraceSource::open(&self.path, self.content_hash.0).unwrap_or_else(|e| {
+                    panic!(
+                        "trace file {} vanished or tore while the campaign was \
+                         running: {e}",
+                        self.path.display()
+                    )
+                });
+            return Box::new(source);
+        }
+        // Detached text ref: re-read, verify against the recorded hash,
+        // and replay the re-parsed ops (the pre-snapshot contract).
+        let summary = read_trace_path(&self.path, Materialize::All).unwrap_or_else(|e| {
             panic!(
-                "trace file {} vanished while the campaign was running: {e}",
+                "trace file {} vanished or failed to re-parse while the \
+                 campaign was running: {e}",
                 self.path.display()
             )
         });
         assert!(
-            fingerprint_bytes(&bytes) == self.content_hash,
+            Fingerprint(summary.hash) == self.content_hash,
             "trace file {} changed while the campaign was running \
              (content hash mismatch); re-run to pick up the new contents",
             self.path.display()
         );
-        FileTrace::parse_bytes_strict(&bytes).unwrap_or_else(|e| {
-            panic!(
-                "trace file {} failed to re-parse during execution: {e}",
-                self.path.display()
-            )
-        })
+        let ops = summary.ops.expect("Materialize::All keeps ops");
+        Box::new(SharedCyclicTrace::new(ops.into()))
     }
 }
 
@@ -204,7 +301,7 @@ impl TraceWorkload {
     }
 
     /// Opens the first `cores` member traces as boxed sources for
-    /// [`dsarp_sim::System::with_trace_sources`].
+    /// [`dsarp_sim::SystemBuilder::trace_sources`].
     ///
     /// # Panics
     ///
@@ -218,10 +315,7 @@ impl TraceWorkload {
             self.traces.len(),
             cores
         );
-        self.traces[..cores]
-            .iter()
-            .map(|t| Box::new(t.open()) as Box<dyn TraceSource>)
-            .collect()
+        self.traces[..cores].iter().map(|t| t.open()).collect()
     }
 }
 
@@ -362,17 +456,21 @@ fn bundle(refs: Vec<TraceRef>, cores: usize) -> Result<Vec<TraceWorkload>, Trace
 
 /// Captures synthetic workloads as a trace directory: for each workload
 /// and core, `ops` entries of the exact generator stream
-/// [`dsarp_sim::System::new`] would feed that core (same per-core address
-/// partitioning, same `seed`) are exported in the Ramulator text format
-/// as `<dir>/<workload>-c<NN>.trace`. The naming sorts per-workload
-/// files consecutively, so a [`resolve_trace_dir`] sweep with the same
-/// core count reassembles exactly these bundles.
+/// [`dsarp_sim::SystemBuilder`] would feed that core (same per-core
+/// address partitioning, same `seed`) are exported in `dialect` as
+/// `<dir>/<workload>-c<NN>.<ext>` (`.trace` for text dialects, `.dtrace`
+/// for binary). The naming sorts per-workload files consecutively, so a
+/// [`resolve_trace_dir`] sweep with the same core count reassembles
+/// exactly these bundles.
 ///
-/// The text format is lossy for two generator features — store bubbles
-/// and load dependence (see [`dsarp_cpu::trace_file::export`]) — so a
-/// captured trace replays the generator stream bit-exactly only when the
-/// workload produces loads-only streams; otherwise replay is the
-/// format's documented approximation.
+/// The lossless dialects ([`TraceDialect::TextExt`], [`TraceDialect::Bin`])
+/// capture every generator feature — store bubbles and load dependence
+/// included — so replay is bit-exact for the whole catalogue. Plain
+/// [`TraceDialect::Text`] is lossy for those two features (see
+/// [`dsarp_cpu::trace_file::export`]): a captured trace replays the
+/// generator stream bit-exactly only when the workload produces
+/// loads-only streams; otherwise replay is the format's documented
+/// approximation.
 ///
 /// Returns the written paths in enumeration order.
 ///
@@ -384,16 +482,17 @@ pub fn capture_workloads(
     workloads: &[Workload],
     seed: u64,
     ops: usize,
+    dialect: TraceDialect,
 ) -> std::io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(dir)?;
     let mut written = Vec::new();
     for wl in workloads {
         for (i, bench) in wl.benchmarks.iter().enumerate() {
             let mut source = SyntheticTrace::new(bench, i, wl.cores(), seed);
-            let path = dir.join(format!("{}-c{i:02}.trace", wl.name));
+            let path = dir.join(format!("{}-c{i:02}.{}", wl.name, dialect.extension()));
             let file = std::fs::File::create(&path)?;
             let mut out = std::io::BufWriter::new(file);
-            dsarp_cpu::trace_file::export(&mut source, ops, &mut out)?;
+            dsarp_cpu::trace_v1::export_dialect(&mut source, ops, &mut out, dialect)?;
             std::io::Write::flush(&mut out)?;
             written.push(path);
         }
@@ -510,14 +609,32 @@ mod tests {
     }
 
     #[test]
-    fn open_rejects_mid_campaign_edits() {
+    fn text_replay_is_a_snapshot_of_the_resolved_bytes() {
         let dir = tmpdir("edit");
         let path = dir.join("t.trace");
         std::fs::write(&path, "1 0x40\n").unwrap();
         let r = TraceRef::load(&path).unwrap();
-        assert_eq!(r.entries, 1);
+        assert_eq!((r.entries, r.dialect), (1, TraceDialect::Text));
         let mut t = r.open();
         assert_eq!(t.next_op().addr, 0x40);
+        // Editing the file after resolution cannot desynchronize replay
+        // from the fingerprint: open() replays the resolved snapshot, and
+        // the next expansion re-hashes the new bytes into a new cell.
+        std::fs::write(&path, "1 0x80\n").unwrap();
+        assert_eq!(r.open().next_op().addr, 0x40, "snapshot, not the edit");
+        assert_ne!(TraceRef::load(&path).unwrap().content_hash, r.content_hash);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn detached_refs_keep_the_verify_at_open_contract() {
+        let dir = tmpdir("detached");
+        let path = dir.join("t.trace");
+        std::fs::write(&path, "1 0x40\n").unwrap();
+        let loaded = TraceRef::load(&path).unwrap();
+        let r = TraceRef::detached(&path, "t", loaded.content_hash, 1);
+        assert_eq!(r, loaded, "identity fields match, snapshot is ignored");
+        assert_eq!(r.open().next_op().addr, 0x40);
         std::fs::write(&path, "1 0x80\n").unwrap();
         let caught = std::panic::catch_unwind(|| r.open());
         assert!(caught.is_err(), "changed content must not silently replay");
@@ -525,10 +642,45 @@ mod tests {
     }
 
     #[test]
+    fn one_read_resolves_and_replays_a_text_trace() {
+        let dir = tmpdir("reads");
+        let path = dir.join("t.trace");
+        std::fs::write(&path, "1 0x40\n2 0x80\n").unwrap();
+        let r = TraceRef::load(&path).unwrap();
+        assert_eq!(r.disk_reads(), 1, "resolution is one chunked read");
+        // Replay — including a clone inside a workload and a full cycle
+        // through the ops — costs zero further reads.
+        let wl = TraceWorkload::new(vec![r.clone()]);
+        let mut sources = wl.sources(1);
+        for _ in 0..5 {
+            sources[0].next_op();
+        }
+        drop(sources);
+        assert_eq!(r.disk_reads(), 1, "open + execute adds no reads");
+
+        // Binary traces stream instead of snapshotting: one more read
+        // per open, never a whole-file buffer.
+        let (_, bin) =
+            dsarp_cpu::trace_v1::convert_bytes(&std::fs::read(&path).unwrap(), TraceDialect::Bin)
+                .unwrap();
+        let bpath = dir.join("t.dtrace");
+        std::fs::write(&bpath, &bin).unwrap();
+        let b = TraceRef::load(&bpath).unwrap();
+        assert_eq!(
+            (b.dialect, b.entries, b.disk_reads()),
+            (TraceDialect::Bin, 2, 1)
+        );
+        let mut s = b.open();
+        assert_eq!(s.next_op().addr, 0x40);
+        assert_eq!(b.disk_reads(), 2, "streaming replay is the second read");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn capture_round_trips_through_dir_resolution() {
         let dir = tmpdir("capture");
         let wls = dsarp_workloads::mixes::intensive_mixes(2, 1)[..2].to_vec();
-        let written = capture_workloads(&dir, &wls, 7, 500).unwrap();
+        let written = capture_workloads(&dir, &wls, 7, 500, TraceDialect::Text).unwrap();
         assert_eq!(written.len(), 4);
         let bundles = resolve_trace_dir(&dir, "*.trace", 2).unwrap();
         assert_eq!(bundles.len(), 2);
@@ -538,6 +690,37 @@ mod tests {
                 assert!(t.entries >= 500, "stores add entries, never remove");
             }
         }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn lossless_captures_replay_the_exact_generator_stream() {
+        let dir = tmpdir("lossless");
+        let wls = dsarp_workloads::mixes::intensive_mixes(1, 1)[..1].to_vec();
+        let ops = 300;
+        let mut truth = SyntheticTrace::new(wls[0].benchmarks[0], 0, 1, 7);
+        let want: Vec<_> = (0..ops).map(|_| truth.next_op()).collect();
+        for (dialect, glob) in [
+            (TraceDialect::TextExt, "*.trace"),
+            (TraceDialect::Bin, "*.dtrace"),
+        ] {
+            let sub = dir.join(dialect.label());
+            capture_workloads(&sub, &wls, 7, ops, dialect).unwrap();
+            let bundles = resolve_trace_dir(&sub, glob, 1).unwrap();
+            assert_eq!(
+                bundles[0].traces[0].entries, ops,
+                "{dialect}: one entry per op"
+            );
+            let mut src = bundles[0].traces[0].open();
+            let got: Vec<_> = (0..ops).map(|_| src.next_op()).collect();
+            assert_eq!(got, want, "{dialect} must replay bit-exactly");
+        }
+        // Plain text of the same stream is the documented approximation:
+        // entries can differ (attachment convention) and flags are lost.
+        let sub = dir.join("text");
+        capture_workloads(&sub, &wls, 7, ops, TraceDialect::Text).unwrap();
+        let plain = resolve_trace_dir(&sub, "*.trace", 1).unwrap();
+        assert!(plain[0].traces[0].entries >= ops);
         let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -51,12 +51,16 @@ pub mod llc;
 pub mod mshr;
 pub mod trace;
 pub mod trace_file;
+pub mod trace_v1;
 
 pub use crate::core::{Core, CoreIdle, CoreParams, CoreStats, StallKind};
 pub use llc::{Llc, LlcParams, LlcResult, LlcStats};
 pub use mshr::{MshrTable, ReqToken};
-pub use trace::{MemKind, TraceOp, TraceSource};
+pub use trace::{CyclicTrace, MemKind, SharedCyclicTrace, TraceOp, TraceSource};
 pub use trace_file::{FileTrace, TraceFileError};
+pub use trace_v1::{
+    read_trace_path, scan_trace_bytes, BinTraceSource, Materialize, TraceDialect, TraceSummary,
+};
 
 /// Result of asking the memory hierarchy for a cache line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -67,6 +67,35 @@ impl TraceSource for CyclicTrace {
     }
 }
 
+/// A cyclic trace over shared ops: many sources (alone + grid cells of
+/// the same captured file) replay one parsed snapshot without cloning
+/// the `Vec<TraceOp>` per job.
+#[derive(Debug, Clone)]
+pub struct SharedCyclicTrace {
+    ops: std::sync::Arc<[TraceOp]>,
+    pos: usize,
+}
+
+impl SharedCyclicTrace {
+    /// Creates a trace repeating the shared `ops` forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn new(ops: std::sync::Arc<[TraceOp]>) -> Self {
+        assert!(!ops.is_empty(), "cyclic trace needs at least one op");
+        Self { ops, pos: 0 }
+    }
+}
+
+impl TraceSource for SharedCyclicTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,12 +25,21 @@ pub enum TraceFileError {
     },
     /// The file contained no trace entries.
     Empty,
-    /// The file ends mid-line (no trailing newline): it was torn by a
-    /// crashed or still-running writer. Rejected by the strict parser
-    /// because the cut can leave a *shorter but still parseable* final
-    /// line — silently replaying it would be a wrong simulation, not an
-    /// error.
+    /// The file ends mid-record: a text file without a trailing newline,
+    /// or a `.dtrace` file shorter than its header's record count — it
+    /// was torn by a crashed or still-running writer. Rejected by the
+    /// strict parser because the cut can leave a *shorter but still
+    /// parseable* final line — silently replaying it would be a wrong
+    /// simulation, not an error.
     Truncated,
+    /// A malformed `.dtrace` structure (bad magic, invalid record flags,
+    /// or bytes beyond the declared record count).
+    Binary {
+        /// Byte offset of the fault.
+        offset: u64,
+        /// What was wrong there.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for TraceFileError {
@@ -42,7 +51,10 @@ impl std::fmt::Display for TraceFileError {
             }
             TraceFileError::Empty => write!(f, "trace file has no entries"),
             TraceFileError::Truncated => {
-                write!(f, "trace file is truncated (no trailing newline)")
+                write!(f, "trace file is truncated (torn mid-record tail)")
+            }
+            TraceFileError::Binary { offset, what } => {
+                write!(f, "malformed binary trace at byte {offset}: {what}")
             }
         }
     }

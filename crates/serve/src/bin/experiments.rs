@@ -19,7 +19,8 @@
 //! experiments serve     [--listen ADDR] [--campaign DIR]
 //!                       [--spec FILE | --traces DIR]
 //! experiments trace-capture --traces DIR [--count N] [--trace-cores N]
-//!                       [--ops N] [--seed N]
+//!                       [--ops N] [--seed N] [--format text|text-ext|bin]
+//! experiments trace-convert --from FILE --to FILE [--format text|text-ext|bin]
 //! ```
 //!
 //! * `run` (default): single-process execution plus artifact reduction.
@@ -44,15 +45,24 @@
 //!   they do against a shared `--campaign DIR`. See the README's
 //!   "Campaign server" section for the endpoint table.
 //! * `trace-capture`: records synthetic memory-intensive mixes as a
-//!   directory of Ramulator-format trace files (one file per workload per
-//!   core), so users and CI can self-generate trace suites to sweep.
+//!   directory of trace files (one file per workload per core), so users
+//!   and CI can self-generate trace suites to sweep. `--format` picks the
+//!   encoding: plain Ramulator `text` (default, lossy for store bubbles
+//!   and load dependence), the lossless `text-ext` dialect, or the
+//!   lossless binary `bin` (`.dtrace`) — see the README's trace dialect
+//!   spec.
+//! * `trace-convert`: re-encodes one trace file between dialects
+//!   (`--from FILE --to FILE`). The target dialect is inferred from the
+//!   `--to` extension (`.dtrace` means `bin`, anything else `text-ext`)
+//!   unless `--format` says otherwise. Conversions between the lossless
+//!   dialects round-trip byte-stably.
 //! * `--traces DIR` sweeps a directory of captured traces instead of the
 //!   built-in paper campaign: file names matching `--trace-glob` (default
-//!   `*.trace`) are sorted and bundled `--trace-cores` (default 1) at a
-//!   time, and each file's content hash feeds the job fingerprints, so
-//!   editing a trace re-simulates exactly its own cells. The sweep runs
-//!   `REFab`/`REFpb`/`DSARP` at 32 Gb; `--emit-spec` the spec and edit it
-//!   for other axes.
+//!   `*.trace`; use `*.dtrace` for binary suites) are sorted and bundled
+//!   `--trace-cores` (default 1) at a time, and each file's content hash
+//!   feeds the job fingerprints, so editing a trace re-simulates exactly
+//!   its own cells. The sweep runs `REFab`/`REFpb`/`DSARP` at 32 Gb;
+//!   `--emit-spec` the spec and edit it for other axes.
 //! * `--spec FILE.json` executes a serialized [`CampaignSpec`] instead of
 //!   the built-in paper campaign (no recompilation for new sweeps);
 //!   `--emit-spec FILE` dumps the built-in (or `--traces`) spec as a
@@ -102,6 +112,7 @@ enum Cmd {
     Compact,
     Serve,
     TraceCapture,
+    TraceConvert,
 }
 
 /// CLI refusal: a named offending token and a nonzero exit, without the
@@ -145,6 +156,11 @@ struct Args {
     capture_ops: usize,
     capture_seed: u64,
     capture_knobs_set: bool,
+    /// Trace encoding for `trace-capture` / `trace-convert` (`--format`).
+    trace_format: Option<dsarp_cpu::TraceDialect>,
+    /// `trace-convert` source and destination files.
+    convert_from: Option<PathBuf>,
+    convert_to: Option<PathBuf>,
     /// Structured JSONL event log destination (`--events FILE`).
     events: Option<PathBuf>,
     /// Per-cell simulator telemetry sidecars (`--telemetry`, run only).
@@ -185,6 +201,9 @@ fn parse_args() -> Args {
     // bit-exact only for loads-only streams — see the README.)
     let mut capture_seed = 0xD5A2_2014u64;
     let mut capture_knobs_set = false;
+    let mut trace_format = None;
+    let mut convert_from = None;
+    let mut convert_to = None;
     let mut events = None;
     let mut telemetry = false;
     let mut per_cycle = false;
@@ -223,8 +242,13 @@ fn parse_args() -> Args {
             i += 1;
             Cmd::TraceCapture
         }
+        Some("trace-convert") => {
+            i += 1;
+            Cmd::TraceConvert
+        }
         Some(other) if !other.starts_with("--") => die(&format!(
-            "unknown subcommand `{other}` (run|worker|merge|status|compact|serve|trace-capture)"
+            "unknown subcommand `{other}` \
+             (run|worker|merge|status|compact|serve|trace-capture|trace-convert)"
         )),
         _ => Cmd::Run,
     };
@@ -308,6 +332,14 @@ fn parse_args() -> Args {
                 capture_knobs_set = true;
                 capture_seed = next(&mut i).parse().expect("--seed");
             }
+            "--format" => {
+                let value = next(&mut i);
+                trace_format = Some(dsarp_cpu::TraceDialect::parse(&value).unwrap_or_else(|| {
+                    die(&format!("unknown --format `{value}` (text|text-ext|bin)"))
+                }));
+            }
+            "--from" => convert_from = Some(PathBuf::from(next(&mut i))),
+            "--to" => convert_to = Some(PathBuf::from(next(&mut i))),
             other => die(&format!("unknown argument `{other}` (see the module docs)")),
         }
         i += 1;
@@ -328,6 +360,7 @@ fn parse_args() -> Args {
                     Cmd::Compact => "compact",
                     Cmd::Serve => "serve",
                     Cmd::TraceCapture => "trace-capture",
+                    Cmd::TraceConvert => "trace-convert",
                     Cmd::Worker | Cmd::Merge => unreachable!(),
                 }
             )),
@@ -376,14 +409,39 @@ fn parse_args() -> Args {
         assert!(
             !scale_set && cycles.is_none() && per_category.is_none() && threads.is_none(),
             "--scale/--cycles/--per-category/--threads configure simulation runs; \
-             trace-capture only takes --traces/--count/--trace-cores/--ops/--seed"
+             trace-capture only takes --traces/--count/--trace-cores/--ops/--seed/--format"
         );
         assert!(
             run_only_flags.is_empty(),
             "{} configure simulation runs and are ignored by trace-capture \
-             (it only takes --traces/--count/--trace-cores/--ops/--seed)",
+             (it only takes --traces/--count/--trace-cores/--ops/--seed/--format)",
             run_only_flags.join("/")
         );
+    }
+    if trace_format.is_some() && !matches!(cmd, Cmd::TraceCapture | Cmd::TraceConvert) {
+        die("--format picks a trace encoding; it applies to trace-capture/trace-convert only");
+    }
+    if (convert_from.is_some() || convert_to.is_some()) && cmd != Cmd::TraceConvert {
+        die("--from/--to apply to trace-convert only");
+    }
+    if cmd == Cmd::TraceConvert {
+        assert!(
+            !scale_set
+                && cycles.is_none()
+                && per_category.is_none()
+                && threads.is_none()
+                && run_only_flags.is_empty()
+                && !trace_knobs_set
+                && !capture_knobs_set
+                && traces.is_none()
+                && spec_file.is_none()
+                && only.is_none()
+                && !fresh,
+            "trace-convert only takes --from FILE --to FILE [--format text|text-ext|bin]"
+        );
+        if convert_from.is_none() || convert_to.is_none() {
+            die("trace-convert needs both --from FILE and --to FILE");
+        }
     }
     if let Some(name) = only.as_deref() {
         // A --spec file and the --traces campaign carry their own sweep
@@ -438,6 +496,9 @@ fn parse_args() -> Args {
         capture_ops,
         capture_seed,
         capture_knobs_set,
+        trace_format,
+        convert_from,
+        convert_to,
         events,
         telemetry,
         per_cycle,
@@ -612,6 +673,10 @@ fn main() {
         run_trace_capture(&args);
         return;
     }
+    if args.cmd == Cmd::TraceConvert {
+        run_trace_convert(&args);
+        return;
+    }
     let (spec, custom) = resolve_spec(&args);
     match args.cmd {
         Cmd::Worker => run_worker_cmd(&args, spec),
@@ -619,7 +684,7 @@ fn main() {
         Cmd::Compact => run_compact_cmd(&args, &spec),
         Cmd::Serve => run_serve_cmd(&args, spec),
         Cmd::Run | Cmd::Merge => run_or_merge(&args, spec, custom),
-        Cmd::TraceCapture => unreachable!("handled above"),
+        Cmd::TraceCapture | Cmd::TraceConvert => unreachable!("handled above"),
     }
 }
 
@@ -711,10 +776,11 @@ fn run_serve_cmd(args: &Args, spec: CampaignSpec) {
 }
 
 /// `trace-capture`: records `--count` memory-intensive synthetic mixes of
-/// `--trace-cores` cores as Ramulator-format files under `--traces DIR`
-/// (one file per workload per core, `--ops` entries each). File naming
-/// (`<mix>-c<NN>.trace`) sorts each mix's cores consecutively, so a
-/// `--traces DIR --trace-cores N` sweep reassembles exactly these bundles.
+/// `--trace-cores` cores as trace files under `--traces DIR` (one file
+/// per workload per core, `--ops` entries each, in the `--format`
+/// dialect). File naming (`<mix>-c<NN>.<ext>`) sorts each mix's cores
+/// consecutively, so a `--traces DIR --trace-cores N` sweep reassembles
+/// exactly these bundles.
 fn run_trace_capture(args: &Args) {
     let dir = args.traces.as_deref().unwrap_or_else(|| {
         panic!("trace-capture needs --traces DIR (the capture target directory)")
@@ -723,6 +789,7 @@ fn run_trace_capture(args: &Args) {
         args.spec_file.is_none() && args.only.is_none() && !args.fresh,
         "--spec/--exp/--fresh do not apply to trace-capture"
     );
+    let dialect = args.trace_format.unwrap_or(dsarp_cpu::TraceDialect::Text);
     let workloads: Vec<dsarp_workloads::Workload> =
         dsarp_workloads::mixes::intensive_mixes(args.trace_cores, WORKLOAD_SEED)
             .into_iter()
@@ -735,16 +802,55 @@ fn run_trace_capture(args: &Args) {
         dsarp_workloads::mixes::intensive_mixes(args.trace_cores, WORKLOAD_SEED).len()
     );
     let t0 = Instant::now();
-    let written = traces::capture_workloads(dir, &workloads, args.capture_seed, args.capture_ops)
-        .expect("capture trace files");
+    let written = traces::capture_workloads(
+        dir,
+        &workloads,
+        args.capture_seed,
+        args.capture_ops,
+        dialect,
+    )
+    .expect("capture trace files");
     println!(
-        "[{:>7.1?}] captured {} workloads x {} cores ({} entries each) into {} files under {}",
+        "[{:>7.1?}] captured {} workloads x {} cores ({} entries each, {dialect}) \
+         into {} files under {}",
         t0.elapsed(),
         workloads.len(),
         args.trace_cores,
         args.capture_ops,
         written.len(),
         dir.display()
+    );
+}
+
+/// `trace-convert`: re-encodes `--from FILE` into `--to FILE`. The target
+/// dialect comes from `--format`, else from the `--to` extension
+/// (`.dtrace` means binary, anything else the lossless `text-ext`).
+fn run_trace_convert(args: &Args) {
+    use dsarp_cpu::TraceDialect;
+    let from = args.convert_from.as_deref().expect("checked at parse");
+    let to = args.convert_to.as_deref().expect("checked at parse");
+    let target =
+        args.trace_format
+            .unwrap_or_else(|| match to.extension().and_then(|e| e.to_str()) {
+                Some("dtrace") => TraceDialect::Bin,
+                _ => TraceDialect::TextExt,
+            });
+    let bytes = std::fs::read(from)
+        .unwrap_or_else(|e| die(&format!("cannot read --from {}: {e}", from.display())));
+    let t0 = Instant::now();
+    let (summary, out) = dsarp_cpu::trace_v1::convert_bytes(&bytes, target)
+        .unwrap_or_else(|e| die(&format!("trace file {}: {e}", from.display())));
+    std::fs::write(to, &out)
+        .unwrap_or_else(|e| die(&format!("cannot write --to {}: {e}", to.display())));
+    println!(
+        "[{:>7.1?}] converted {} ({}, {} entries, {} bytes) -> {} ({target}, {} bytes)",
+        t0.elapsed(),
+        from.display(),
+        summary.dialect,
+        summary.entries,
+        summary.bytes,
+        to.display(),
+        out.len()
     );
 }
 

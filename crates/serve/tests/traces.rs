@@ -1,22 +1,26 @@
 //! Trace-driven campaign acceptance tests.
 //!
 //! * Property: `trace-capture` → `TraceDir` campaign equals the
-//!   synthetic-workload computation cell-for-cell, whenever the stream is
-//!   expressible in the Ramulator text format (loads only — stores with
-//!   bubbles and dependent loads have no lossless rendering, which the
-//!   trace-file round-trip tests in `dsarp-cpu` document).
+//!   synthetic-workload computation cell-for-cell. Plain text covers
+//!   loads-only streams (stores with bubbles and dependent loads have no
+//!   lossless rendering there); the v1 lossless dialects (`text-ext`,
+//!   binary `.dtrace`) extend the same guarantee to the full catalogue —
+//!   stores, store bubbles and load dependence included.
 //! * A torn/truncated trace is rejected with an error naming the file,
-//!   not replayed as a silently wrong simulation.
+//!   not replayed as a silently wrong simulation — in every encoding.
 //! * Cold → warm replays simulate nothing and reduce byte-identically;
-//!   corrupting one trace recomputes exactly that trace's cells.
+//!   corrupting one byte of one trace (text or binary record) recomputes
+//!   exactly that trace's cells.
 //! * The CLI path: a `--spec` JSON with a `TraceDir` sweep runs cold,
 //!   resumes warm with zero re-simulation, and two `worker` processes
 //!   plus `merge` produce output byte-identical to the single-process
-//!   run over the same trace directory.
+//!   run over the same trace directory; `trace-convert` round-trips
+//!   byte-stably and converted suites reduce to identical grids.
 
 use dsarp_campaign::traces::{capture_workloads, resolve_trace_dir};
 use dsarp_campaign::{Campaign, CampaignReport, CampaignSpec, SweepSpec, WorkloadSet};
 use dsarp_core::Mechanism;
+use dsarp_cpu::TraceDialect;
 use dsarp_dram::Density;
 use dsarp_sim::experiments::harness::{Grid, Scale};
 use dsarp_sim::experiments::report;
@@ -78,6 +82,27 @@ fn trace_sweep_spec(name: &str, dir: &Path, cores: usize, scale: Scale) -> Campa
     ))
 }
 
+/// As [`trace_sweep_spec`] with an explicit glob (binary suites need
+/// `*.dtrace`).
+fn trace_sweep_spec_glob(
+    name: &str,
+    dir: &Path,
+    glob: &str,
+    cores: usize,
+    scale: Scale,
+) -> CampaignSpec {
+    CampaignSpec::new(name, scale).with_sweep(SweepSpec::new(
+        "traces",
+        WorkloadSet::TraceDir {
+            path: dir.to_string_lossy().into_owned(),
+            glob: glob.into(),
+            cores,
+        },
+        &[Mechanism::RefAb, Mechanism::Dsarp],
+        &[Density::G8],
+    ))
+}
+
 proptest! {
     #![proptest_config(proptest::test_runner::Config::with_cases(3))]
 
@@ -120,6 +145,7 @@ proptest! {
             std::slice::from_ref(&workload),
             SIM_SEED,
             ops_needed(&scale),
+            TraceDialect::Text,
         )
         .unwrap();
 
@@ -153,12 +179,105 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(3))]
+
+    /// Full-catalogue exactness: archetypes with stores (and their
+    /// bubbles) and dependent loads — inexpressible in plain text —
+    /// replay cell-for-cell equal to the synthetic computation via both
+    /// lossless dialects, and the two dialects reduce to identical grids
+    /// while keying the cache on different content hashes.
+    #[test]
+    fn full_catalogue_capture_replays_exactly_in_lossless_dialects(
+        mem_interval in 2u32..8,
+        store_sel in 0usize..3,
+        dep_sel in 0usize..3,
+    ) {
+        let scale = tiny_scale();
+        let spec: &'static BenchmarkSpec = Box::leak(Box::new(BenchmarkSpec {
+            name: Box::leak(format!("full-{mem_interval}-{store_sel}-{dep_sel}").into_boxed_str()),
+            mem_interval,
+            store_frac: [0.15, 0.3, 0.5][store_sel],
+            stream_frac: 0.4,
+            num_streams: 2,
+            stream_stride: 64,
+            working_set: 8 << 20,
+            hot_frac: 0.3,
+            hot_bytes: 128 << 10,
+            dep_frac: [0.1, 0.25, 0.4][dep_sel],
+            class: MemClass::Intensive,
+        }));
+        let workload = Workload {
+            name: "wl".into(),
+            category: IntensityCategory::P100,
+            benchmarks: vec![spec],
+        };
+        let dir = tmpdir(&format!("full-{mem_interval}-{store_sel}-{dep_sel}"));
+        let direct = Grid::compute_with(
+            std::slice::from_ref(&workload),
+            &[Mechanism::RefAb, Mechanism::Dsarp],
+            &[Density::G8],
+            &scale,
+            |m, d| SimConfig::paper(*m, *d).with_cores(1),
+        );
+
+        let mut renders = Vec::new();
+        for (dialect, glob) in [(TraceDialect::TextExt, "*.trace"), (TraceDialect::Bin, "*.dtrace")] {
+            let traces_dir = dir.join(dialect.label());
+            capture_workloads(
+                &traces_dir,
+                std::slice::from_ref(&workload),
+                SIM_SEED,
+                ops_needed(&scale),
+                dialect,
+            )
+            .unwrap();
+            let bundles = resolve_trace_dir(&traces_dir, glob, 1).unwrap();
+            prop_assert_eq!(bundles[0].traces[0].dialect, dialect);
+            prop_assert_eq!(
+                bundles[0].traces[0].entries,
+                ops_needed(&scale),
+                "lossless dialects store one entry per op, no attachment padding"
+            );
+            let campaign_spec =
+                trace_sweep_spec_glob(&format!("full-{}", dialect.label()), &traces_dir, glob, 1, scale);
+            let report = Campaign::open(&dir.join(format!("store-{dialect}")), campaign_spec)
+                .unwrap()
+                .run()
+                .unwrap();
+            prop_assert_eq!(report.stats.simulated, report.stats.unique_jobs);
+            let grid = report.grid("traces");
+            for row in direct.rows() {
+                let got = grid
+                    .get("wl-c00", row.mechanism, row.density)
+                    .unwrap_or_else(|| panic!("missing {dialect} cell for {}", row.mechanism.label()));
+                prop_assert_eq!(got.ws, row.ws, "{} {} ws", dialect, row.mechanism.label());
+                prop_assert_eq!(got.hs, row.hs, "{} {} hs", dialect, row.mechanism.label());
+                prop_assert_eq!(got.max_slowdown, row.max_slowdown);
+                prop_assert_eq!(got.energy_nj, row.energy_nj);
+                prop_assert_eq!(got.total_ipc, row.total_ipc);
+            }
+            renders.push(render(&report));
+        }
+        prop_assert_eq!(&renders[0], &renders[1], "text-ext and bin grids must be identical");
+
+        // Identical op streams, different encodings: the cache keys on the
+        // file bytes, so the dialects never alias each other's cells.
+        let ext_hash = resolve_trace_dir(&dir.join("text-ext"), "*.trace", 1).unwrap()[0].traces[0]
+            .content_hash;
+        let bin_hash = resolve_trace_dir(&dir.join("bin"), "*.dtrace", 1).unwrap()[0].traces[0]
+            .content_hash;
+        prop_assert_ne!(ext_hash, bin_hash);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
 #[test]
 fn truncated_trace_is_rejected_with_an_error_naming_the_file() {
     let dir = tmpdir("torn");
     let traces_dir = dir.join("traces");
     let wls = dsarp_workloads::mixes::intensive_mixes(1, 1)[..2].to_vec();
-    capture_workloads(&traces_dir, &wls, SIM_SEED, 2_000).unwrap();
+    capture_workloads(&traces_dir, &wls, SIM_SEED, 2_000, TraceDialect::Text).unwrap();
 
     // Tear the second file mid-line: strip the trailing newline plus a few
     // bytes, leaving a shorter-but-parseable final address — exactly the
@@ -185,7 +304,7 @@ fn corrupting_one_trace_recomputes_only_that_traces_cells() {
     let dir = tmpdir("corrupt");
     let traces_dir = dir.join("traces");
     let wls = dsarp_workloads::mixes::intensive_mixes(1, 1)[..2].to_vec();
-    capture_workloads(&traces_dir, &wls, SIM_SEED, 2_000).unwrap();
+    capture_workloads(&traces_dir, &wls, SIM_SEED, 2_000, TraceDialect::Text).unwrap();
     let store = dir.join("store");
     let spec = || trace_sweep_spec("corrupt", &traces_dir, 1, tiny_scale());
 
@@ -231,7 +350,7 @@ fn renaming_traces_keeps_the_cache_warm() {
     let dir = tmpdir("rename");
     let traces_dir = dir.join("traces");
     let wls = dsarp_workloads::mixes::intensive_mixes(1, 1)[..1].to_vec();
-    capture_workloads(&traces_dir, &wls, SIM_SEED, 2_000).unwrap();
+    capture_workloads(&traces_dir, &wls, SIM_SEED, 2_000, TraceDialect::Text).unwrap();
     let store = dir.join("store");
     let spec = || trace_sweep_spec("rename", &traces_dir, 1, tiny_scale());
 
@@ -249,11 +368,159 @@ fn renaming_traces_keeps_the_cache_warm() {
 }
 
 #[test]
+fn flipping_one_binary_record_byte_recomputes_only_that_traces_cells() {
+    let dir = tmpdir("bin-corrupt");
+    let traces_dir = dir.join("traces");
+    let wls = dsarp_workloads::mixes::intensive_mixes(1, 1)[..2].to_vec();
+    capture_workloads(&traces_dir, &wls, SIM_SEED, 2_000, TraceDialect::Bin).unwrap();
+    let store = dir.join("store");
+    let spec = || trace_sweep_spec_glob("bin-corrupt", &traces_dir, "*.dtrace", 1, tiny_scale());
+
+    // Cold: 2 alone + 2 workloads x 2 mechanisms grids = 6 unique jobs.
+    let cold = Campaign::open(&store, spec()).unwrap().run().unwrap();
+    assert_eq!((cold.stats.unique_jobs, cold.stats.simulated), (6, 6));
+    let warm = Campaign::open(&store, spec()).unwrap().run().unwrap();
+    assert_eq!(warm.stats.simulated, 0, "warm replay must be all hits");
+    assert_eq!(render(&cold), render(&warm));
+
+    // Flip one byte inside a mid-file record: same length, same record
+    // count, different content — exactly that trace's 3 cells recompute.
+    let victim = traces_dir.join(format!("{}-c00.dtrace", wls[1].name));
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let flip_at = dsarp_cpu::trace_v1::BIN_HEADER_LEN + 40 * dsarp_cpu::trace_v1::BIN_RECORD_LEN;
+    bytes[flip_at] ^= 0x04; // an address bit, always a valid record
+    std::fs::write(&victim, &bytes).unwrap();
+    let touched = Campaign::open(&store, spec()).unwrap().run().unwrap();
+    assert_eq!(touched.stats.unique_jobs, 6);
+    assert_eq!(
+        touched.stats.simulated, 3,
+        "1 alone + 2 grid cells of the flipped trace"
+    );
+    assert_eq!(touched.stats.cache_hits, 3);
+    let untouched = format!("{}-c00", wls[0].name);
+    for m in [Mechanism::RefAb, Mechanism::Dsarp] {
+        assert_eq!(
+            warm.grid("traces").get(&untouched, m, Density::G8),
+            touched.grid("traces").get(&untouched, m, Density::G8),
+            "untouched trace cells must not change"
+        );
+    }
+
+    // A torn binary tail (mid-record cut) is rejected naming the file —
+    // the mirror of the text `Truncated` contract.
+    std::fs::write(&victim, &bytes[..bytes.len() - 5]).unwrap();
+    let err = Campaign::open(&store, spec()).unwrap().run().unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&format!("{}-c00.dtrace", wls[1].name)) && msg.contains("truncated"),
+        "torn tail must be rejected naming the file: {msg}"
+    );
+
+    // A header flip in the record count desynchronizes the declared
+    // length from the file: rejected naming the file, never resized.
+    let mut garbled = bytes.clone();
+    garbled[8] ^= 0x01; // count field low byte
+    std::fs::write(&victim, &garbled).unwrap();
+    let err = Campaign::open(&store, spec()).unwrap().run().unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&format!("{}-c00.dtrace", wls[1].name))
+            && (msg.contains("truncated") || msg.contains("malformed binary")),
+        "a count flip must be rejected naming the file: {msg}"
+    );
+
+    // A magic flip stops the file from detecting as binary at all; it is
+    // still rejected with an error naming the file (as non-trace text).
+    let mut demagicked = bytes.clone();
+    demagicked[2] ^= 0xff;
+    std::fs::write(&victim, &demagicked).unwrap();
+    let err = Campaign::open(&store, spec()).unwrap().run().unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&format!("{}-c00.dtrace", wls[1].name)),
+        "bad magic must be rejected naming the file: {msg}"
+    );
+
+    // Restoring the flipped-record bytes makes the store warm again.
+    std::fs::write(&victim, &bytes).unwrap();
+    let restored = Campaign::open(&store, spec()).unwrap().run().unwrap();
+    assert_eq!(restored.stats.simulated, 0, "records survive the refusals");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// `trace-convert` CLI: text → bin suites reduce to identical grids, and
+/// ext ↔ bin conversions are byte-stable round trips.
+#[test]
+fn cli_trace_convert_is_byte_stable_and_preserves_grids() {
+    let dir = tmpdir("cli-convert");
+    let text_dir = dir.join("text");
+    let wls = dsarp_workloads::mixes::intensive_mixes(1, 1)[..2].to_vec();
+    capture_workloads(&text_dir, &wls, SIM_SEED, 2_000, TraceDialect::Text).unwrap();
+
+    // Convert every text capture to binary (and onward to text-ext and
+    // back) through the CLI.
+    let bin_dir = dir.join("bin");
+    std::fs::create_dir_all(&bin_dir).unwrap();
+    let convert = |from: &Path, to: &Path| {
+        let mut cmd = Command::new(BIN);
+        cmd.args([
+            "trace-convert",
+            "--from",
+            from.to_str().unwrap(),
+            "--to",
+            to.to_str().unwrap(),
+        ]);
+        run_success(cmd, "trace-convert")
+    };
+    for wl in &wls {
+        let from = text_dir.join(format!("{}-c00.trace", wl.name));
+        let to = bin_dir.join(format!("{}-c00.dtrace", wl.name));
+        let out = convert(&from, &to);
+        assert!(out.contains("-> ") && out.contains("bin"), "{out}");
+
+        // bin -> text-ext -> bin round-trips byte-stably.
+        let ext = dir.join("roundtrip.trace");
+        let bin2 = dir.join("roundtrip.dtrace");
+        convert(&to, &ext);
+        convert(&ext, &bin2);
+        assert_eq!(
+            std::fs::read(&to).unwrap(),
+            std::fs::read(&bin2).unwrap(),
+            "ext <-> bin must round-trip byte-identically"
+        );
+    }
+
+    // The converted binary suite reduces to grids identical to the text
+    // suite's (same op streams, different cache keys).
+    let text_report = Campaign::open(
+        &dir.join("store-text"),
+        trace_sweep_spec("cli-convert-text", &text_dir, 1, tiny_scale()),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    let bin_report = Campaign::open(
+        &dir.join("store-bin"),
+        trace_sweep_spec_glob("cli-convert-bin", &bin_dir, "*.dtrace", 1, tiny_scale()),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    assert_eq!(bin_report.stats.simulated, bin_report.stats.unique_jobs);
+    assert_eq!(
+        render(&text_report),
+        render(&bin_report),
+        "converted suite must reduce to identical grids"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn compact_refuses_and_names_a_missing_trace() {
     let dir = tmpdir("compact-missing");
     let traces_dir = dir.join("traces");
     let wls = dsarp_workloads::mixes::intensive_mixes(1, 1)[..1].to_vec();
-    capture_workloads(&traces_dir, &wls, SIM_SEED, 2_000).unwrap();
+    capture_workloads(&traces_dir, &wls, SIM_SEED, 2_000, TraceDialect::Text).unwrap();
     let store = dir.join("store");
     let spec = trace_sweep_spec("compact-missing", &traces_dir, 1, tiny_scale());
     Campaign::open(&store, spec.clone()).unwrap().run().unwrap();

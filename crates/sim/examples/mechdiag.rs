@@ -4,7 +4,7 @@
 
 use dsarp_core::Mechanism;
 use dsarp_dram::Density;
-use dsarp_sim::{SimConfig, System};
+use dsarp_sim::{SimConfig, SystemBuilder};
 use dsarp_workloads::mixes;
 
 fn main() {
@@ -31,7 +31,9 @@ fn main() {
                 .iter()
                 .take(n)
                 .map(|wl| {
-                    System::new(&SimConfig::paper(mech, density), wl)
+                    SystemBuilder::new(&SimConfig::paper(mech, density))
+                        .workload(wl)
+                        .build()
                         .run(100_000)
                         .total_ipc()
                 })

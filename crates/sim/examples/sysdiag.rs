@@ -3,13 +3,13 @@
 
 use dsarp_core::Mechanism;
 use dsarp_dram::Density;
-use dsarp_sim::{SimConfig, System};
+use dsarp_sim::{SimConfig, SystemBuilder};
 use dsarp_workloads::mixes;
 
 fn main() {
     let wl = mixes::intensive_mixes(8, 1)[0].clone();
     let cfg = SimConfig::paper(Mechanism::RefPb, Density::G8);
-    let mut sys = System::new(&cfg, &wl);
+    let mut sys = SystemBuilder::new(&cfg).workload(&wl).build();
     let t0 = std::time::Instant::now();
     let cycles = 50_000;
     let stats = sys.run(cycles);

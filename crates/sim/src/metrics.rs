@@ -9,7 +9,7 @@
 //! alone baseline cancels out of relative improvements.
 
 use crate::config::SimConfig;
-use crate::system::{RunStats, System};
+use crate::system::{RunStats, SystemBuilder};
 use dsarp_dram::Density;
 use dsarp_workloads::{BenchmarkSpec, IntensityCategory, Workload};
 use serde::{Deserialize, Serialize};
@@ -45,7 +45,10 @@ impl AloneIpcCache {
                     category: IntensityCategory::P100,
                     benchmarks: vec![bench],
                 };
-                let stats = System::new(&cfg, &wl).run(dram_cycles);
+                let stats = SystemBuilder::new(&cfg)
+                    .workload(&wl)
+                    .build()
+                    .run(dram_cycles);
                 stats.ipc[0].max(1e-9)
             })
     }

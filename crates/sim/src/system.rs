@@ -828,7 +828,9 @@ mod tests {
     #[test]
     fn cores_make_progress_and_dram_serves() {
         let cfg = SimConfig::paper(Mechanism::RefAb, Density::G8);
-        let mut sys = System::new(&cfg, &intensive_workload());
+        let mut sys = SystemBuilder::new(&cfg)
+            .workload(&intensive_workload())
+            .build();
         let stats = sys.run(20_000);
         assert!(stats.total_ipc() > 0.1, "ipc = {}", stats.total_ipc());
         assert!(stats.accesses() > 100, "accesses = {}", stats.accesses());
@@ -842,7 +844,9 @@ mod tests {
         // early and the drain machinery is exercised within the short run.
         let mut cfg = SimConfig::paper(Mechanism::RefPb, Density::G8);
         cfg.llc_capacity = Some(128 * 1024);
-        let mut sys = System::new(&cfg, &intensive_workload());
+        let mut sys = SystemBuilder::new(&cfg)
+            .workload(&intensive_workload())
+            .build();
         let stats = sys.run(50_000);
         let writes: u64 = stats.ctrl.iter().map(|c| c.writes_done).sum();
         assert!(writes > 0, "store-heavy workload must produce writebacks");
@@ -852,8 +856,12 @@ mod tests {
     #[test]
     fn no_refresh_beats_refab_on_intensive_mix() {
         let wl = intensive_workload();
-        let mut a = System::new(&SimConfig::paper(Mechanism::NoRefresh, Density::G32), &wl);
-        let mut b = System::new(&SimConfig::paper(Mechanism::RefAb, Density::G32), &wl);
+        let mut a = SystemBuilder::new(&SimConfig::paper(Mechanism::NoRefresh, Density::G32))
+            .workload(&wl)
+            .build();
+        let mut b = SystemBuilder::new(&SimConfig::paper(Mechanism::RefAb, Density::G32))
+            .workload(&wl)
+            .build();
         let sa = a.run(40_000);
         let sb = b.run(40_000);
         assert!(
@@ -868,8 +876,8 @@ mod tests {
     fn deterministic_across_identical_runs() {
         let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G16);
         let wl = intensive_workload();
-        let s1 = System::new(&cfg, &wl).run(10_000);
-        let s2 = System::new(&cfg, &wl).run(10_000);
+        let s1 = SystemBuilder::new(&cfg).workload(&wl).build().run(10_000);
+        let s2 = SystemBuilder::new(&cfg).workload(&wl).build().run(10_000);
         assert_eq!(s1, s2);
     }
 
@@ -894,15 +902,20 @@ mod tests {
                 Box::new(dsarp_cpu::trace::CyclicTrace::new(ops)) as Box<dyn TraceSource>
             })
             .collect();
-        let from_sources = System::with_trace_sources(&cfg, sources).run(cycles);
-        let synthetic = System::new(&cfg, &wl).run(cycles);
+        let from_sources = SystemBuilder::new(&cfg)
+            .trace_sources(sources)
+            .build()
+            .run(cycles);
+        let synthetic = SystemBuilder::new(&cfg).workload(&wl).build().run(cycles);
         assert_eq!(from_sources, synthetic);
     }
 
     #[test]
     fn retention_tracking_reports_gap() {
         let cfg = SimConfig::paper(Mechanism::RefPb, Density::G8);
-        let mut sys = System::new(&cfg, &intensive_workload());
+        let mut sys = SystemBuilder::new(&cfg)
+            .workload(&intensive_workload())
+            .build();
         sys.enable_retention_tracking();
         let stats = sys.run(10_000);
         assert!(stats.max_refresh_gap.is_some());

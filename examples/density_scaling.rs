@@ -9,7 +9,7 @@
 use dsarp_core::Mechanism;
 use dsarp_dram::timing::{trfc_projection1_ns, trfc_projection2_ns};
 use dsarp_dram::Density;
-use dsarp_sim::{SimConfig, System};
+use dsarp_sim::{SimConfig, SystemBuilder};
 use dsarp_workloads::mixes;
 
 fn main() {
@@ -45,7 +45,9 @@ fn main() {
     );
     for density in [Density::G8, Density::G16, Density::G32, Density::G64] {
         let ipc = |mech| {
-            System::new(&SimConfig::paper(mech, density), workload)
+            SystemBuilder::new(&SimConfig::paper(mech, density))
+                .workload(workload)
+                .build()
                 .run(cycles)
                 .total_ipc()
         };

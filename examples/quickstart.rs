@@ -8,7 +8,7 @@
 
 use dsarp_core::Mechanism;
 use dsarp_dram::Density;
-use dsarp_sim::{SimConfig, System};
+use dsarp_sim::{SimConfig, SystemBuilder};
 use dsarp_workloads::mixes;
 
 fn main() {
@@ -35,7 +35,10 @@ fn main() {
             Mechanism::NoRefresh,
         ] {
             let cfg = SimConfig::paper(mech, density);
-            let stats = System::new(&cfg, workload).run(cycles);
+            let stats = SystemBuilder::new(&cfg)
+                .workload(workload)
+                .build()
+                .run(cycles);
             let ipc = stats.total_ipc();
             let base = *baseline_ipc.get_or_insert(ipc);
             println!(

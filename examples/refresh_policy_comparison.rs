@@ -11,7 +11,7 @@
 
 use dsarp_core::Mechanism;
 use dsarp_dram::{Command, Density};
-use dsarp_sim::{SimConfig, System};
+use dsarp_sim::{SimConfig, SystemBuilder};
 use dsarp_workloads::mixes;
 
 fn render(log: &[(u64, Command)], from: u64, to: u64) -> String {
@@ -38,7 +38,7 @@ fn main() {
         Mechanism::Dsarp,
     ] {
         let cfg = SimConfig::paper(mech, Density::G32);
-        let mut sys = System::new(&cfg, workload);
+        let mut sys = SystemBuilder::new(&cfg).workload(workload).build();
         sys.enable_command_log();
         let stats = sys.run(6_000);
         let log = sys.take_command_log(0);

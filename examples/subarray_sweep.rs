@@ -7,7 +7,7 @@
 
 use dsarp_core::Mechanism;
 use dsarp_dram::Density;
-use dsarp_sim::{SimConfig, System};
+use dsarp_sim::{SimConfig, SystemBuilder};
 use dsarp_workloads::mixes;
 
 fn main() {
@@ -24,7 +24,11 @@ fn main() {
     for subarrays in [1usize, 2, 4, 8, 16, 32, 64] {
         let ipc = |mech| {
             let cfg = SimConfig::paper(mech, Density::G32).with_subarrays(subarrays);
-            System::new(&cfg, workload).run(cycles).total_ipc()
+            SystemBuilder::new(&cfg)
+                .workload(workload)
+                .build()
+                .run(cycles)
+                .total_ipc()
         };
         let base = ipc(Mechanism::RefPb);
         let sarp = ipc(Mechanism::SarpPb);

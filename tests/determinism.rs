@@ -3,7 +3,7 @@
 
 use dsarp_core::Mechanism;
 use dsarp_dram::Density;
-use dsarp_sim::{SimConfig, System};
+use dsarp_sim::{SimConfig, SystemBuilder};
 use dsarp_workloads::mixes;
 
 #[test]
@@ -11,8 +11,8 @@ fn identical_configs_are_bit_identical() {
     let wl = &mixes::paper_workloads(8, 9)[55];
     for mech in [Mechanism::RefAb, Mechanism::Dsarp, Mechanism::Elastic] {
         let cfg = SimConfig::paper(mech, Density::G16);
-        let a = System::new(&cfg, wl).run(10_000);
-        let b = System::new(&cfg, wl).run(10_000);
+        let a = SystemBuilder::new(&cfg).workload(wl).build().run(10_000);
+        let b = SystemBuilder::new(&cfg).workload(wl).build().run(10_000);
         assert_eq!(a, b, "{mech} must be deterministic");
     }
 }
@@ -20,16 +20,14 @@ fn identical_configs_are_bit_identical() {
 #[test]
 fn seed_changes_trace_but_not_structure() {
     let wl = &mixes::paper_workloads(8, 9)[80];
-    let a = System::new(
-        &SimConfig::paper(Mechanism::Dsarp, Density::G16).with_seed(1),
-        wl,
-    )
-    .run(10_000);
-    let b = System::new(
-        &SimConfig::paper(Mechanism::Dsarp, Density::G16).with_seed(2),
-        wl,
-    )
-    .run(10_000);
+    let a = SystemBuilder::new(&SimConfig::paper(Mechanism::Dsarp, Density::G16).with_seed(1))
+        .workload(wl)
+        .build()
+        .run(10_000);
+    let b = SystemBuilder::new(&SimConfig::paper(Mechanism::Dsarp, Density::G16).with_seed(2))
+        .workload(wl)
+        .build()
+        .run(10_000);
     assert_ne!(a.insts, b.insts, "different seeds explore different traces");
     // Structural facts stay put.
     assert_eq!(a.ipc.len(), b.ipc.len());
@@ -41,10 +39,10 @@ fn run_is_resumable_in_chunks() {
     // Running 2 x 5000 cycles must equal one 10000-cycle run.
     let wl = &mixes::paper_workloads(8, 9)[70];
     let cfg = SimConfig::paper(Mechanism::SarpPb, Density::G8);
-    let mut split = System::new(&cfg, wl);
+    let mut split = SystemBuilder::new(&cfg).workload(wl).build();
     let _ = split.run(5_000);
     let split_stats = split.run(5_000);
-    let whole_stats = System::new(&cfg, wl).run(10_000);
+    let whole_stats = SystemBuilder::new(&cfg).workload(wl).build().run(10_000);
     assert_eq!(split_stats, whole_stats, "chunked runs must be seamless");
 }
 

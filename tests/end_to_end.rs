@@ -3,7 +3,7 @@
 
 use dsarp_core::Mechanism;
 use dsarp_dram::Density;
-use dsarp_sim::{SimConfig, System};
+use dsarp_sim::{SimConfig, SystemBuilder};
 use dsarp_workloads::mixes;
 
 fn workload() -> dsarp_workloads::Workload {
@@ -29,7 +29,10 @@ fn every_mechanism_runs_and_reports() {
         let cfg = SimConfig::paper(mech, Density::G16);
         // Long enough that even Elastic (which may legally postpone its
         // first refresh by up to 9 x tREFIab = 23.4K cycles) must refresh.
-        let stats = System::new(&cfg, &workload()).run(26_000);
+        let stats = SystemBuilder::new(&cfg)
+            .workload(&workload())
+            .build()
+            .run(26_000);
         assert!(
             stats.total_ipc() > 0.05,
             "{mech}: ipc {}",
@@ -60,7 +63,10 @@ fn refresh_rates_match_the_standard() {
         (Mechanism::RefPb, cycles / 325),
     ] {
         let cfg = SimConfig::paper(mech, Density::G8);
-        let stats = System::new(&cfg, &workload()).run(cycles);
+        let stats = SystemBuilder::new(&cfg)
+            .workload(&workload())
+            .build()
+            .run(cycles);
         // 2 channels x 2 ranks.
         let expected = per_rank_expected * 4;
         let got = stats.refreshes();
@@ -77,7 +83,10 @@ fn darp_pull_ins_exceed_baseline_rate_but_bounded() {
     // count can exceed the schedule by at most 8 x banks x ranks x channels.
     let cycles = 40_000u64;
     let cfg = SimConfig::paper(Mechanism::Darp, Density::G8);
-    let stats = System::new(&cfg, &workload()).run(cycles);
+    let stats = SystemBuilder::new(&cfg)
+        .workload(&workload())
+        .build()
+        .run(cycles);
     let scheduled = (cycles / 325) * 4; // per-rank ticks x 4 ranks
     let slack = 8 * 8 * 4;
     assert!(
@@ -96,7 +105,10 @@ fn darp_pull_ins_exceed_baseline_rate_but_bounded() {
 #[test]
 fn energy_breakdown_components_are_consistent() {
     let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G32);
-    let stats = System::new(&cfg, &workload()).run(15_000);
+    let stats = SystemBuilder::new(&cfg)
+        .workload(&workload())
+        .build()
+        .run(15_000);
     let e = &stats.energy;
     let total = e.total_nj();
     assert!(total > 0.0);
@@ -113,7 +125,10 @@ fn energy_breakdown_components_are_consistent() {
 #[test]
 fn read_latency_is_at_least_the_unloaded_minimum() {
     let cfg = SimConfig::paper(Mechanism::NoRefresh, Density::G8);
-    let stats = System::new(&cfg, &workload()).run(15_000);
+    let stats = SystemBuilder::new(&cfg)
+        .workload(&workload())
+        .build()
+        .run(15_000);
     let t = cfg.timing();
     // ACT + RD + data return is the floor for any miss.
     let floor = (t.rcd + t.cl + t.bl) as f64;
@@ -127,7 +142,7 @@ fn read_latency_is_at_least_the_unloaded_minimum() {
 #[test]
 fn llc_misses_match_dram_reads() {
     let cfg = SimConfig::paper(Mechanism::RefPb, Density::G8);
-    let mut sys = System::new(&cfg, &workload());
+    let mut sys = SystemBuilder::new(&cfg).workload(&workload()).build();
     let stats = sys.run(15_000);
     let dram_reads: u64 = stats.ctrl.iter().map(|c| c.reads_done).sum();
     let forwarded: u64 = stats.ctrl.iter().map(|c| c.forwarded_reads).sum();
@@ -147,7 +162,7 @@ fn llc_misses_match_dram_reads() {
 #[test]
 fn command_log_is_temporally_ordered_and_legal_density() {
     let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G8);
-    let mut sys = System::new(&cfg, &workload());
+    let mut sys = SystemBuilder::new(&cfg).workload(&workload()).build();
     sys.enable_command_log();
     let _ = sys.run(5_000);
     for ch in 0..2 {

@@ -8,7 +8,7 @@
 
 use dsarp_core::Mechanism;
 use dsarp_dram::Density;
-use dsarp_sim::{SimConfig, System};
+use dsarp_sim::{SimConfig, SystemBuilder};
 use dsarp_workloads::mixes;
 
 const CYCLES: u64 = 60_000;
@@ -21,7 +21,11 @@ fn mean_ipc(mech: Mechanism) -> f64 {
     let n = 4;
     for wl in wls.iter().take(n) {
         let cfg = SimConfig::paper(mech, Density::G32);
-        total += System::new(&cfg, wl).run(CYCLES).total_ipc();
+        total += SystemBuilder::new(&cfg)
+            .workload(wl)
+            .build()
+            .run(CYCLES)
+            .total_ipc();
     }
     total / n as f64
 }
@@ -97,10 +101,14 @@ fn benefits_grow_with_density() {
     // Paper: DSARP's advantage over REFab grows 8 -> 32 Gb.
     let gain = |density| {
         let wl = &mixes::intensive_mixes(8, 1)[0];
-        let base = System::new(&SimConfig::paper(Mechanism::RefAb, density), wl)
+        let base = SystemBuilder::new(&SimConfig::paper(Mechanism::RefAb, density))
+            .workload(wl)
+            .build()
             .run(CYCLES)
             .total_ipc();
-        let dsarp = System::new(&SimConfig::paper(Mechanism::Dsarp, density), wl)
+        let dsarp = SystemBuilder::new(&SimConfig::paper(Mechanism::Dsarp, density))
+            .workload(wl)
+            .build()
             .run(CYCLES)
             .total_ipc();
         dsarp / base

@@ -4,7 +4,7 @@
 
 use dsarp_core::Mechanism;
 use dsarp_dram::Density;
-use dsarp_sim::{SimConfig, System};
+use dsarp_sim::{SimConfig, SystemBuilder};
 use dsarp_workloads::mixes;
 
 /// Per-bank refresh period: a bank's turn comes every 8 ticks of tREFIpb,
@@ -14,7 +14,7 @@ const PER_BANK_PERIOD: u64 = 2_600;
 fn max_gap(mech: Mechanism, cycles: u64) -> u64 {
     let wl = &mixes::intensive_mixes(8, 3)[0];
     let cfg = SimConfig::paper(mech, Density::G8);
-    let mut sys = System::new(&cfg, wl);
+    let mut sys = SystemBuilder::new(&cfg).workload(wl).build();
     sys.enable_retention_tracking();
     sys.run(cycles).max_refresh_gap.expect("tracking enabled")
 }
@@ -77,7 +77,7 @@ fn total_refresh_work_is_conserved_under_darp() {
     // window (8 per bank, pulled in or postponed).
     let wl = &mixes::intensive_mixes(8, 3)[0];
     let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G8);
-    let mut sys = System::new(&cfg, wl);
+    let mut sys = SystemBuilder::new(&cfg).workload(wl).build();
     sys.enable_retention_tracking();
     let cycles = 100_000;
     let stats = sys.run(cycles);
