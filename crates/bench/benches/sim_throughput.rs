@@ -66,6 +66,61 @@ fn bench(c: &mut Criterion) {
     }
     g.finish();
 
+    // High-MPKI scheduler cost: the regime the indexed FR-FCFS scheduler
+    // targets. With eight intensive cores the queues stay occupied, almost
+    // no cycle is skippable, and per-cycle scheduling cost dominates wall
+    // time. REFab isolates raw FR-FCFS scheduling; DSARP adds the
+    // refresh-policy query traffic on top. Long enough that construction
+    // and warm-up amortize to noise.
+    let hi_cycles = 100_000u64;
+    let mut g = c.benchmark_group("high_mpki");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(hi_cycles));
+    for mech in [Mechanism::RefAb, Mechanism::Dsarp] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(mech.label()),
+            &mech,
+            |b, &mech| {
+                b.iter(|| {
+                    let cfg = SimConfig::paper(mech, Density::G32);
+                    black_box(
+                        SystemBuilder::new(&cfg)
+                            .workload(&workload)
+                            .build()
+                            .run(hi_cycles),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // DARP-heavy: DARP's `decide()` ranks banks by `demand_count` and
+    // probes `bank_has_demand` per candidate bank per decision — the
+    // refresh-policy side of the query API, exercised at the highest
+    // refresh rate (32Gb) under the same intensive 8-core mix.
+    let mut g = c.benchmark_group("darp_heavy");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(hi_cycles));
+    for mech in [Mechanism::Darp, Mechanism::DarpOooOnly] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(mech.label()),
+            &mech,
+            |b, &mech| {
+                b.iter(|| {
+                    let cfg = SimConfig::paper(mech, Density::G32);
+                    black_box(
+                        SystemBuilder::new(&cfg)
+                            .workload(&workload)
+                            .build()
+                            .run(hi_cycles),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+
     // Low-MPKI skip-ahead payoff: same run, skip-ahead vs per-cycle, on
     // eight copies of the compute-bound archetype (the catalogue's P0
     // mixes floor at `mem_interval` 25, which keeps cores busy with

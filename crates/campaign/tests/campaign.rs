@@ -280,6 +280,63 @@ fn sidecar_bytes(campaign_dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
     out
 }
 
+/// FNV-1a-128 fingerprints of everything a campaign run leaves behind:
+/// the rendered grid CSVs, the sorted record lines, and the concatenated
+/// telemetry sidecars (name-tagged). Any observable drift in scheduling,
+/// stats, or serialization shows up as a changed fingerprint.
+fn snapshot_fingerprints(campaign_dir: &std::path::Path, report: &CampaignReport) -> [String; 3] {
+    use dsarp_campaign::fingerprint::fingerprint_bytes;
+    let grids = fingerprint_bytes(render(report).as_bytes()).to_string();
+    let records =
+        fingerprint_bytes(sorted_record_lines(campaign_dir).join("\n").as_bytes()).to_string();
+    let mut blob = Vec::new();
+    for (name, bytes) in sidecar_bytes(campaign_dir) {
+        blob.extend_from_slice(name.as_bytes());
+        blob.push(0);
+        blob.extend_from_slice(&bytes);
+    }
+    [grids, records, fingerprint_bytes(&blob).to_string()]
+}
+
+/// The purity pin for the indexed FR-FCFS scheduler: the Table-3 2-core
+/// paper subset must reproduce the *exact* artifacts the pre-index scan
+/// scheduler produced — grids, sorted record lines, and telemetry
+/// sidecars all hash to the snapshots captured before the per-bank index
+/// landed, under both skip-ahead and forced per-cycle stepping. A change
+/// to FR-FCFS tie-breaking, RunStats, or sidecar serialization trips
+/// this even if the two stepping modes still agree with each other.
+#[test]
+fn paper_subset_matches_pre_index_baseline_snapshots() {
+    const BASELINE: [&str; 3] = [
+        "c96c8898186338b1cf52fe436a6cb296",
+        "547761356fb6d14e680e09c773c39c0d",
+        "d243226e6fd262317cb7e4fd9e18fd25",
+    ];
+    for per_cycle in [false, true] {
+        let dir = tmpdir(if per_cycle {
+            "snap-percycle"
+        } else {
+            "snap-skip"
+        });
+        let mut s = CampaignSpec::paper(tiny_scale()).filtered(&["table3/cores2"]);
+        s.name = "paper-subset".into();
+        let mut campaign = Campaign::open(&dir, s).unwrap();
+        campaign.telemetry = true;
+        campaign.per_cycle = per_cycle;
+        let report = campaign.run().unwrap();
+        let got = snapshot_fingerprints(&dir.join("paper-subset"), &report);
+        println!("snapshot per_cycle={per_cycle}: {got:?}");
+        for (i, (got, want)) in got.iter().zip(BASELINE).enumerate() {
+            assert_eq!(
+                got, want,
+                "artifact {i} (0=grids 1=records 2=sidecars) drifted from the \
+                 pre-index scheduler baseline (per_cycle={per_cycle})"
+            );
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
 /// The exactness property the event-driven loop is pinned by: a
 /// `CampaignSpec::paper`-subset grid run with skip-ahead is
 /// observationally identical — every record line (RunStats cell for

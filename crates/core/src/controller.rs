@@ -14,7 +14,7 @@
 //! 3. a *relaxed* refresh (DARP's idle-bank pull-in), only on cycles when
 //!    no demand command could issue.
 
-use crate::queues::RequestQueues;
+use crate::queues::{Candidate, RequestQueues};
 use crate::refresh::{
     Mechanism, PolicyContext, RefreshDirective, RefreshKind, RefreshPolicy, RefreshTarget,
 };
@@ -71,6 +71,42 @@ impl ControllerStats {
     }
 }
 
+/// Demand-scheduler work accounting: how many candidate requests the
+/// FR-FCFS passes examined on cycles that issued a demand command. Only
+/// issuing cycles accumulate — a cycle that issues nothing is exactly the
+/// kind the event-driven loop may skip, so conditioning on issue keeps the
+/// counters identical across skip-ahead and per-cycle stepping. Kept
+/// outside [`ControllerStats`] (like `row_conflicts`) so the serialized
+/// stats stay unchanged; read by the opt-in telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerScan {
+    /// Cycles on which a demand command issued.
+    pub issue_cycles: u64,
+    /// Candidates examined across those cycles (pass-1 row-hit probes plus
+    /// pass-2 bank-cursor pops).
+    pub candidates: u64,
+    /// Worst single-cycle candidate count.
+    pub max_scan: u64,
+}
+
+impl SchedulerScan {
+    /// Mean candidates examined per issuing cycle.
+    pub fn mean_scan(&self) -> f64 {
+        if self.issue_cycles == 0 {
+            0.0
+        } else {
+            self.candidates as f64 / self.issue_cycles as f64
+        }
+    }
+
+    /// Accumulates another controller's counters (cross-channel totals).
+    pub fn merge(&mut self, other: &SchedulerScan) {
+        self.issue_cycles += other.issue_cycles;
+        self.candidates += other.candidates;
+        self.max_scan = self.max_scan.max(other.max_scan);
+    }
+}
+
 /// One memory controller, driving one [`DramChannel`].
 #[derive(Debug)]
 pub struct MemoryController {
@@ -91,6 +127,12 @@ pub struct MemoryController {
     /// refresh-prep precharges). Kept outside [`ControllerStats`] so the
     /// serialized stats stay unchanged; read by the opt-in telemetry.
     row_conflicts: u64,
+    /// Scheduler scan-work accounting (see [`SchedulerScan`]).
+    sched_scan: SchedulerScan,
+    /// Reusable candidate buffers for the two scheduling passes; the
+    /// scheduler runs every cycle, so these must not reallocate per call.
+    scratch_hits: Vec<Candidate>,
+    scratch_cursors: Vec<Candidate>,
 }
 
 impl MemoryController {
@@ -118,6 +160,9 @@ impl MemoryController {
             shadow_sarp: vec![vec![None; banks]; ranks],
             stats: ControllerStats::default(),
             row_conflicts: 0,
+            sched_scan: SchedulerScan::default(),
+            scratch_hits: Vec::new(),
+            scratch_cursors: Vec::new(),
         }
     }
 
@@ -150,6 +195,11 @@ impl MemoryController {
     /// Row-conflict precharges issued for demand requests (telemetry).
     pub fn row_conflicts(&self) -> u64 {
         self.row_conflicts
+    }
+
+    /// Scheduler scan-work counters (telemetry).
+    pub fn scheduler_scan(&self) -> &SchedulerScan {
+        &self.sched_scan
     }
 
     /// The demand queues (read-only).
@@ -270,19 +320,26 @@ impl MemoryController {
     /// cycle is indistinguishable from stepping every cycle. `None` must
     /// never strand the clock — callers advance to their own horizon.
     pub fn next_event(&self, chan: &DramChannel, now: Cycle) -> Option<Cycle> {
+        // `now + 1` is the floor every considered time clamps to; once the
+        // bound reaches it no later source can lower it, so each stage may
+        // return immediately — the caller steps the next cycle either way.
+        let floor = now + 1;
         let mut next: Option<Cycle> = None;
-        let mut consider = |t: Cycle| {
-            let t = t.max(now + 1);
-            next = Some(next.map_or(t, |n| n.min(t)));
-        };
+        fn consider(next: &mut Option<Cycle>, floor: Cycle, t: Cycle) {
+            let t = t.max(floor);
+            *next = Some(next.map_or(t, |n| n.min(t)));
+        }
         // Finished reads must be delivered at exactly their per-cycle time.
         for c in &self.inflight {
-            consider(c.ready_at);
+            consider(&mut next, floor, c.ready_at);
         }
         // Writeback-mode hysteresis mutates queue bookkeeping every cycle
         // while draining (and on the entering edge); never skip those.
         if self.queues.in_drain_mode() || self.queues.drain_imminent() {
-            return Some(now + 1);
+            return Some(floor);
+        }
+        if next == Some(floor) {
+            return next;
         }
         // Refresh policy deadlines (tREFI expiries, idle windows, DARP
         // pools). The policy reports `now + 1` whenever it would act.
@@ -292,32 +349,92 @@ impl MemoryController {
             chan,
         };
         if let Some(t) = self.policy.next_event(&ctx) {
-            consider(t);
+            consider(&mut next, floor, t);
         }
-        // Demand candidates: for every queued read, the earliest cycle its
-        // next command (column on a row hit, PRE on a conflict, ACT on a
-        // closed bank) clears all timing gates. This is a superset of what
-        // FR-FCFS would pick — extra wake-ups are exact, missed ones are
-        // not. Queued writes need no events here: outside writeback mode
-        // they are not servable, and entering it is gated above.
-        for req in self.queues.reads() {
-            let (rank, bank) = (req.loc.rank, req.loc.bank);
-            let cmd = match chan.rank(rank).bank(bank).open_row() {
-                Some(row) if row == req.loc.row => Command::Read {
-                    rank,
-                    bank,
-                    col: req.loc.col,
-                    auto_precharge: false,
-                },
-                Some(_) => Command::Precharge { rank, bank },
-                None => Command::Activate {
-                    rank,
-                    bank,
-                    row: req.loc.row,
-                },
-            };
-            if let Some(t) = chan.earliest_issue(&cmd, now) {
-                consider(t);
+        // Demand candidates, derived per bank instead of per queued read: a
+        // read's next command (column on a row hit, PRE on a conflict, ACT
+        // on a closed bank) has an earliest-issue time that depends only on
+        // its bank's state — `earliest_issue` ignores the column address and
+        // auto-precharge flag, and an ACT's row matters only through the
+        // subarray class an in-flight SARP refresh occupies — so one probe
+        // per command class per bank covers every queued read exactly. This
+        // is a superset of what FR-FCFS would pick — extra wake-ups are
+        // exact, missed ones are not. Queued writes need no events here:
+        // outside writeback mode they are not servable, and entering it is
+        // gated above.
+        for rank in 0..self.geom.ranks_per_channel() {
+            for bank in 0..self.geom.banks_per_rank() {
+                if next == Some(floor) {
+                    return next;
+                }
+                let queued = self.queues.bank_len(rank, bank, false);
+                if queued == 0 {
+                    continue;
+                }
+                match chan.rank(rank).bank(bank).open_row() {
+                    Some(row) => {
+                        let hits = self.queues.row_hits(rank, bank, row, false);
+                        if hits > 0 {
+                            let rd = Command::Read {
+                                rank,
+                                bank,
+                                col: 0,
+                                auto_precharge: false,
+                            };
+                            if let Some(t) = chan.earliest_issue(&rd, now) {
+                                consider(&mut next, floor, t);
+                            }
+                        }
+                        if queued > hits {
+                            if let Some(t) =
+                                chan.earliest_issue(&Command::Precharge { rank, bank }, now)
+                            {
+                                consider(&mut next, floor, t);
+                            }
+                        }
+                    }
+                    None => {
+                        let head = self.queues.bank_head(rank, bank, false).expect("occupied");
+                        match chan.refreshing_subarray(rank, bank, now) {
+                            None => {
+                                let act = Command::Activate {
+                                    rank,
+                                    bank,
+                                    row: head.req.loc.row,
+                                };
+                                if let Some(t) = chan.earliest_issue(&act, now) {
+                                    consider(&mut next, floor, t);
+                                }
+                            }
+                            Some(sub) => {
+                                // Probe one representative row per subarray
+                                // class (conflicting with the refresh / not).
+                                let mut seen = [false; 2];
+                                let mut cur = Some(head);
+                                while let Some(c) = cur {
+                                    let class = usize::from(
+                                        self.geom.subarray_of_row(c.req.loc.row) == sub,
+                                    );
+                                    if !seen[class] {
+                                        seen[class] = true;
+                                        let act = Command::Activate {
+                                            rank,
+                                            bank,
+                                            row: c.req.loc.row,
+                                        };
+                                        if let Some(t) = chan.earliest_issue(&act, now) {
+                                            consider(&mut next, floor, t);
+                                        }
+                                        if seen[0] && seen[1] {
+                                            break;
+                                        }
+                                    }
+                                    cur = self.queues.next_in_bank(c.slot, false);
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
         next
@@ -453,42 +570,89 @@ impl MemoryController {
         now: Cycle,
         mask: Option<RefreshTarget>,
     ) -> bool {
-        let drain = self.queues.in_drain_mode();
+        // The scratch buffers live on `self` but the passes also need
+        // `&mut self.queues`; moving them out for the call keeps the
+        // borrows disjoint without re-allocating per cycle.
+        let mut hits = std::mem::take(&mut self.scratch_hits);
+        let mut cursors = std::mem::take(&mut self.scratch_cursors);
+        let issued = self.schedule_demand_with(chan, now, mask, &mut hits, &mut cursors);
+        self.scratch_hits = hits;
+        self.scratch_cursors = cursors;
+        issued
+    }
 
-        // Pass 1: row hits (column commands), oldest first.
-        let n = if drain {
-            self.queues.writes().len()
-        } else {
-            self.queues.reads().len()
-        };
-        for idx in 0..n {
-            let req = if drain {
-                self.queues.writes()[idx]
-            } else {
-                self.queues.reads()[idx]
-            };
-            if Self::masked(&mask, req.loc.rank, req.loc.bank) {
-                continue;
+    /// [`Self::schedule_demand`] body. Returns whether a command was issued.
+    ///
+    /// Both passes run off the per-bank index instead of scanning the flat
+    /// queue, visiting candidates in *exactly* the arrival order the flat
+    /// scan visited them (see each pass's comment), so command choice and
+    /// tie-breaking are byte-identical to the scan scheduler. Candidates
+    /// that a hoisted shared gate (data bus busy, rank/bank refresh in
+    /// progress, tRRD/tFAW window) proves unissuable are pruned without a
+    /// per-candidate probe — [`DramChannel::check`] tests the same gate as
+    /// a conjunct, so the pruned candidate could only have failed, and a
+    /// failed probe never changes which command issues.
+    fn schedule_demand_with(
+        &mut self,
+        chan: &mut DramChannel,
+        now: Cycle,
+        mask: Option<RefreshTarget>,
+        hits: &mut Vec<Candidate>,
+        cursors: &mut Vec<Candidate>,
+    ) -> bool {
+        let drain = self.queues.in_drain_mode();
+        let ranks = self.geom.ranks_per_channel();
+        let banks = self.geom.banks_per_rank();
+        let mut scanned = 0u64;
+
+        // Pass 1: row hits (column commands), oldest first. Hits on one
+        // bank's open row all share a single legality outcome (`can_issue`
+        // ignores the column address and auto-precharge flag), so trying
+        // each bank's *oldest* hit in global arrival order issues exactly
+        // what the flat scan would have issued: the younger same-bank hits
+        // the scan also visited could only fail identically. The whole pass
+        // is gated on the shared data bus — every column command needs it.
+        hits.clear();
+        if now >= chan.col_bus_ready(drain) {
+            for rank in 0..ranks {
+                let rk = chan.rank(rank);
+                if rk.is_refab_busy(now) {
+                    continue;
+                }
+                for bank in 0..banks {
+                    if Self::masked(&mask, rank, bank) {
+                        continue;
+                    }
+                    let b = rk.bank(bank);
+                    if b.is_refresh_busy(now) {
+                        continue;
+                    }
+                    let Some(open) = b.open_row() else {
+                        continue;
+                    };
+                    if let Some(c) = self.queues.first_row_hit(rank, bank, open, drain) {
+                        hits.push(c);
+                    }
+                }
             }
-            let open = chan.rank(req.loc.rank).bank(req.loc.bank).open_row();
-            if open != Some(req.loc.row) {
-                continue;
-            }
-            let auto_precharge = !self
-                .queues
-                .another_row_hit_queued(&req.loc, drain, Some(idx));
+        }
+        hits.sort_unstable_by_key(|c| c.seq);
+        for &c in hits.iter() {
+            scanned += 1;
+            let (rank, bank) = (c.req.loc.rank, c.req.loc.bank);
+            let auto_precharge = !self.queues.another_row_hit_queued(&c.req.loc, drain, true);
             let cmd = if drain {
                 Command::Write {
-                    rank: req.loc.rank,
-                    bank: req.loc.bank,
-                    col: req.loc.col,
+                    rank,
+                    bank,
+                    col: c.req.loc.col,
                     auto_precharge,
                 }
             } else {
                 Command::Read {
-                    rank: req.loc.rank,
-                    bank: req.loc.bank,
-                    col: req.loc.col,
+                    rank,
+                    bank,
+                    col: c.req.loc.col,
                     auto_precharge,
                 }
             };
@@ -496,10 +660,10 @@ impl MemoryController {
                 let receipt = chan.issue(cmd, now).expect("validated");
                 self.stats.row_hits += 1;
                 if drain {
-                    self.queues.take_write(idx);
+                    self.queues.take_write(c.slot);
                     self.stats.writes_done += 1;
                 } else {
-                    let req = self.queues.take_read(idx);
+                    let req = self.queues.take_read(c.slot);
                     let ready = receipt.data_ready.expect("reads report data time");
                     self.stats.reads_done += 1;
                     self.stats.read_latency_sum += ready - req.arrival;
@@ -509,6 +673,7 @@ impl MemoryController {
                         ready_at: ready,
                     });
                 }
+                self.note_issue(scanned);
                 return true;
             }
         }
@@ -516,49 +681,92 @@ impl MemoryController {
         // Pass 2: oldest-first activation / conflict precharge. Per bank,
         // only the oldest request may activate — except that requests
         // blocked purely by a SARP subarray conflict let younger requests
-        // to other subarrays of the same bank proceed.
-        let mut tried: Vec<u64> = vec![0; self.geom.ranks_per_channel()];
-        for idx in 0..n {
-            let req = if drain {
-                self.queues.writes()[idx]
-            } else {
-                self.queues.reads()[idx]
+        // to other subarrays of the same bank proceed. Run as a k-way merge
+        // over the per-bank FIFO chains: repeatedly popping the smallest
+        // arrival seq among the bank cursors visits requests in exactly the
+        // flat queue order; dropping a bank's cursor is the flat scan's
+        // `tried` mask, and advancing it within the bank is the scan's
+        // "continue past a subarray-conflicted request". Banks behind a
+        // blocking refresh are pruned up front (their one visit could only
+        // drop the cursor); the rank-level tRRD/tFAW window is computed
+        // once per rank instead of inside every ACT probe.
+        cursors.clear();
+        for rank in 0..ranks {
+            let rk = chan.rank(rank);
+            if rk.is_refab_busy(now) {
+                continue;
+            }
+            let rank_act_ready = now >= rk.next_act_allowed(now, &self.timing);
+            for bank in 0..banks {
+                if Self::masked(&mask, rank, bank) {
+                    continue;
+                }
+                let b = rk.bank(bank);
+                if b.is_refresh_busy(now) {
+                    continue;
+                }
+                // A closed bank can only contribute an ACT; with the rank's
+                // tRRD/tFAW window shut, every visit to it this cycle would
+                // end in a cursor drop (the SARP advance path also only
+                // walks toward more doomed ACTs), so skip it entirely.
+                if !rank_act_ready && b.is_closed() {
+                    continue;
+                }
+                if let Some(c) = self.queues.bank_head(rank, bank, drain) {
+                    cursors.push(c);
+                }
+            }
+        }
+        while !cursors.is_empty() {
+            let i = cursors
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.seq)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let c = cursors[i];
+            scanned += 1;
+            let (rank, bank) = (c.req.loc.rank, c.req.loc.bank);
+            let advance = |cursors: &mut Vec<Candidate>, queues: &RequestQueues| match queues
+                .next_in_bank(c.slot, drain)
+            {
+                Some(n) => cursors[i] = n,
+                None => {
+                    cursors.swap_remove(i);
+                }
             };
-            let (rank, bank) = (req.loc.rank, req.loc.bank);
-            if Self::masked(&mask, rank, bank) {
-                continue;
-            }
-            if tried[rank] & (1 << bank) != 0 {
-                continue;
-            }
             match chan.rank(rank).bank(bank).open_row() {
                 None => {
                     // SARP §4.3.2: consult the shadow counters first; a
                     // conflicting request leaves the bank open for younger
-                    // requests to other subarrays.
+                    // requests to other subarrays. (The shadow consult must
+                    // precede the ACT-window prune — a conflicted request
+                    // advances the cursor, a timing-blocked one drops it.)
                     if let Some(sub) = self.shadow_refreshing_subarray(rank, bank, now) {
-                        if self.geom.subarray_of_row(req.loc.row) == sub {
-                            continue; // this request waits; bank not marked tried
+                        if self.geom.subarray_of_row(c.req.loc.row) == sub {
+                            advance(cursors, &self.queues);
+                            continue;
                         }
                     }
                     let act = Command::Activate {
                         rank,
                         bank,
-                        row: req.loc.row,
+                        row: c.req.loc.row,
                     };
                     match chan.check(&act, now) {
                         Ok(()) => {
                             chan.issue(act, now).expect("validated");
                             self.stats.acts += 1;
+                            self.note_issue(scanned);
                             return true;
                         }
                         Err(IssueError::SubarrayConflict) => {
                             // Shadow/device disagreement would be a bug.
                             debug_assert!(false, "subarray conflict not caught by shadow counters");
-                            continue;
+                            advance(cursors, &self.queues);
                         }
                         Err(_) => {
-                            tried[rank] |= 1 << bank;
+                            cursors.swap_remove(i);
                         }
                     }
                 }
@@ -566,22 +774,30 @@ impl MemoryController {
                     // Conflict: close the row once nothing will hit it.
                     let hit_loc = dsarp_dram::Location {
                         row: open_row,
-                        ..req.loc
+                        ..c.req.loc
                     };
-                    if !self.queues.another_row_hit_queued(&hit_loc, drain, None) {
+                    if !self.queues.another_row_hit_queued(&hit_loc, drain, false) {
                         let pre = Command::Precharge { rank, bank };
                         if chan.can_issue(&pre, now) {
                             chan.issue(pre, now).expect("validated");
                             self.stats.precharges += 1;
                             self.row_conflicts += 1;
+                            self.note_issue(scanned);
                             return true;
                         }
                     }
-                    tried[rank] |= 1 << bank;
+                    cursors.swap_remove(i);
                 }
             }
         }
         false
+    }
+
+    /// Folds one issuing cycle's scan work into the scheduler counters.
+    fn note_issue(&mut self, scanned: u64) {
+        self.sched_scan.issue_cycles += 1;
+        self.sched_scan.candidates += scanned;
+        self.sched_scan.max_scan = self.sched_scan.max_scan.max(scanned);
     }
 }
 

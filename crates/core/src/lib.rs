@@ -68,7 +68,7 @@ pub mod queues;
 pub mod refresh;
 pub mod request;
 
-pub use controller::{Completion, ControllerStats, MemoryController};
-pub use queues::RequestQueues;
+pub use controller::{Completion, ControllerStats, MemoryController, SchedulerScan};
+pub use queues::{Candidate, RequestQueues, SlotId};
 pub use refresh::{Mechanism, RefreshDirective, RefreshKind, RefreshPolicy, RefreshTarget};
 pub use request::Request;

@@ -1,4 +1,4 @@
-//! Read/write request queues with batched write draining.
+//! Read/write request queues with batched write draining, indexed by bank.
 //!
 //! The paper's controller (Table 1, §4.2.2): 64-entry read and 64-entry
 //! write queues; writes are buffered and drained in batches — *writeback
@@ -6,9 +6,35 @@
 //! at the low watermark (32 in the paper). While a channel drains, it serves
 //! no reads. Write-refresh parallelization (DARP's second component) rides
 //! on exactly this mode.
+//!
+//! # The per-bank index
+//!
+//! The scheduler and the refresh policies interrogate these queues every
+//! DRAM cycle (`demand_count`, `bank_has_demand`, `rank_has_demand`,
+//! `another_row_hit_queued`, `forwards_read`), and FR-FCFS needs each
+//! bank's oldest request and oldest row hit. A flat `Vec` makes every one
+//! of those an O(queue) scan — the dominant cost on memory-intensive
+//! workloads where skip-ahead cannot skip. Instead, requests live in
+//! slot-stable storage (no `Vec::remove` compaction) threaded onto three
+//! intrusive FIFO chains, all maintained incrementally on push/take:
+//!
+//! * a **global chain** in arrival order (iteration, oracle tests);
+//! * a **per-(rank, bank) chain** in arrival order — FR-FCFS pass 2
+//!   ("oldest request per bank") reads chain heads;
+//! * a **per-(rank, bank, row) chain** in arrival order — FR-FCFS pass 1
+//!   ("oldest hit on the open row") and the closed-row auto-precharge
+//!   test read row-chain heads and counts.
+//!
+//! Per-bank and per-rank occupancy counters make the policy queries O(1),
+//! and a location-keyed count over the write queue makes read-after-write
+//! forwarding probes O(1). Arrival order is captured in a monotonically
+//! increasing per-side sequence number, so FR-FCFS tie-breaking is
+//! *identical* to scanning a flat queue front-to-back: every query answers
+//! exactly what the scan would have answered.
 
 use crate::request::Request;
 use dsarp_dram::Location;
+use std::collections::HashMap;
 
 /// Default read-queue capacity (paper Table 1).
 pub const READ_QUEUE_CAP: usize = 64;
@@ -20,13 +46,327 @@ pub const DRAIN_HIGH_WATERMARK: usize = 48;
 /// Default drain-exit (low) watermark (paper Table 1: 32).
 pub const DRAIN_LOW_WATERMARK: usize = 32;
 
+/// Sentinel for "no slot" in the intrusive chains.
+const NIL: u32 = u32::MAX;
+
+/// Opaque handle to a queued request's storage slot. Stable from push
+/// until the request is taken; reused afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotId(u32);
+
+/// One scheduling candidate: a queued request, its storage slot, and its
+/// arrival sequence number — the FR-FCFS tie-breaker (lower = older).
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// Storage slot, for [`RequestQueues::take_read`]/[`RequestQueues::take_write`].
+    pub slot: SlotId,
+    /// Arrival order within the side; strictly increasing across pushes.
+    pub seq: u64,
+    /// The queued request.
+    pub req: Request,
+}
+
+/// Slot payload plus its links on the three chains.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    req: Request,
+    seq: u64,
+    all_prev: u32,
+    all_next: u32,
+    bank_prev: u32,
+    bank_next: u32,
+    row_prev: u32,
+    row_next: u32,
+}
+
+/// Per-(rank, bank, row) FIFO sub-chain.
+#[derive(Debug, Clone, Copy)]
+struct RowChain {
+    row: u32,
+    count: u32,
+    head: u32,
+    tail: u32,
+}
+
+/// Per-(rank, bank) index: arrival-order chain, occupancy, row sub-chains.
+#[derive(Debug, Clone)]
+struct BankIndex {
+    head: u32,
+    tail: u32,
+    count: u32,
+    /// Row sub-chains for rows currently queued to this bank; unordered
+    /// (looked up by row value), at most one entry per distinct row.
+    rows: Vec<RowChain>,
+}
+
+impl Default for BankIndex {
+    fn default() -> Self {
+        Self {
+            head: NIL,
+            tail: NIL,
+            count: 0,
+            rows: Vec::new(),
+        }
+    }
+}
+
+/// One queue direction (reads or writes): slot-stable storage + indexes.
+#[derive(Debug, Clone)]
+struct Side {
+    slots: Vec<Option<Entry>>,
+    /// Free slot stack (LIFO reuse — deterministic).
+    free: Vec<u32>,
+    next_seq: u64,
+    len: usize,
+    all_head: u32,
+    all_tail: u32,
+    /// `[rank][bank]`, grown on demand — the queues are geometry-agnostic.
+    banks: Vec<Vec<BankIndex>>,
+    /// Per-rank occupancy, grown on demand.
+    rank_counts: Vec<u32>,
+}
+
+impl Side {
+    fn new(cap: usize) -> Self {
+        Self {
+            slots: vec![None; cap],
+            free: (0..cap as u32).rev().collect(),
+            next_seq: 0,
+            len: 0,
+            all_head: NIL,
+            all_tail: NIL,
+            banks: Vec::new(),
+            rank_counts: Vec::new(),
+        }
+    }
+
+    fn cap(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn bank(&self, rank: usize, bank: usize) -> Option<&BankIndex> {
+        self.banks.get(rank)?.get(bank)
+    }
+
+    /// Grows the lazily-sized tables to cover `(rank, bank)`.
+    fn grow(&mut self, rank: usize, bank: usize) {
+        if rank >= self.banks.len() {
+            self.banks.resize_with(rank + 1, Vec::new);
+        }
+        if bank >= self.banks[rank].len() {
+            self.banks[rank].resize_with(bank + 1, BankIndex::default);
+        }
+        if rank >= self.rank_counts.len() {
+            self.rank_counts.resize(rank + 1, 0);
+        }
+    }
+
+    fn entry(&self, slot: u32) -> &Entry {
+        self.slots[slot as usize].as_ref().expect("live slot")
+    }
+
+    fn entry_mut(&mut self, slot: u32) -> &mut Entry {
+        self.slots[slot as usize].as_mut().expect("live slot")
+    }
+
+    fn candidate(&self, slot: u32) -> Candidate {
+        let e = self.entry(slot);
+        Candidate {
+            slot: SlotId(slot),
+            seq: e.seq,
+            req: e.req,
+        }
+    }
+
+    fn push(&mut self, req: Request) -> bool {
+        let Some(slot) = self.free.pop() else {
+            return false;
+        };
+        let (rank, bank, row) = (req.loc.rank, req.loc.bank, req.loc.row);
+        self.grow(rank, bank);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+
+        let all_tail = self.all_tail;
+        let bank_tail = self.banks[rank][bank].tail;
+        let row_pos = self.banks[rank][bank]
+            .rows
+            .iter()
+            .position(|rc| rc.row == row);
+        let row_tail = row_pos.map_or(NIL, |i| self.banks[rank][bank].rows[i].tail);
+
+        self.slots[slot as usize] = Some(Entry {
+            req,
+            seq,
+            all_prev: all_tail,
+            all_next: NIL,
+            bank_prev: bank_tail,
+            bank_next: NIL,
+            row_prev: row_tail,
+            row_next: NIL,
+        });
+        if all_tail == NIL {
+            self.all_head = slot;
+        } else {
+            self.entry_mut(all_tail).all_next = slot;
+        }
+        self.all_tail = slot;
+        if bank_tail != NIL {
+            self.entry_mut(bank_tail).bank_next = slot;
+        }
+        if row_tail != NIL {
+            self.entry_mut(row_tail).row_next = slot;
+        }
+
+        let bi = &mut self.banks[rank][bank];
+        if bi.head == NIL {
+            bi.head = slot;
+        }
+        bi.tail = slot;
+        bi.count += 1;
+        match row_pos {
+            Some(i) => {
+                let rc = &mut bi.rows[i];
+                rc.count += 1;
+                rc.tail = slot;
+            }
+            None => bi.rows.push(RowChain {
+                row,
+                count: 1,
+                head: slot,
+                tail: slot,
+            }),
+        }
+        self.rank_counts[rank] += 1;
+        self.len += 1;
+        true
+    }
+
+    fn take(&mut self, slot: SlotId) -> Request {
+        let idx = slot.0;
+        let e = self.slots[idx as usize].take().expect("live slot");
+        let (rank, bank, row) = (e.req.loc.rank, e.req.loc.bank, e.req.loc.row);
+
+        if e.all_prev == NIL {
+            self.all_head = e.all_next;
+        } else {
+            self.entry_mut(e.all_prev).all_next = e.all_next;
+        }
+        if e.all_next == NIL {
+            self.all_tail = e.all_prev;
+        } else {
+            self.entry_mut(e.all_next).all_prev = e.all_prev;
+        }
+        if e.bank_prev != NIL {
+            self.entry_mut(e.bank_prev).bank_next = e.bank_next;
+        }
+        if e.bank_next != NIL {
+            self.entry_mut(e.bank_next).bank_prev = e.bank_prev;
+        }
+        if e.row_prev != NIL {
+            self.entry_mut(e.row_prev).row_next = e.row_next;
+        }
+        if e.row_next != NIL {
+            self.entry_mut(e.row_next).row_prev = e.row_prev;
+        }
+
+        let bi = &mut self.banks[rank][bank];
+        if bi.head == idx {
+            bi.head = e.bank_next;
+        }
+        if bi.tail == idx {
+            bi.tail = e.bank_prev;
+        }
+        bi.count -= 1;
+        let i = bi
+            .rows
+            .iter()
+            .position(|rc| rc.row == row)
+            .expect("row chain of a live entry");
+        let rc = &mut bi.rows[i];
+        rc.count -= 1;
+        if rc.count == 0 {
+            bi.rows.swap_remove(i);
+        } else {
+            if rc.head == idx {
+                rc.head = e.row_next;
+            }
+            if rc.tail == idx {
+                rc.tail = e.row_prev;
+            }
+        }
+        self.rank_counts[rank] -= 1;
+        self.len -= 1;
+        self.free.push(idx);
+        e.req
+    }
+
+    fn bank_len(&self, rank: usize, bank: usize) -> usize {
+        self.bank(rank, bank).map_or(0, |b| b.count as usize)
+    }
+
+    fn rank_len(&self, rank: usize) -> usize {
+        self.rank_counts.get(rank).copied().unwrap_or(0) as usize
+    }
+
+    fn row_chain(&self, rank: usize, bank: usize, row: u32) -> Option<&RowChain> {
+        self.bank(rank, bank)?.rows.iter().find(|rc| rc.row == row)
+    }
+
+    fn row_len(&self, rank: usize, bank: usize, row: u32) -> usize {
+        self.row_chain(rank, bank, row)
+            .map_or(0, |rc| rc.count as usize)
+    }
+
+    fn first_row_hit(&self, rank: usize, bank: usize, row: u32) -> Option<Candidate> {
+        self.row_chain(rank, bank, row)
+            .map(|rc| self.candidate(rc.head))
+    }
+
+    fn bank_head(&self, rank: usize, bank: usize) -> Option<Candidate> {
+        let bi = self.bank(rank, bank)?;
+        (bi.head != NIL).then(|| self.candidate(bi.head))
+    }
+
+    fn next_in_bank(&self, slot: SlotId) -> Option<Candidate> {
+        let next = self.entry(slot.0).bank_next;
+        (next != NIL).then(|| self.candidate(next))
+    }
+
+    fn iter(&self) -> SideIter<'_> {
+        SideIter {
+            side: self,
+            cursor: self.all_head,
+        }
+    }
+}
+
+/// Arrival-order iterator over one side.
+struct SideIter<'a> {
+    side: &'a Side,
+    cursor: u32,
+}
+
+impl Iterator for SideIter<'_> {
+    type Item = Candidate;
+
+    fn next(&mut self) -> Option<Candidate> {
+        (self.cursor != NIL).then(|| {
+            let c = self.side.candidate(self.cursor);
+            self.cursor = self.side.entry(self.cursor).all_next;
+            c
+        })
+    }
+}
+
 /// The controller's demand-request queues.
 #[derive(Debug, Clone)]
 pub struct RequestQueues {
-    reads: Vec<Request>,
-    writes: Vec<Request>,
-    read_cap: usize,
-    write_cap: usize,
+    reads: Side,
+    writes: Side,
+    /// Write-queue occupancy per exact [`Location`] — the read-after-write
+    /// forwarding probe (`forwards_read`) in O(1).
+    forward: HashMap<Location, u32>,
     high: usize,
     low: usize,
     draining: bool,
@@ -56,10 +396,9 @@ impl RequestQueues {
             "watermarks must satisfy low < high <= cap"
         );
         Self {
-            reads: Vec::with_capacity(read_cap),
-            writes: Vec::with_capacity(write_cap),
-            read_cap,
-            write_cap,
+            reads: Side::new(read_cap),
+            writes: Side::new(write_cap),
+            forward: HashMap::new(),
             high,
             low,
             draining: false,
@@ -68,24 +407,29 @@ impl RequestQueues {
         }
     }
 
+    fn side(&self, writes: bool) -> &Side {
+        if writes {
+            &self.writes
+        } else {
+            &self.reads
+        }
+    }
+
     /// Appends a read; `false` when the queue is full.
     pub fn try_push_read(&mut self, req: Request) -> bool {
-        if self.reads.len() >= self.read_cap {
-            return false;
-        }
         debug_assert!(!req.is_write);
-        self.reads.push(req);
-        true
+        self.reads.push(req)
     }
 
     /// Appends a writeback; `false` when the queue is full.
     pub fn try_push_write(&mut self, req: Request) -> bool {
-        if self.writes.len() >= self.write_cap {
-            return false;
-        }
         debug_assert!(req.is_write);
-        self.writes.push(req);
-        true
+        if self.writes.push(req) {
+            *self.forward.entry(req.loc).or_insert(0) += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Updates writeback mode from the current occupancy. Call once per
@@ -93,10 +437,10 @@ impl RequestQueues {
     pub fn update_drain_mode(&mut self) {
         if self.draining {
             self.drain_cycles += 1;
-            if self.writes.len() <= self.low {
+            if self.writes.len <= self.low {
                 self.draining = false;
             }
-        } else if self.writes.len() >= self.high {
+        } else if self.writes.len >= self.high {
             self.draining = true;
             self.drain_entries += 1;
             self.drain_cycles += 1;
@@ -112,90 +456,121 @@ impl RequestQueues {
     /// writeback mode. While neither draining nor imminent, `update_drain_mode`
     /// is a no-op, which is what lets the skip-ahead loop elide it.
     pub fn drain_imminent(&self) -> bool {
-        !self.draining && self.writes.len() >= self.high
+        !self.draining && self.writes.len >= self.high
     }
 
-    /// Pending reads, oldest first.
-    pub fn reads(&self) -> &[Request] {
-        &self.reads
+    /// Pending reads in arrival order (oldest first).
+    pub fn iter_reads(&self) -> impl Iterator<Item = Candidate> + '_ {
+        self.reads.iter()
     }
 
-    /// Pending writes, oldest first.
-    pub fn writes(&self) -> &[Request] {
-        &self.writes
+    /// Pending writes in arrival order (oldest first).
+    pub fn iter_writes(&self) -> impl Iterator<Item = Candidate> + '_ {
+        self.writes.iter()
     }
 
-    /// Removes and returns the read at `idx` (after its column command
+    /// Removes and returns the read in `slot` (after its column command
     /// issued).
-    pub fn take_read(&mut self, idx: usize) -> Request {
-        self.reads.remove(idx)
+    pub fn take_read(&mut self, slot: SlotId) -> Request {
+        self.reads.take(slot)
     }
 
-    /// Removes and returns the write at `idx`.
-    pub fn take_write(&mut self, idx: usize) -> Request {
-        self.writes.remove(idx)
+    /// Removes and returns the write in `slot`.
+    pub fn take_write(&mut self, slot: SlotId) -> Request {
+        let req = self.writes.take(slot);
+        match self.forward.get_mut(&req.loc) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                self.forward.remove(&req.loc);
+            }
+        }
+        req
     }
 
     /// Pending demand requests (reads + writes) for one bank — the occupancy
-    /// DARP's bank-selection logic monitors.
+    /// DARP's bank-selection logic monitors. O(1).
     pub fn demand_count(&self, rank: usize, bank: usize) -> usize {
-        self.reads
-            .iter()
-            .filter(|r| r.targets_bank(rank, bank))
-            .count()
-            + self
-                .writes
-                .iter()
-                .filter(|r| r.targets_bank(rank, bank))
-                .count()
+        self.reads.bank_len(rank, bank) + self.writes.bank_len(rank, bank)
     }
 
-    /// Whether any demand request targets the bank.
+    /// Whether any demand request targets the bank. O(1).
     pub fn bank_has_demand(&self, rank: usize, bank: usize) -> bool {
-        self.reads.iter().any(|r| r.targets_bank(rank, bank))
-            || self.writes.iter().any(|r| r.targets_bank(rank, bank))
+        self.demand_count(rank, bank) > 0
     }
 
-    /// Whether any demand request targets the rank.
+    /// Whether any demand request targets the rank. O(1).
     pub fn rank_has_demand(&self, rank: usize) -> bool {
-        self.reads.iter().any(|r| r.loc.rank == rank)
-            || self.writes.iter().any(|r| r.loc.rank == rank)
+        self.reads.rank_len(rank) + self.writes.rank_len(rank) > 0
     }
 
     /// Whether any *other* queued request in the currently *servable* queue
     /// targets the same open row — the closed-row policy's auto-precharge
     /// test. Only the servable queue counts: outside writeback mode a
     /// queued write cannot be serviced, so letting it hold a row open would
-    /// starve conflicting reads until the next drain. The request being
-    /// scheduled excludes itself via `skip_idx`.
+    /// starve conflicting reads until the next drain. A request being
+    /// scheduled (which itself hits `loc`'s row by construction) excludes
+    /// itself with `exclude_self`. O(1).
     pub fn another_row_hit_queued(
         &self,
         loc: &Location,
         in_drain: bool,
-        skip_idx: Option<usize>,
+        exclude_self: bool,
     ) -> bool {
-        let same_row =
-            |r: &Request| r.loc.rank == loc.rank && r.loc.bank == loc.bank && r.loc.row == loc.row;
-        let q = if in_drain { &self.writes } else { &self.reads };
-        q.iter()
-            .enumerate()
-            .any(|(i, r)| Some(i) != skip_idx && same_row(r))
+        let hits = self.side(in_drain).row_len(loc.rank, loc.bank, loc.row);
+        hits > usize::from(exclude_self)
     }
 
     /// Searches the write queue for a pending write to the same line
-    /// (read-after-write forwarding).
+    /// (read-after-write forwarding). O(1).
     pub fn forwards_read(&self, loc: &Location) -> bool {
-        self.writes.iter().any(|w| w.loc == *loc)
+        self.forward.contains_key(loc)
+    }
+
+    /// Queued requests for one bank on one side (`writes` selects the
+    /// direction). O(1).
+    pub fn bank_len(&self, rank: usize, bank: usize, writes: bool) -> usize {
+        self.side(writes).bank_len(rank, bank)
+    }
+
+    /// Queued requests hitting `row` in one bank on one side. O(1).
+    pub fn row_hits(&self, rank: usize, bank: usize, row: u32, writes: bool) -> usize {
+        self.side(writes).row_len(rank, bank, row)
+    }
+
+    /// The oldest queued request hitting `row` in one bank on one side.
+    pub fn first_row_hit(
+        &self,
+        rank: usize,
+        bank: usize,
+        row: u32,
+        writes: bool,
+    ) -> Option<Candidate> {
+        self.side(writes).first_row_hit(rank, bank, row)
+    }
+
+    /// The oldest queued request for one bank on one side.
+    pub fn bank_head(&self, rank: usize, bank: usize, writes: bool) -> Option<Candidate> {
+        self.side(writes).bank_head(rank, bank)
+    }
+
+    /// The next-older-to-younger successor of `slot` within its bank chain.
+    pub fn next_in_bank(&self, slot: SlotId, writes: bool) -> Option<Candidate> {
+        self.side(writes).next_in_bank(slot)
     }
 
     /// Read-queue occupancy.
     pub fn read_len(&self) -> usize {
-        self.reads.len()
+        self.reads.len
     }
 
     /// Write-queue occupancy.
     pub fn write_len(&self) -> usize {
-        self.writes.len()
+        self.writes.len
+    }
+
+    /// Read-queue capacity.
+    pub fn read_cap(&self) -> usize {
+        self.reads.cap()
     }
 
     /// Cycles spent in writeback mode (stat).
@@ -227,6 +602,11 @@ mod tests {
         Request::write(id, loc(rank, bank, 0), 0, 0)
     }
 
+    /// Oldest write's slot (tests drain by age like the scheduler would).
+    fn oldest_write(q: &RequestQueues) -> SlotId {
+        q.iter_writes().next().expect("non-empty").slot
+    }
+
     #[test]
     fn capacity_enforced() {
         let mut q = RequestQueues::new(2, 2, 2, 1);
@@ -234,6 +614,7 @@ mod tests {
         assert!(q.try_push_read(Request::read(2, loc(0, 0, 0), 0, 0)));
         assert!(!q.try_push_read(Request::read(3, loc(0, 0, 0), 0, 0)));
         assert_eq!(q.read_len(), 2);
+        assert_eq!(q.read_cap(), 2);
     }
 
     #[test]
@@ -248,10 +629,12 @@ mod tests {
         q.update_drain_mode();
         assert!(q.in_drain_mode(), "reached high watermark");
         // Drain down to low watermark.
-        q.take_write(0);
+        let s = oldest_write(&q);
+        q.take_write(s);
         q.update_drain_mode();
         assert!(q.in_drain_mode(), "still above low");
-        q.take_write(0);
+        let s = oldest_write(&q);
+        q.take_write(s);
         q.update_drain_mode();
         assert!(!q.in_drain_mode(), "reached low watermark");
         assert_eq!(q.drain_entries(), 1);
@@ -279,14 +662,15 @@ mod tests {
         let l = loc(0, 1, 42);
         q.try_push_read(Request::read(1, l, 0, 0));
         q.try_push_write(Request::write(2, loc(0, 1, 42), 0, 0));
-        // Outside drain mode only reads count; the read at index 0 matches.
-        assert!(q.another_row_hit_queued(&l, false, None));
+        // Outside drain mode only reads count; the queued read matches.
+        assert!(q.another_row_hit_queued(&l, false, false));
         // A write to the same row is invisible outside drain mode...
-        q.take_read(0);
-        assert!(!q.another_row_hit_queued(&l, false, None));
+        let slot = q.first_row_hit(0, 1, 42, false).expect("read queued").slot;
+        q.take_read(slot);
+        assert!(!q.another_row_hit_queued(&l, false, false));
         // ...but visible inside drain mode, where it must not match itself.
-        assert!(q.another_row_hit_queued(&l, true, None));
-        assert!(!q.another_row_hit_queued(&l, true, Some(0)));
+        assert!(q.another_row_hit_queued(&l, true, false));
+        assert!(!q.another_row_hit_queued(&l, true, true));
     }
 
     #[test]
@@ -296,6 +680,53 @@ mod tests {
         q.try_push_write(Request::write(1, l, 0, 0));
         assert!(q.forwards_read(&l));
         assert!(!q.forwards_read(&loc(1, 2, 4)));
+    }
+
+    #[test]
+    fn forwarding_count_survives_duplicate_lines() {
+        // Two writes to the same line: taking one must keep forwarding.
+        let mut q = RequestQueues::paper_default();
+        let l = loc(0, 0, 7);
+        q.try_push_write(Request::write(1, l, 0, 0));
+        q.try_push_write(Request::write(2, l, 0, 1));
+        assert!(q.forwards_read(&l));
+        let s = oldest_write(&q);
+        q.take_write(s);
+        assert!(q.forwards_read(&l), "second write still queued");
+        let s = oldest_write(&q);
+        q.take_write(s);
+        assert!(!q.forwards_read(&l));
+    }
+
+    #[test]
+    fn fifo_chains_preserve_arrival_order_across_takes() {
+        let mut q = RequestQueues::paper_default();
+        // Interleave two banks; take from the middle; order must hold.
+        q.try_push_read(Request::read(1, loc(0, 0, 1), 0, 0));
+        q.try_push_read(Request::read(2, loc(0, 1, 1), 0, 1));
+        q.try_push_read(Request::read(3, loc(0, 0, 2), 0, 2));
+        q.try_push_read(Request::read(4, loc(0, 0, 1), 0, 3));
+        let ids: Vec<u64> = q.iter_reads().map(|c| c.req.id).collect();
+        assert_eq!(ids, [1, 2, 3, 4]);
+        assert_eq!(q.bank_head(0, 0, false).unwrap().req.id, 1);
+        assert_eq!(q.first_row_hit(0, 0, 1, false).unwrap().req.id, 1);
+        assert_eq!(q.row_hits(0, 0, 1, false), 2);
+
+        // Take the oldest; id 3 becomes the bank head, id 4 the row hit.
+        let head = q.bank_head(0, 0, false).unwrap().slot;
+        q.take_read(head);
+        assert_eq!(q.bank_head(0, 0, false).unwrap().req.id, 3);
+        assert_eq!(q.first_row_hit(0, 0, 1, false).unwrap().req.id, 4);
+        let next = q.next_in_bank(q.bank_head(0, 0, false).unwrap().slot, false);
+        assert_eq!(next.unwrap().req.id, 4);
+        assert_eq!(q.bank_len(0, 0, false), 2);
+
+        // Slot reuse keeps seq strictly increasing (arrival order intact).
+        q.try_push_read(Request::read(5, loc(0, 0, 1), 0, 4));
+        let ids: Vec<u64> = q.iter_reads().map(|c| c.req.id).collect();
+        assert_eq!(ids, [2, 3, 4, 5]);
+        let seqs: Vec<u64> = q.iter_reads().map(|c| c.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

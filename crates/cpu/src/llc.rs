@@ -69,14 +69,21 @@ impl LlcStats {
     }
 }
 
+/// Per-way state other than the tag. Tags live in a separate dense array
+/// (`Llc::tags`) so the hit scan — the hottest loop in the CPU model —
+/// touches 16 contiguous `u64`s (two cache lines per set) instead of
+/// striding across full way records.
 #[derive(Debug, Clone, Copy, Default)]
 struct Way {
-    tag: u64,
     valid: bool,
     dirty: bool,
     /// Higher = more recently used.
     lru: u64,
 }
+
+/// Tag value no line can produce (addresses are < 2^58 lines); marks an
+/// invalid way in the tag array so the hit scan needs no `valid` check.
+const INVALID_TAG: u64 = u64::MAX;
 
 /// The shared LLC. Addresses are hashed to sets by their line index, which
 /// spreads each core's partitioned address space across all slices —
@@ -84,9 +91,16 @@ struct Way {
 #[derive(Debug, Clone)]
 pub struct Llc {
     params: LlcParams,
+    /// Way tags, set-major; `INVALID_TAG` for invalid ways.
+    tags: Vec<u64>,
     ways: Vec<Way>,
     stats: LlcStats,
     tick: u64,
+    /// `log2(line_bytes)` — the access path runs once per retired memory
+    /// instruction, so the line/set math must be shifts and masks, not
+    /// divisions by runtime parameters.
+    line_shift: u32,
+    set_mask: u64,
 }
 
 impl Llc {
@@ -94,18 +108,27 @@ impl Llc {
     ///
     /// # Panics
     ///
-    /// Panics if the parameters do not describe a power-of-two set count.
+    /// Panics if the parameters do not describe a power-of-two set count or
+    /// line size.
     pub fn new(params: LlcParams) -> Self {
         let sets = params.sets();
         assert!(
             sets.is_power_of_two(),
             "LLC set count must be a power of two, got {sets}"
         );
+        assert!(
+            params.line_bytes.is_power_of_two(),
+            "LLC line size must be a power of two, got {}",
+            params.line_bytes
+        );
         Self {
             params,
+            tags: vec![INVALID_TAG; sets * params.assoc],
             ways: vec![Way::default(); sets * params.assoc],
             stats: LlcStats::default(),
             tick: 0,
+            line_shift: params.line_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
         }
     }
 
@@ -126,20 +149,20 @@ impl Llc {
 
     fn set_of(&self, line: u64) -> usize {
         // Mix the upper bits so strided streams spread across sets.
-        let sets = self.params.sets() as u64;
         let h = line ^ (line >> 13) ^ (line >> 29);
-        (h & (sets - 1)) as usize
+        (h & self.set_mask) as usize
     }
 
     /// Accesses the line containing `addr`; `is_store` marks it dirty.
     pub fn access(&mut self, addr: u64, is_store: bool) -> LlcResult {
         self.tick += 1;
-        let line = addr / self.params.line_bytes as u64;
+        let line = addr >> self.line_shift;
         let set = self.set_of(line);
         let base = set * self.params.assoc;
-        let ways = &mut self.ways[base..base + self.params.assoc];
+        let tags = &self.tags[base..base + self.params.assoc];
 
-        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == line) {
+        if let Some(i) = tags.iter().position(|&t| t == line) {
+            let w = &mut self.ways[base + i];
             w.lru = self.tick;
             w.dirty |= is_store;
             self.stats.hits += 1;
@@ -148,33 +171,33 @@ impl Llc {
 
         // Miss: choose an invalid way or the LRU victim.
         self.stats.misses += 1;
-        let victim = ways
+        let ways = &mut self.ways[base..base + self.params.assoc];
+        let (i, victim) = ways
             .iter_mut()
-            .min_by_key(|w| if w.valid { w.lru } else { 0 })
+            .enumerate()
+            .min_by_key(|(_, w)| if w.valid { w.lru } else { 0 })
             .expect("associativity > 0");
         let writeback = if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
-            Some(victim.tag * self.params.line_bytes as u64)
+            Some(self.tags[base + i] * self.params.line_bytes as u64)
         } else {
             None
         };
         *victim = Way {
-            tag: line,
             valid: true,
             dirty: is_store,
             lru: self.tick,
         };
+        self.tags[base + i] = line;
         LlcResult::Miss { writeback }
     }
 
     /// Whether `addr`'s line is currently cached (for tests).
     pub fn contains(&self, addr: u64) -> bool {
-        let line = addr / self.params.line_bytes as u64;
+        let line = addr >> self.line_shift;
         let set = self.set_of(line);
         let base = set * self.params.assoc;
-        self.ways[base..base + self.params.assoc]
-            .iter()
-            .any(|w| w.valid && w.tag == line)
+        self.tags[base..base + self.params.assoc].contains(&line)
     }
 }
 

@@ -221,6 +221,19 @@ impl DramChannel {
         self.last_issue
     }
 
+    /// The earliest cycle the shared column-command data bus admits a read
+    /// (`write == false`) or write (`write == true`). This is the `bus` gate
+    /// of [`DramChannel::check`] for column commands, exposed so schedulers
+    /// can rule out *every* column candidate with one comparison when the
+    /// bus is the binding constraint.
+    pub fn col_bus_ready(&self, write: bool) -> Cycle {
+        if write {
+            self.next_wr
+        } else {
+            self.next_rd
+        }
+    }
+
     /// The earliest cycle `t >= now` at which every *time-based* gate in
     /// [`DramChannel::check`] admits `cmd`, or `None` when a *state-based*
     /// gate (bad address, wrong open/closed bank state) blocks it until some

@@ -1,0 +1,27 @@
+//! Profiling harness: the `high_mpki` bench scenario as a standalone
+//! binary so a sampling profiler can attribute simulator hot-path time.
+//!
+//! ```sh
+//! cargo build --release --example profile_high_mpki
+//! gprofng collect app target/release/examples/profile_high_mpki
+//! ```
+
+use dsarp_core::Mechanism;
+use dsarp_dram::Density;
+use dsarp_sim::{SimConfig, SystemBuilder};
+use dsarp_workloads::mixes;
+use std::hint::black_box;
+
+fn main() {
+    let workload = mixes::intensive_mixes(8, 1)[0].clone();
+    let cycles = 100_000u64;
+    for _ in 0..10 {
+        let cfg = SimConfig::paper(Mechanism::Dsarp, Density::G32);
+        black_box(
+            SystemBuilder::new(&cfg)
+                .workload(&workload)
+                .build()
+                .run(cycles),
+        );
+    }
+}

@@ -520,6 +520,8 @@ impl System {
                 let banks = self.geom.banks_per_rank();
                 for (ci, (mc, chan)) in self.mcs.iter().zip(self.chans.iter()).enumerate() {
                     tel.read_queue_depth.observe(mc.queues().read_len() as u64);
+                    tel.write_queue_depth
+                        .observe(mc.queues().write_len() as u64);
                     for r in 0..ranks {
                         for b in 0..banks {
                             let bt = &mut tel.banks[(ci * ranks + r) * banks + b];
@@ -714,6 +716,8 @@ impl System {
             for (ci, (mc, chan)) in self.mcs.iter().zip(self.chans.iter()).enumerate() {
                 tel.read_queue_depth
                     .observe_n(mc.queues().read_len() as u64, span);
+                tel.write_queue_depth
+                    .observe_n(mc.queues().write_len() as u64, span);
                 for r in 0..ranks {
                     let rank = chan.rank(r);
                     let refab_until = rank.refab_until();
@@ -774,9 +778,11 @@ impl System {
             let mut t = acc.clone();
             t.dram_cycles = self.now;
             let mut refreshes = crate::telemetry::RefreshTelemetry::default();
+            let mut sched = dsarp_core::SchedulerScan::default();
             let (mut hits, mut misses, mut conflicts) = (0, 0, 0);
             for (mc, chan) in self.mcs.iter().zip(self.chans.iter()) {
                 let s = mc.stats();
+                sched.merge(mc.scheduler_scan());
                 refreshes.refab += s.refab_issued;
                 refreshes.refpb += s.refpb_issued;
                 refreshes.sarp_parallel_acts += chan.sarp_parallel_acts();
@@ -798,6 +804,7 @@ impl System {
             t.row_hits = hits;
             t.row_misses = misses;
             t.row_conflicts = conflicts;
+            t.scheduler = sched;
             t
         });
         RunStats {

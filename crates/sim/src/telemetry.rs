@@ -8,12 +8,20 @@
 //! only reads state the tick loop already computes, and the struct rides
 //! on [`crate::RunStats`] as an `Option` that stays `None` unless enabled.
 
+use dsarp_core::SchedulerScan;
 use dsarp_obs::{bucket_bound, bucket_index, NBUCKETS};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Map, Serialize, Value};
 
 /// Per-run telemetry; attached to [`crate::RunStats::telemetry`] when
 /// enabled.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// The serialized (JSON) form covers exactly the fields up to
+/// `row_conflicts`, in declaration order — the hand-written
+/// [`Serialize`]/[`Deserialize`] impls below pin that shape so persisted
+/// campaign sidecars stay byte-identical as in-memory telemetry grows.
+/// `write_queue_depth` and `scheduler` are in-memory only: deserializing
+/// a sidecar leaves them at their defaults.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimTelemetry {
     /// DRAM cycles the run covered (sampling denominator).
     pub dram_cycles: u64,
@@ -30,6 +38,52 @@ pub struct SimTelemetry {
     /// Precharges issued to close a conflicting open row for a demand
     /// request.
     pub row_conflicts: u64,
+    /// Write-queue depth sampled once per channel per DRAM cycle
+    /// (not serialized).
+    pub write_queue_depth: DepthHistogram,
+    /// Demand-scheduler work accounting summed over controllers: candidates
+    /// the FR-FCFS passes examined on issuing cycles (not serialized).
+    pub scheduler: SchedulerScan,
+}
+
+impl Serialize for SimTelemetry {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("dram_cycles".to_string(), self.dram_cycles.to_value());
+        m.insert("banks".to_string(), self.banks.to_value());
+        m.insert("refreshes".to_string(), self.refreshes.to_value());
+        m.insert(
+            "read_queue_depth".to_string(),
+            self.read_queue_depth.to_value(),
+        );
+        m.insert("row_hits".to_string(), self.row_hits.to_value());
+        m.insert("row_misses".to_string(), self.row_misses.to_value());
+        m.insert("row_conflicts".to_string(), self.row_conflicts.to_value());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for SimTelemetry {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        fn field<T: Deserialize>(v: &Value, name: &'static str) -> Result<T, Error> {
+            T::from_value(v.get(name).unwrap_or(&Value::Null))
+                .map_err(|e| e.context(&format!("SimTelemetry.{name}")))
+        }
+        if v.as_object().is_none() {
+            return Err(Error::custom("expected object for SimTelemetry"));
+        }
+        Ok(Self {
+            dram_cycles: field(v, "dram_cycles")?,
+            banks: field(v, "banks")?,
+            refreshes: field(v, "refreshes")?,
+            read_queue_depth: field(v, "read_queue_depth")?,
+            row_hits: field(v, "row_hits")?,
+            row_misses: field(v, "row_misses")?,
+            row_conflicts: field(v, "row_conflicts")?,
+            write_queue_depth: DepthHistogram::default(),
+            scheduler: SchedulerScan::default(),
+        })
+    }
 }
 
 /// Cycle accounting for one bank.
@@ -200,6 +254,39 @@ mod tests {
         assert_eq!(a, b);
         b.observe_n(0, 0); // zero-length span is a no-op
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serialized_shape_excludes_in_memory_fields() {
+        let mut t = SimTelemetry::for_geometry(1, 1, 2);
+        t.dram_cycles = 7;
+        t.write_queue_depth.observe(3);
+        t.scheduler.issue_cycles = 5;
+        let v = t.to_value();
+        let keys: Vec<&str> = v
+            .as_object()
+            .expect("object")
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        // Sidecar byte-stability: exactly the pre-existing fields, in
+        // declaration order; the in-memory-only fields never serialize.
+        assert_eq!(
+            keys,
+            [
+                "dram_cycles",
+                "banks",
+                "refreshes",
+                "read_queue_depth",
+                "row_hits",
+                "row_misses",
+                "row_conflicts"
+            ]
+        );
+        let back = SimTelemetry::from_value(&v).expect("roundtrip");
+        assert_eq!(back.dram_cycles, 7);
+        assert_eq!(back.write_queue_depth, DepthHistogram::default());
+        assert_eq!(back.scheduler, SchedulerScan::default());
     }
 
     #[test]

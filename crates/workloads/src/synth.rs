@@ -14,6 +14,17 @@ const CAPACITY: u64 = 16 * (1 << 30);
 /// paper geometry).
 const ROW_SPAN_LOG: u64 = 18;
 
+/// `v % m`, masking instead of dividing when `m` is a power of two — which
+/// it is for every power-of-two core count, and this runs once per
+/// generated instruction.
+fn fast_rem(v: u64, m: u64) -> u64 {
+    if m.is_power_of_two() {
+        v & (m - 1)
+    } else {
+        v % m
+    }
+}
+
 /// An infinite synthetic instruction stream for one core.
 ///
 /// Each core gets a disjoint `capacity / num_cores` slice of the physical
@@ -74,7 +85,7 @@ impl SyntheticTrace {
     /// Bits below the row (bank/column/channel) are untouched, preserving
     /// row-buffer locality.
     fn clamp(&self, offset: u64) -> u64 {
-        let o = offset % self.region;
+        let o = fast_rem(offset, self.region);
         let rows_per_core = (self.region >> ROW_SPAN_LOG).max(1);
         debug_assert!(rows_per_core.is_power_of_two());
         let row_part = (o >> ROW_SPAN_LOG).wrapping_mul(0x2545) & (rows_per_core - 1);
@@ -93,7 +104,10 @@ impl SyntheticTrace {
                 self.streams[s] = self.rng.gen_range(0..self.region / 2);
             }
             self.stream_left[s] -= 1;
-            self.streams[s] = self.streams[s].wrapping_add(spec.stream_stride) % (self.region / 2);
+            self.streams[s] = fast_rem(
+                self.streams[s].wrapping_add(spec.stream_stride),
+                self.region / 2,
+            );
             (self.clamp(self.streams[s]), false)
         } else if self.rng.gen_bool(spec.hot_frac) {
             // Hot-set access (cache-resident).
